@@ -1,0 +1,186 @@
+// Ablation benchmarks: sweeps over the design parameters DESIGN.md calls
+// out, quantifying why each default is what it is.
+//
+//   - cloning chunk size: header overhead vs repair granularity
+//   - cloning NAK batch size: repair round-trips vs acknowledgement size
+//   - wire compression on/off: bytes on the management network
+//   - consolidation under load: change suppression on idle vs busy nodes
+//   - ICE Box sequencing stagger: time-to-all-up vs breaker margin
+package clusterworx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/icebox"
+	"clusterworx/internal/image"
+	"clusterworx/internal/monitor"
+	"clusterworx/internal/node"
+	"clusterworx/internal/transmit"
+)
+
+// --- cloning chunk size ----------------------------------------------------------
+
+func benchAblationChunkSize(b *testing.B, chunkKiB int) {
+	img := image.NewWithChunkSize("abl", "1", image.BootDisk, 32<<20, chunkKiB<<10)
+	var vt time.Duration
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		r := cloning.RunMulticast(img, 12, 0.05, int64(i), cloning.Params{})
+		if len(r.NodeUp) != 12 {
+			b.Fatal("did not converge")
+		}
+		vt += r.AllUp
+		bytes += r.TotalBytes()
+	}
+	b.ReportMetric(vt.Seconds()/float64(b.N), "vtime_s")
+	b.ReportMetric(float64(bytes)/float64(b.N)/(32<<20), "bytes_vs_image")
+}
+
+func BenchmarkAblationCloneChunk16K(b *testing.B)  { benchAblationChunkSize(b, 16) }
+func BenchmarkAblationCloneChunk64K(b *testing.B)  { benchAblationChunkSize(b, 64) }
+func BenchmarkAblationCloneChunk256K(b *testing.B) { benchAblationChunkSize(b, 256) }
+
+// --- cloning NAK batch size -------------------------------------------------------
+
+func benchAblationNak(b *testing.B, maxNak int) {
+	img := image.New("abl", "1", image.BootDisk, 16<<20)
+	var polls int
+	var vt time.Duration
+	for i := 0; i < b.N; i++ {
+		r := cloning.RunMulticast(img, 10, 0.15, int64(i), cloning.Params{MaxNakChunks: maxNak})
+		if len(r.NodeUp) != 10 {
+			b.Fatal("did not converge")
+		}
+		polls += r.Polls
+		vt += r.AllUp
+	}
+	b.ReportMetric(float64(polls)/float64(b.N), "polls")
+	b.ReportMetric(vt.Seconds()/float64(b.N), "vtime_s")
+}
+
+func BenchmarkAblationCloneNak16(b *testing.B)   { benchAblationNak(b, 16) }
+func BenchmarkAblationCloneNak256(b *testing.B)  { benchAblationNak(b, 256) }
+func BenchmarkAblationCloneNak2048(b *testing.B) { benchAblationNak(b, 2048) }
+
+// --- wire compression on/off -------------------------------------------------------
+
+func benchAblationWire(b *testing.B, compress bool) {
+	clk := clock.New()
+	n := node.New(clk, node.Config{Name: "abl"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	n.SetLoad(1)
+	set, err := monitor.NewSet(monitor.Config{
+		FS: n.FS(), Hostname: n.Name(), Now: clk.Now, Probes: n, Echo: n.Reachable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		b.Fatal(err)
+	}
+	w := transmit.NewWriter(discard{}, compress)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		cons.Tick()
+		buf = transmit.MarshalValues(buf[:0], cons.Delta())
+		if err := w.WriteFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if w.RawBytes() > 0 {
+		b.ReportMetric(float64(w.WireBytes())/float64(b.N), "wire_bytes/update")
+	}
+}
+
+func BenchmarkAblationWireRaw(b *testing.B)        { benchAblationWire(b, false) }
+func BenchmarkAblationWireCompressed(b *testing.B) { benchAblationWire(b, true) }
+
+// --- consolidation suppression: idle vs busy node ------------------------------------
+
+func benchAblationSuppression(b *testing.B, load float64) {
+	clk := clock.New()
+	n := node.New(clk, node.Config{Name: "abl"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	n.SetLoad(load)
+	clk.Advance(5 * time.Minute)
+	set, err := monitor.NewSet(monitor.Config{
+		FS: n.FS(), Hostname: n.Name(), Now: clk.Now, Probes: n, Echo: n.Reachable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		cons.Tick()
+		cons.Delta()
+	}
+	b.StopTimer()
+	st := cons.Stats()
+	if st.Collected > 0 {
+		b.ReportMetric(100*float64(st.Suppressed)/float64(st.Collected), "suppressed_%")
+	}
+}
+
+func BenchmarkAblationSuppressionIdle(b *testing.B) { benchAblationSuppression(b, 0) }
+func BenchmarkAblationSuppressionBusy(b *testing.B) { benchAblationSuppression(b, 2) }
+
+// --- ICE Box sequencing stagger ----------------------------------------------------------
+
+func benchAblationStagger(b *testing.B, stagger time.Duration) {
+	trips, allUp := 0, 0
+	var vt time.Duration
+	for i := 0; i < b.N; i++ {
+		clk := clock.New()
+		box := icebox.New(clk, "abl")
+		nodes := make([]*node.Node, icebox.NodePorts)
+		for p := range nodes {
+			nodes[p] = node.New(clk, node.Config{Name: fmt.Sprintf("n%02d", p), Seed: int64(p)})
+			if err := box.Connect(p, nodes[p]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		box.SetSequenceDelay(stagger)
+		box.PowerOnAll()
+		clk.Advance(2 * time.Minute)
+		if box.BreakerTripped(0) || box.BreakerTripped(1) {
+			trips++
+		}
+		up := 0
+		var last time.Duration
+		for _, n := range nodes {
+			if n.State() == node.Up {
+				up++
+			}
+		}
+		last = clk.Now()
+		if up == icebox.NodePorts {
+			allUp++
+			vt += last
+		}
+	}
+	b.ReportMetric(float64(trips)/float64(b.N), "breaker_trips")
+	b.ReportMetric(float64(allUp)/float64(b.N), "full_rack_up_rate")
+}
+
+func BenchmarkAblationStagger0ms(b *testing.B)    { benchAblationStagger(b, 0) }
+func BenchmarkAblationStagger100ms(b *testing.B)  { benchAblationStagger(b, 100*time.Millisecond) }
+func BenchmarkAblationStagger300ms(b *testing.B)  { benchAblationStagger(b, 300*time.Millisecond) }
+func BenchmarkAblationStagger1000ms(b *testing.B) { benchAblationStagger(b, time.Second) }

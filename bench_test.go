@@ -1,0 +1,488 @@
+// Benchmark harness: one benchmark (or benchmark family) per experiment in
+// DESIGN.md's E1–E14 index. Micro-costs (E1–E6) are measured per
+// operation; cluster-scale scenarios (E7–E14) run a full simulation per
+// iteration and report virtual-time results via b.ReportMetric, since the
+// interesting quantity is simulated cluster time, not wall time.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The human-readable tables (the paper-vs-measured comparison) come from
+// `go run ./cmd/cwxsim -experiment all`.
+package clusterworx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/events"
+	"clusterworx/internal/experiments"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/gather"
+	"clusterworx/internal/image"
+	"clusterworx/internal/monitor"
+	"clusterworx/internal/node"
+	"clusterworx/internal/notify"
+	"clusterworx/internal/procfs"
+	"clusterworx/internal/slurm"
+	"clusterworx/internal/transmit"
+)
+
+// evolvingFS is the standard benchmark /proc: content changes every read,
+// as on a live node.
+func evolvingFS() *procfs.FS {
+	fs := procfs.NewFS()
+	syn := procfs.NewSynthetic(1)
+	procfs.RegisterStd(fs, syn.Stat)
+	return fs
+}
+
+// --- E1: the §5.3.1 gathering ladder -------------------------------------------
+
+func BenchmarkE1GatherMeminfoNaive(b *testing.B) {
+	fs := evolvingFS()
+	g := gather.NewNaiveMeminfo(fs)
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GatherMeminfoBuffered(b *testing.B) {
+	fs := evolvingFS()
+	g := gather.NewBufferedMeminfo(fs)
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GatherMeminfoApriori(b *testing.B) {
+	fs := evolvingFS()
+	g := gather.NewAprioriMeminfo(fs)
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GatherMeminfoKeepOpen(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: per-file costs with the final strategy --------------------------------
+
+func BenchmarkE2GatherStat(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewStatGatherer(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var s gather.CPUStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2GatherLoadavg(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewLoadavgGatherer(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var l gather.LoadStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2GatherUptime(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewUptimeGatherer(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var u gather.UptimeStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2GatherNetDev(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewNetDevGatherer(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var n gather.NetDevStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: parser-only comparison ---------------------------------------------------
+
+func e3Text(b *testing.B, path string) []byte {
+	b.Helper()
+	fs := procfs.NewFS()
+	procfs.RegisterStd(fs, procfs.Frozen())
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkE3ParseMeminfoApriori(b *testing.B) {
+	text := e3Text(b, "/proc/meminfo")
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := gather.ParseMeminfoApriori(text, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ParseMeminfoGeneric(b *testing.B) {
+	text := e3Text(b, "/proc/meminfo")
+	var m gather.MemStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := gather.ParseMeminfoGeneric(text, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ParseStatApriori(b *testing.B) {
+	text := e3Text(b, "/proc/stat")
+	var s gather.CPUStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := gather.ParseStatApriori(text, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ParseStatGeneric(b *testing.B) {
+	text := e3Text(b, "/proc/stat")
+	var s gather.CPUStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := gather.ParseStatGeneric(text, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: CPU budget at 50 samples/s ------------------------------------------------
+
+func BenchmarkE4OverheadBudget(b *testing.B) {
+	fs := evolvingFS()
+	g, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var m gather.MemStats
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := g.Gather(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perCall := time.Since(start) / time.Duration(b.N)
+	// Paper arithmetic: per-call cost x 50 samples/s x 3600 s.
+	b.ReportMetric(perCall.Seconds()*50*3600, "cpu_s/hour@50Hz")
+}
+
+// --- E5: consolidation change suppression -------------------------------------------
+
+func BenchmarkE5Consolidation(b *testing.B) {
+	clk := clock.New()
+	n := node.New(clk, node.Config{Name: "bench"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	set, err := monitor.NewSet(monitor.Config{
+		FS: n.FS(), Hostname: n.Name(), Now: clk.Now, Probes: n, Echo: n.Reachable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		b.Fatal(err)
+	}
+	var full, delta int64
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		cons.Tick()
+		buf = transmit.MarshalValues(buf[:0], cons.Snapshot())
+		full += int64(len(buf))
+		buf = transmit.MarshalValues(buf[:0], cons.Delta())
+		delta += int64(len(buf))
+	}
+	if full > 0 {
+		b.ReportMetric(100*(1-float64(delta)/float64(full)), "data_reduction_%")
+	}
+}
+
+// --- E6: wire compression -------------------------------------------------------------
+
+func BenchmarkE6Compression(b *testing.B) {
+	fs := evolvingFS()
+	var sample []byte
+	for _, f := range []string{"/proc/meminfo", "/proc/stat", "/proc/net/dev"} {
+		data, err := fs.ReadFile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sample = append(sample, data...)
+	}
+	var buf []byte
+	w := transmit.NewWriter(discard{}, true)
+	b.SetBytes(int64(len(sample)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = append(buf[:0], sample...)
+		if err := w.WriteFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if w.RawBytes() > 0 {
+		b.ReportMetric(float64(w.RawBytes())/float64(w.WireBytes()), "compression_x")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- E7: cloning scalability ------------------------------------------------------------
+
+func benchClone(b *testing.B, nodes int, unicast bool) {
+	img := image.New("bench-os", "1.0", image.BootDisk, 32<<20)
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		var r cloning.Result
+		if unicast {
+			r = cloning.RunUnicast(img, nodes, 0.01, int64(i), cloning.Params{})
+		} else {
+			r = cloning.RunMulticast(img, nodes, 0.01, int64(i), cloning.Params{})
+		}
+		if len(r.NodeUp) != nodes {
+			b.Fatalf("only %d/%d nodes cloned", len(r.NodeUp), nodes)
+		}
+		total += r.AllUp
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), "vtime_s")
+}
+
+func BenchmarkE7CloneMulticast10(b *testing.B)  { benchClone(b, 10, false) }
+func BenchmarkE7CloneMulticast50(b *testing.B)  { benchClone(b, 50, false) }
+func BenchmarkE7CloneMulticast200(b *testing.B) { benchClone(b, 200, false) }
+func BenchmarkE7CloneUnicast10(b *testing.B)    { benchClone(b, 10, true) }
+func BenchmarkE7CloneUnicast50(b *testing.B)    { benchClone(b, 50, true) }
+
+// --- E8: cloning under loss -----------------------------------------------------------
+
+func benchCloneLoss(b *testing.B, loss float64) {
+	img := image.New("bench-os", "1.0", image.BootDisk, 16<<20)
+	var repair int64
+	for i := 0; i < b.N; i++ {
+		r := cloning.RunMulticast(img, 12, loss, int64(i), cloning.Params{})
+		if len(r.NodeUp) != 12 {
+			b.Fatal("clone under loss did not converge")
+		}
+		repair += r.RepairBytes
+	}
+	b.ReportMetric(float64(repair)/float64(b.N), "repair_bytes")
+}
+
+func BenchmarkE8CloneLoss1pct(b *testing.B)  { benchCloneLoss(b, 0.01) }
+func BenchmarkE8CloneLoss10pct(b *testing.B) { benchCloneLoss(b, 0.10) }
+func BenchmarkE8CloneLoss25pct(b *testing.B) { benchCloneLoss(b, 0.25) }
+
+// --- E9: boot time -----------------------------------------------------------------------
+
+func benchBoot(b *testing.B, fw firmware.Firmware) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		clk := clock.New()
+		n := node.New(clk, node.Config{Name: "bench", Firmware: fw})
+		n.PowerOn()
+		clk.RunUntilIdle()
+		if n.State() != node.Up {
+			b.Fatalf("node state %v", n.State())
+		}
+		total += clk.Now() // boot completion is the last event
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), "boot_vtime_s")
+}
+
+func BenchmarkE9BootLinuxBIOS(b *testing.B)  { benchBoot(b, firmware.NewLinuxBIOS("1.0.1")) }
+func BenchmarkE9BootLegacyBIOS(b *testing.B) { benchBoot(b, firmware.NewLegacyBIOS()) }
+
+// --- E10: notification dedup ---------------------------------------------------------------
+
+func BenchmarkE10Notification(b *testing.B) {
+	mails := 0
+	for i := 0; i < b.N; i++ {
+		clk := clock.New()
+		rec := &notify.Recording{}
+		ntf := notify.New(clk, rec, notify.Config{Cluster: "bench"})
+		eng := events.New(nil, ntf, clk.Now)
+		eng.AddRule(events.Rule{Name: "hot", Metric: "t", Op: events.GT, Threshold: 85, Notify: true})
+		for nd := 0; nd < 100; nd++ {
+			eng.ObserveMap(fmt.Sprintf("n%03d", nd), map[string]float64{"t": 95})
+		}
+		mails += rec.Count()
+	}
+	b.ReportMetric(float64(mails)/float64(b.N), "mails_per_100node_storm")
+}
+
+// --- E11: thermal runaway rescue -------------------------------------------------------------
+
+func BenchmarkE11ThermalRescue(b *testing.B) {
+	saved := 0
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.E11ThermalRunaway()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab.Rows[1][3] == "false" { // protected arm undamaged
+			saved++
+		}
+	}
+	b.ReportMetric(float64(saved)/float64(b.N), "rescue_rate")
+}
+
+// --- E12: power sequencing ---------------------------------------------------------------------
+
+func BenchmarkE12PowerSequencing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12PowerSequencing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: console post-mortem --------------------------------------------------------------------
+
+func BenchmarkE13Console(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13Console(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: SLURM ------------------------------------------------------------------------------------
+
+func BenchmarkE14SlurmWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clk := clock.New()
+		names := make([]string, 32)
+		for j := range names {
+			names[j] = fmt.Sprintf("n%03d", j)
+		}
+		c := slurm.New(clk, names)
+		for j := 0; j < 100; j++ {
+			if _, err := c.Submit(slurm.Spec{
+				Nodes: 1 + j%8, Duration: time.Duration(1+j%7) * time.Minute, Exclusive: j%2 == 0,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.Advance(20 * time.Minute)
+		c.KillController(0)
+		clk.RunUntilIdle()
+		for _, j := range c.Jobs() {
+			if j.State != slurm.Completed {
+				b.Fatalf("job %d = %v", j.ID, j.State)
+			}
+		}
+	}
+}
+
+// --- E15: incremental update vs full reclone -----------------------------------------
+
+func BenchmarkE15IncrementalUpdate(b *testing.B) {
+	v1 := image.NewBuilder("prod", "2.0", image.BootDisk, 48<<20).
+		AddPackage("kernel-2.4.18", 4<<20).Build()
+	v2 := image.NewBuilder("prod", "2.1", image.BootDisk, 48<<20).
+		AddPackage("kernel-2.4.19", 4<<20).Build()
+	var vt time.Duration
+	for i := 0; i < b.N; i++ {
+		r := cloning.RunUpdate(v1, v2, 12, 0.01, int64(i), cloning.Params{})
+		if len(r.NodeUp) != 12 {
+			b.Fatal("update did not converge")
+		}
+		vt += r.AllUp
+	}
+	b.ReportMetric(vt.Seconds()/float64(b.N), "vtime_s")
+}
+
+func BenchmarkE15FullReclone(b *testing.B) {
+	v2 := image.NewBuilder("prod", "2.1", image.BootDisk, 48<<20).
+		AddPackage("kernel-2.4.19", 4<<20).Build()
+	var vt time.Duration
+	for i := 0; i < b.N; i++ {
+		r := cloning.RunMulticast(v2, 12, 0.01, int64(i), cloning.Params{})
+		if len(r.NodeUp) != 12 {
+			b.Fatal("clone did not converge")
+		}
+		vt += r.AllUp
+	}
+	b.ReportMetric(vt.Seconds()/float64(b.N), "vtime_s")
+}

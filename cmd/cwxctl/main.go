@@ -1,0 +1,74 @@
+// Command cwxctl is the ClusterWorX administrator CLI: it sends one
+// control request to a cwxd server and prints the response.
+//
+//	cwxctl status
+//	cwxctl values node003
+//	cwxctl history node003 load.1 50
+//	cwxctl power cycle node003
+//	cwxctl console node003
+//	cwxctl eventlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clusterworx/internal/core"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7702", "cwxd control address")
+	watch := flag.Duration("watch", 0, "re-issue the request at this interval (e.g. -watch 2s)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: cwxctl [-server host:port] <request...>
+
+requests:
+  status | nodes | values <node> | value <node> <metric>
+  history <node> <metric> [n] | trend <node> <metric>
+  chart <node> <metric> | spark <node> <metric>
+  compare <metric> | correlate <node> <m1> <m2>
+  power on|off|cycle <node> | reset <node> | console <node>
+  bios settings|set|flash <node> [...]
+  clone <imageID> <node...> | images | efficiency
+  rules | eventlog [n] | ping
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client, err := core.DialCtl(*server, 5*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cwxctl:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	req := strings.Join(flag.Args(), " ")
+	for {
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cwxctl:", err)
+			os.Exit(1)
+		}
+		// Strip the leading OK token for clean shell output.
+		resp = strings.TrimPrefix(resp, "OK")
+		resp = strings.TrimPrefix(resp, " ")
+		resp = strings.TrimPrefix(resp, "\n")
+		if *watch <= 0 {
+			if resp != "" {
+				fmt.Println(resp)
+			}
+			return
+		}
+		// Watch mode: clear the screen and redraw, like watch(1).
+		fmt.Printf("\x1b[2J\x1b[H%s  (every %s)\n\n%s\n", req, *watch, resp)
+		time.Sleep(*watch)
+	}
+}

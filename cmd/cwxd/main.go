@@ -1,0 +1,168 @@
+// Command cwxd is the ClusterWorX management server daemon. It listens on
+// two TCP ports: one for node agents (framed, compressed monitor data —
+// the §5.3.3 wire protocol) and one for control clients (cwxctl, or any
+// line-oriented tool).
+//
+// With -sim-nodes N it additionally hosts a simulated cluster in-process —
+// nodes, ICE boxes, agents — whose virtual clock tracks wall time, so a
+// single binary demonstrates the whole stack:
+//
+//	cwxd -sim-nodes 16 &
+//	cwxctl status
+//	cwxctl power cycle node003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/core"
+	"clusterworx/internal/events"
+)
+
+func main() {
+	var (
+		agentAddr = flag.String("agent-addr", ":7701", "listen address for node agents")
+		ctlAddr   = flag.String("ctl-addr", ":7702", "listen address for control clients")
+		cluster   = flag.String("cluster", "cluster", "cluster name used in notifications")
+		simNodes  = flag.Int("sim-nodes", 0, "host this many simulated nodes in-process")
+		rulesFile = flag.String("rules", "", "event rule file (replaces the built-in defaults)")
+		histFile  = flag.String("history-file", "", "persist monitor history to this file (loaded at start, saved every minute)")
+	)
+	flag.Parse()
+
+	var srv *core.Server
+	if *simNodes > 0 {
+		sim, err := core.NewSim(core.SimConfig{Nodes: *simNodes, Cluster: *cluster})
+		if err != nil {
+			log.Fatalf("cwxd: %v", err)
+		}
+		srv = sim.Server
+		installRules(srv, *rulesFile)
+		sim.PowerOnAll()
+		// The wall-time clock driver and ctl-initiated cloning sessions
+		// both execute virtual-clock events; a mutex keeps them exclusive.
+		var simMu sync.Mutex
+		srv.SetCloner(func(imageID string, nodeNames []string) (string, error) {
+			simMu.Lock()
+			defer simMu.Unlock()
+			im, ok := srv.Images().Get(imageID)
+			if !ok {
+				return "", fmt.Errorf("unknown image %s", imageID)
+			}
+			res, err := sim.Clone(im, nodeNames, 0.01, cloning.Params{})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("cloned %s to %d node(s) in %s (virtual)",
+				imageID, len(res.NodeUp), res.AllUp.Round(time.Second)), nil
+		})
+		go func() {
+			const step = 100 * time.Millisecond
+			for {
+				time.Sleep(step)
+				simMu.Lock()
+				sim.Advance(step)
+				simMu.Unlock()
+			}
+		}()
+		log.Printf("cwxd: hosting %d simulated nodes in %d ICE boxes", *simNodes, len(sim.Boxes))
+	} else {
+		srv = core.NewServer(core.ServerConfig{Cluster: *cluster})
+		installRules(srv, *rulesFile)
+	}
+
+	if *histFile != "" {
+		if f, err := os.Open(*histFile); err == nil {
+			if err := srv.History().LoadFrom(f); err != nil {
+				log.Printf("cwxd: history load: %v", err)
+			} else {
+				log.Printf("cwxd: history restored from %s", *histFile)
+			}
+			f.Close()
+		}
+		go func() {
+			for range time.Tick(time.Minute) {
+				if err := saveHistory(srv, *histFile); err != nil {
+					log.Printf("cwxd: history save: %v", err)
+				}
+			}
+		}()
+	}
+
+	agentL, err := net.Listen("tcp", *agentAddr)
+	if err != nil {
+		log.Fatalf("cwxd: agent listener: %v", err)
+	}
+	ctlL, err := net.Listen("tcp", *ctlAddr)
+	if err != nil {
+		log.Fatalf("cwxd: ctl listener: %v", err)
+	}
+	log.Printf("cwxd: cluster %q, agents on %s, control on %s", *cluster, agentL.Addr(), ctlL.Addr())
+
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ServeAgents(agentL) }()
+	go func() { errc <- srv.ServeCtl(ctlL) }()
+	if err := <-errc; err != nil {
+		fmt.Fprintln(os.Stderr, "cwxd:", err)
+		os.Exit(1)
+	}
+}
+
+// installRules arms the event rules: the administrator's rule file when
+// given, otherwise the protective defaults every deployment ships with.
+func installRules(srv *core.Server, rulesFile string) {
+	if rulesFile != "" {
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			log.Fatalf("cwxd: %v", err)
+		}
+		defer f.Close()
+		rules, err := events.ParseRules(f)
+		if err != nil {
+			log.Fatalf("cwxd: %v", err)
+		}
+		for _, r := range rules {
+			if err := srv.Engine().AddRule(r); err != nil {
+				log.Fatalf("cwxd: rule %s: %v", r.Name, err)
+			}
+		}
+		log.Printf("cwxd: %d event rules loaded from %s", len(rules), rulesFile)
+		return
+	}
+	for _, r := range []events.Rule{
+		{Name: "overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85, Action: events.ActPowerOff, Notify: true},
+		{Name: "fan-failure", Metric: "hw.fan.ok", Op: events.LT, Threshold: 1, Sustain: 2, Notify: true},
+		{Name: "swap-storm", Metric: "swap.used.pct", Op: events.GT, Threshold: 90, Notify: true},
+		{Name: "load-runaway", Metric: "load.1", Op: events.GT, Threshold: 50, Sustain: 5, Notify: true},
+	} {
+		if err := srv.Engine().AddRule(r); err != nil {
+			log.Fatalf("cwxd: rule %s: %v", r.Name, err)
+		}
+	}
+}
+
+// saveHistory writes the store atomically via a temp file rename.
+func saveHistory(srv *core.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.History().SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,13 @@
+// Package clusterworx is a from-scratch reproduction of "ClusterWorX®: A
+// Framework to Manage Large Clusters Effectively" (Warschko, IPPS 2003):
+// a complete Linux-cluster management stack — monitoring pipeline
+// (gathering / consolidation / transmission), event engine with smart
+// notification, ICE Box power/console management, LinuxBIOS vs legacy
+// firmware boot, reliable-multicast disk cloning, and a SLURM-style
+// resource manager — built on a deterministic discrete-event simulation of
+// the cluster hardware.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
+// measured results, and bench_test.go in this directory for the benchmark
+// harness that regenerates every quantitative claim in the paper.
+package clusterworx

@@ -1,0 +1,110 @@
+// Thermal runaway: the paper's motivating event-engine scenario (§5.2) —
+// "powering down a node on CPU fan failure to prevent the CPU from
+// burning". A compute node's fan dies under full load; the administrator's
+// threshold rule powers the node down through its ICE Box before the
+// silicon reaches the damage temperature, and exactly one notification
+// goes out. A control run without the rule shows the counterfactual.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"clusterworx/internal/core"
+	"clusterworx/internal/events"
+	"clusterworx/internal/node"
+)
+
+func main() {
+	fmt.Println("=== arm 1: no event rule (what the paper is protecting against) ===")
+	burn(false)
+	fmt.Println()
+	fmt.Println("=== arm 2: rule 'hw.temp.cpu > 85 -> power-off' armed ===")
+	burn(true)
+}
+
+func burn(protected bool) {
+	sim, err := core.NewSim(core.SimConfig{Nodes: 8, Cluster: "thermal"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Stop()
+
+	if protected {
+		if err := sim.Server.Engine().AddRule(events.Rule{
+			Name:      "fan-overtemp",
+			Metric:    "hw.temp.cpu",
+			Op:        events.GT,
+			Threshold: 85,
+			Action:    events.ActPowerOff,
+			Notify:    true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sim.PowerOnAll()
+	sim.Advance(30 * time.Second)
+
+	victim := sim.Node("node003")
+	victim.SetLoad(1) // full tilt: steady state ~70 °C with a working fan
+	sim.Advance(5 * time.Minute)
+	fmt.Printf("t=%-6s node003 %-8s temp=%.1f°C (fan ok, full load)\n",
+		sim.Clk.Now().Round(time.Second), victim.State(), victim.Temperature())
+
+	victim.FailFan()
+	fmt.Println("        *** CPU fan fails ***")
+
+	for i := 0; i < 8; i++ {
+		sim.Advance(30 * time.Second)
+		fmt.Printf("t=%-6s node003 %-8s temp=%.1f°C damaged=%v\n",
+			sim.Clk.Now().Round(time.Second), victim.State(), victim.Temperature(), victim.Damaged())
+		if victim.State() == node.PowerOff {
+			break
+		}
+	}
+	sim.Advance(10 * time.Minute)
+
+	fmt.Printf("outcome: state=%v damaged=%v peak-rule-log=%d notifications=%d\n",
+		victim.State(), victim.Damaged(), len(sim.Server.Engine().Log()), sim.Mailer.Count())
+	for _, m := range sim.Mailer.Messages() {
+		fmt.Printf("--- notification ---\n%s\n%s", m.Subject, indent(m.Body))
+	}
+	if protected {
+		if victim.Damaged() {
+			log.Fatal("BUG: protected node burned")
+		}
+		// The admin replaces the fan and brings the node back — the event
+		// re-arms automatically for next time.
+		victim.RepairFan()
+		if err := sim.Server.PowerOn("node003"); err != nil {
+			log.Fatal(err)
+		}
+		sim.Advance(time.Minute)
+		fmt.Printf("after fan replacement and power-on: %v\n", victim.State())
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module clusterworx
+
+go 1.22

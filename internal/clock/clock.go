@@ -1,0 +1,217 @@
+// Package clock provides a deterministic discrete-event virtual clock.
+//
+// All cluster simulation in this repository (boot sequences, thermal
+// dynamics, cloning transfers, job scheduling) runs on a Clock rather than
+// wall time, so a twelve-minute cloning run completes in milliseconds and
+// every experiment is reproducible. Events scheduled for the same instant
+// run in scheduling order.
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is not usable; call New.
+//
+// Time only moves when Advance, Step, or RunUntilIdle is called, and events
+// run synchronously on the calling goroutine. Methods are safe for
+// concurrent use, but event callbacks run with the clock unlocked, so a
+// callback may schedule further events.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	running bool
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	c       *Clock
+	ev      *event
+	stopped bool
+}
+
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when removed
+}
+
+// New returns a Clock starting at time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from the clock's epoch.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules fn to run d after the current virtual time.
+// A negative d is treated as zero. The returned Timer can cancel the call.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := &event{at: c.now + d, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return &Timer{c: c, ev: ev}
+}
+
+// At schedules fn at an absolute virtual time. Times in the past run at the
+// current instant.
+func (c *Clock) At(t time.Duration, fn func()) *Timer {
+	c.mu.Lock()
+	d := t - c.now
+	c.mu.Unlock()
+	return c.AfterFunc(d, fn)
+}
+
+// Stop cancels the timer. It reports whether the call was prevented from
+// running (false if it already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.stopped || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.c.queue, t.ev.index)
+	t.stopped = true
+	return true
+}
+
+// Advance moves virtual time forward by d, running every event that falls
+// due, in timestamp order. Events scheduled during Advance also run if they
+// fall within the window.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: negative advance %v", d))
+	}
+	c.mu.Lock()
+	deadline := c.now + d
+	c.runLocked(deadline)
+	c.now = deadline
+	c.mu.Unlock()
+}
+
+// RunUntil advances to absolute virtual time t, running due events.
+// It panics if t is in the past.
+func (c *Clock) RunUntil(t time.Duration) {
+	c.mu.Lock()
+	if t < c.now {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("clock: RunUntil(%v) before now %v", t, c.now))
+	}
+	c.runLocked(t)
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Step runs the single next pending event, jumping time to it. It reports
+// whether an event ran.
+func (c *Clock) Step() bool {
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*event)
+	c.now = ev.at
+	c.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// RunUntilIdle runs events until none remain, jumping time forward as
+// needed. It returns the number of events executed. A safety cap guards
+// against runaway self-rescheduling loops.
+func (c *Clock) RunUntilIdle() int {
+	const cap = 50_000_000
+	n := 0
+	for c.Step() {
+		n++
+		if n >= cap {
+			panic("clock: RunUntilIdle exceeded event cap; self-rescheduling loop?")
+		}
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// NextAt returns the virtual time of the next pending event and whether one
+// exists.
+func (c *Clock) NextAt() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	return c.queue[0].at, true
+}
+
+// runLocked executes all events with at <= deadline. The clock mutex must be
+// held; it is released around each callback.
+func (c *Clock) runLocked(deadline time.Duration) {
+	for {
+		if len(c.queue) == 0 || c.queue[0].at > deadline {
+			return
+		}
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.fn()
+		c.mu.Lock()
+	}
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,206 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroStart(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("new clock has %d pending events", c.Pending())
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() after zero advance = %v, want 5s", got)
+	}
+}
+
+func TestAfterFuncFiresAtDeadline(t *testing.T) {
+	c := New()
+	var firedAt time.Duration = -1
+	c.AfterFunc(10*time.Second, func() { firedAt = c.Now() })
+
+	c.Advance(9 * time.Second)
+	if firedAt != -1 {
+		t.Fatalf("fired early at %v", firedAt)
+	}
+	c.Advance(time.Second)
+	if firedAt != 10*time.Second {
+		t.Fatalf("fired at %v, want 10s", firedAt)
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	ran := false
+	c.AfterFunc(-time.Second, func() { ran = true })
+	c.Advance(0)
+	if !ran {
+		t.Fatal("negative-delay event did not run on next advance")
+	}
+}
+
+func TestSameInstantOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	ran := false
+	tm := c.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	c.Advance(2 * time.Second)
+	if ran {
+		t.Fatal("stopped timer still ran")
+	}
+}
+
+func TestStopAfterFireReportsFalse(t *testing.T) {
+	c := New()
+	tm := c.AfterFunc(time.Second, func() {})
+	c.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the timer fired")
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	c.AfterFunc(time.Second, func() {
+		times = append(times, c.Now())
+		c.AfterFunc(time.Second, func() {
+			times = append(times, c.Now())
+		})
+	})
+	c.Advance(3 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("chained events ran at %v, want [1s 2s]", times)
+	}
+}
+
+func TestStepJumpsToNextEvent(t *testing.T) {
+	c := New()
+	c.AfterFunc(time.Hour, func() {})
+	if !c.Step() {
+		t.Fatal("Step() = false with a pending event")
+	}
+	if c.Now() != time.Hour {
+		t.Fatalf("Now() = %v after Step, want 1h", c.Now())
+	}
+	if c.Step() {
+		t.Fatal("Step() = true with empty queue")
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	c := New()
+	count := 0
+	var rec func(left int)
+	rec = func(left int) {
+		count++
+		if left > 0 {
+			c.AfterFunc(time.Millisecond, func() { rec(left - 1) })
+		}
+	}
+	c.AfterFunc(time.Millisecond, func() { rec(99) })
+	n := c.RunUntilIdle()
+	if n != 100 || count != 100 {
+		t.Fatalf("RunUntilIdle ran %d events, callback count %d; want 100/100", n, count)
+	}
+}
+
+func TestRunUntilPanicsOnPast(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil into the past did not panic")
+		}
+	}()
+	c.RunUntil(time.Second)
+}
+
+func TestAtAbsolute(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Second)
+	var at time.Duration
+	c.At(25*time.Second, func() { at = c.Now() })
+	c.RunUntil(30 * time.Second)
+	if at != 25*time.Second {
+		t.Fatalf("At event ran at %v, want 25s", at)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	c := New()
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("NextAt ok on empty clock")
+	}
+	c.AfterFunc(7*time.Second, func() {})
+	c.AfterFunc(3*time.Second, func() {})
+	at, ok := c.NextAt()
+	if !ok || at != 3*time.Second {
+		t.Fatalf("NextAt = %v,%v; want 3s,true", at, ok)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and all fire after advancing past the max.
+func TestPropertyFiringOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		var fired []time.Duration
+		var max time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			c.AfterFunc(d, func() { fired = append(fired, c.Now()) })
+		}
+		c.Advance(max + time.Second)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package console implements serial-console capture as the ICE Box
+// provides it (paper §3.3): every byte a node writes to its serial port is
+// buffered in a bounded ring — "up to 16k" — so that an administrator can
+// perform post-mortem analysis on a node that has since crashed or lost
+// power, and optionally streamed to attached live listeners.
+package console
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultRingSize is the ICE Box per-port buffer size.
+const DefaultRingSize = 16 << 10
+
+// Ring is a fixed-capacity byte ring that keeps the most recent writes.
+// The zero value is unusable; call NewRing.
+type Ring struct {
+	buf   []byte
+	start int
+	size  int
+	total int64
+}
+
+// NewRing returns a ring holding the last capacity bytes written.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]byte, capacity)}
+}
+
+// Write appends p, evicting the oldest bytes when full. It never fails.
+func (r *Ring) Write(p []byte) (int, error) {
+	n := len(p)
+	r.total += int64(n)
+	if n >= len(r.buf) {
+		// Only the tail survives.
+		copy(r.buf, p[n-len(r.buf):])
+		r.start = 0
+		r.size = len(r.buf)
+		return n, nil
+	}
+	end := (r.start + r.size) % len(r.buf)
+	first := copy(r.buf[end:], p)
+	copy(r.buf, p[first:])
+	r.size += n
+	if r.size > len(r.buf) {
+		r.start = (r.start + r.size - len(r.buf)) % len(r.buf)
+		r.size = len(r.buf)
+	}
+	return n, nil
+}
+
+// Snapshot returns the buffered bytes, oldest first.
+func (r *Ring) Snapshot() []byte {
+	out := make([]byte, r.size)
+	first := copy(out, r.buf[r.start:min(r.start+r.size, len(r.buf))])
+	copy(out[first:], r.buf[:r.size-first])
+	return out
+}
+
+// TotalWritten returns the number of bytes ever written, including evicted
+// ones.
+func (r *Ring) TotalWritten() int64 { return r.total }
+
+// Len returns the number of buffered bytes.
+func (r *Ring) Len() int { return r.size }
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Reset discards buffered content but keeps the total counter.
+func (r *Ring) Reset() {
+	r.start, r.size = 0, 0
+}
+
+// Console is one serial port's capture point: a post-mortem ring plus any
+// number of live listeners (telnet sessions, log files). Safe for
+// concurrent use.
+type Console struct {
+	mu        sync.Mutex
+	ring      *Ring
+	listeners []io.Writer
+}
+
+// New returns a console with the given ring capacity (0 = 16 KiB).
+func New(ringSize int) *Console {
+	return &Console{ring: NewRing(ringSize)}
+}
+
+// Write records p in the ring and forwards it to every live listener.
+// Listener errors are ignored: a stuck telnet client must not block a
+// node's serial output.
+func (c *Console) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring.Write(p)
+	for _, l := range c.listeners {
+		l.Write(p) //nolint:errcheck // listeners are best-effort
+	}
+	return len(p), nil
+}
+
+// WriteString is a convenience for firmware and kernel messages.
+func (c *Console) WriteString(s string) {
+	c.Write([]byte(s)) //nolint:errcheck // ring writes cannot fail
+}
+
+// Attach adds a live listener receiving all subsequent output.
+func (c *Console) Attach(w io.Writer) {
+	c.mu.Lock()
+	c.listeners = append(c.listeners, w)
+	c.mu.Unlock()
+}
+
+// Detach removes a previously attached listener.
+func (c *Console) Detach(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, l := range c.listeners {
+		if l == w {
+			c.listeners = append(c.listeners[:i], c.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// PostMortem returns the ring contents — the last ≤16 KiB the node wrote,
+// even if it is now dead.
+func (c *Console) PostMortem() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Snapshot()
+}
+
+// TotalWritten returns all bytes ever seen on this console.
+func (c *Console) TotalWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.TotalWritten()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package console
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasicWrite(t *testing.T) {
+	r := NewRing(10)
+	r.Write([]byte("hello"))
+	if got := string(r.Snapshot()); got != "hello" {
+		t.Fatalf("snapshot %q", got)
+	}
+	if r.Len() != 5 || r.Cap() != 10 || r.TotalWritten() != 5 {
+		t.Fatalf("len/cap/total = %d/%d/%d", r.Len(), r.Cap(), r.TotalWritten())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(8)
+	r.Write([]byte("abcdefgh"))
+	r.Write([]byte("XYZ"))
+	if got := string(r.Snapshot()); got != "defghXYZ" {
+		t.Fatalf("snapshot %q, want tail", got)
+	}
+	if r.TotalWritten() != 11 {
+		t.Fatalf("total = %d", r.TotalWritten())
+	}
+}
+
+func TestRingOversizeWrite(t *testing.T) {
+	r := NewRing(4)
+	r.Write([]byte("0123456789"))
+	if got := string(r.Snapshot()); got != "6789" {
+		t.Fatalf("snapshot %q", got)
+	}
+}
+
+func TestRingWraparoundMany(t *testing.T) {
+	r := NewRing(16)
+	var full bytes.Buffer
+	for i := 0; i < 100; i++ {
+		chunk := []byte(strings.Repeat(string(rune('a'+i%26)), i%7+1))
+		r.Write(chunk)
+		full.Write(chunk)
+	}
+	all := full.Bytes()
+	want := string(all[len(all)-16:])
+	if got := string(r.Snapshot()); got != want {
+		t.Fatalf("snapshot %q, want %q", got, want)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(8)
+	r.Write([]byte("data"))
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if r.TotalWritten() != 4 {
+		t.Fatal("reset cleared total counter")
+	}
+}
+
+func TestDefaultRingSize(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != DefaultRingSize {
+		t.Fatalf("default cap = %d", r.Cap())
+	}
+	if DefaultRingSize != 16<<10 {
+		t.Fatal("ICE Box buffer must be 16k per the paper")
+	}
+}
+
+func TestConsolePostMortem(t *testing.T) {
+	c := New(16)
+	c.WriteString("boot ok\n")
+	c.WriteString("kernel panic!\n")
+	pm := string(c.PostMortem())
+	if !strings.Contains(pm, "panic") {
+		t.Fatalf("post-mortem %q", pm)
+	}
+	if c.TotalWritten() != int64(len("boot ok\nkernel panic!\n")) {
+		t.Fatalf("total = %d", c.TotalWritten())
+	}
+}
+
+func TestConsoleListeners(t *testing.T) {
+	c := New(64)
+	var a, b bytes.Buffer
+	c.Attach(&a)
+	c.WriteString("one")
+	c.Attach(&b)
+	c.WriteString("two")
+	c.Detach(&a)
+	c.WriteString("three")
+	if a.String() != "onetwo" {
+		t.Fatalf("a = %q", a.String())
+	}
+	if b.String() != "twothree" {
+		t.Fatalf("b = %q", b.String())
+	}
+	// Detaching an unknown writer is a no-op.
+	c.Detach(&bytes.Buffer{})
+}
+
+// Property: the ring always holds exactly the suffix of everything
+// written, capped at capacity.
+func TestPropertyRingIsSuffix(t *testing.T) {
+	f := func(chunks [][]byte, capSel uint8) bool {
+		capacity := int(capSel)%64 + 1
+		r := NewRing(capacity)
+		var all []byte
+		for _, c := range chunks {
+			r.Write(c)
+			all = append(all, c...)
+		}
+		want := all
+		if len(want) > capacity {
+			want = want[len(want)-capacity:]
+		}
+		return bytes.Equal(r.Snapshot(), want) && r.TotalWritten() == int64(len(all))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package consolidate implements the consolidation stage of the monitoring
+// pipeline (paper §5.3.2): bringing data from multiple sources at
+// independent gathering rates together on the node, determining which
+// values have changed, filtering, and caching so that simultaneous
+// requests are served from the same data set.
+//
+// The stage runs exclusively on the monitored node "because the node is
+// the gatherer and provider of the monitored data"; only its output (the
+// change set) crosses the network, which is the paper's answer to the
+// network-bandwidth half of the monitoring-overhead problem.
+package consolidate
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Kind classifies a monitored value as static or dynamic (§5.3.2). Static
+// values (CPU type, total memory, kernel version) are expected to change
+// rarely or never and are transmitted only on change — effectively once.
+type Kind uint8
+
+// Value kinds.
+const (
+	Static Kind = iota
+	Dynamic
+)
+
+// String returns "static" or "dynamic".
+func (k Kind) String() string {
+	if k == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Value is one monitored datum. Either Num or Text carries the value,
+// selected by IsText; names are dotted paths like "cpu.load1".
+type Value struct {
+	Name   string
+	Kind   Kind
+	Num    float64
+	Text   string
+	IsText bool
+}
+
+// NumValue constructs a numeric Value.
+func NumValue(name string, kind Kind, v float64) Value {
+	return Value{Name: name, Kind: kind, Num: v}
+}
+
+// TextValue constructs a string Value.
+func TextValue(name string, kind Kind, s string) Value {
+	return Value{Name: name, Kind: kind, Text: s, IsText: true}
+}
+
+// Equal reports whether two values carry the same payload (name and kind
+// are assumed to match).
+func (v Value) Equal(o Value) bool {
+	if v.IsText != o.IsText {
+		return false
+	}
+	if v.IsText {
+		return v.Text == o.Text
+	}
+	return v.Num == o.Num
+}
+
+// Render returns the value payload as text, the form both the GUI and the
+// wire format use.
+func (v Value) Render() string {
+	if v.IsText {
+		return v.Text
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// Source produces a batch of values when collected. A source is typically
+// one gatherer (meminfo, stat, ...) wrapped by the monitor registry.
+type Source interface {
+	// Name identifies the source in error reports.
+	Name() string
+	// Collect appends current values to dst and returns it.
+	Collect(dst []Value) ([]Value, error)
+}
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource struct {
+	SourceName string
+	Fn         func(dst []Value) ([]Value, error)
+}
+
+// Name implements Source.
+func (s FuncSource) Name() string { return s.SourceName }
+
+// Collect implements Source.
+func (s FuncSource) Collect(dst []Value) ([]Value, error) { return s.Fn(dst) }
+
+// Stats counts consolidation activity for the E5 experiment.
+type Stats struct {
+	Ticks          int64 // consolidation rounds
+	Collected      int64 // values gathered in total
+	Changed        int64 // values whose payload differed from last time
+	Suppressed     int64 // values filtered out as unchanged
+	CacheHits      int64 // snapshots served from cache
+	CacheBuilds    int64 // snapshots built fresh
+	SourceFailures int64 // collect errors
+}
+
+// Consolidator merges sources at independent rates and tracks change
+// state. Methods are safe for concurrent use: one goroutine ticks, any
+// number snapshot.
+type Consolidator struct {
+	mu      sync.Mutex
+	sources []*sourceState
+	current map[string]Value
+	order   []string
+	ordered bool
+	dirty   map[string]struct{}
+	tick    int64
+
+	cacheSnap  []Value
+	cacheTick  int64
+	cacheValid bool
+
+	stats   Stats
+	onError func(source string, err error)
+
+	scratch []Value
+}
+
+type sourceState struct {
+	src   Source
+	every int64 // collect on ticks where tick % every == phase
+	phase int64
+}
+
+// New returns an empty Consolidator.
+func New() *Consolidator {
+	return &Consolidator{
+		current: make(map[string]Value),
+		dirty:   make(map[string]struct{}),
+	}
+}
+
+// OnError installs a hook invoked when a source fails to collect. Failures
+// are otherwise counted and skipped: one broken monitor must not take down
+// node monitoring.
+func (c *Consolidator) OnError(fn func(source string, err error)) {
+	c.mu.Lock()
+	c.onError = fn
+	c.mu.Unlock()
+}
+
+// AddSource registers src to be collected every 'every' ticks (minimum 1).
+// Independent rates are the paper's way of sampling cheap files often and
+// expensive ones rarely.
+func (c *Consolidator) AddSource(src Source, every int) {
+	if every < 1 {
+		every = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources = append(c.sources, &sourceState{
+		src:   src,
+		every: int64(every),
+		phase: int64(len(c.sources)) % int64(every), // stagger starts
+	})
+}
+
+// Tick runs one consolidation round: collects every due source, updates
+// the current set, and marks changed values dirty. It invalidates the
+// snapshot cache only if something changed.
+func (c *Consolidator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Ticks++
+	changedAny := false
+	for _, st := range c.sources {
+		if c.tick%st.every != st.phase {
+			continue
+		}
+		var err error
+		c.scratch, err = st.src.Collect(c.scratch[:0])
+		if err != nil {
+			c.stats.SourceFailures++
+			if c.onError != nil {
+				fn, name := c.onError, st.src.Name()
+				c.mu.Unlock()
+				fn(name, err)
+				c.mu.Lock()
+			}
+			continue
+		}
+		for _, v := range c.scratch {
+			c.stats.Collected++
+			old, seen := c.current[v.Name]
+			if seen && old.Equal(v) {
+				c.stats.Suppressed++
+				continue
+			}
+			if !seen {
+				c.order = append(c.order, v.Name)
+				c.ordered = false
+			}
+			c.current[v.Name] = v
+			c.dirty[v.Name] = struct{}{}
+			c.stats.Changed++
+			changedAny = true
+		}
+	}
+	c.tick++
+	if changedAny {
+		c.cacheValid = false
+	}
+}
+
+// Snapshot returns the full current value set in stable name order.
+// Snapshots between ticks are served from a shared cache — the paper's
+// request cache "so that simultaneous requests can be served using the
+// same set of data". Callers must not modify the returned slice.
+func (c *Consolidator) Snapshot() []Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cacheValid {
+		c.stats.CacheHits++
+		return c.cacheSnap
+	}
+	c.stats.CacheBuilds++
+	c.sortOrderLocked()
+	snap := make([]Value, 0, len(c.order))
+	for _, name := range c.order {
+		snap = append(snap, c.current[name])
+	}
+	c.cacheSnap = snap
+	c.cacheTick = c.tick
+	c.cacheValid = true
+	return snap
+}
+
+// Delta returns the values that changed since the previous Delta call, in
+// stable name order, and clears the change set. This is what the
+// transmission stage ships: "only data that has changed since the last
+// transmission".
+func (c *Consolidator) Delta() []Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.dirty) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.dirty))
+	for name := range c.dirty {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Value, 0, len(names))
+	for _, name := range names {
+		out = append(out, c.current[name])
+	}
+	c.dirty = make(map[string]struct{}, len(c.dirty))
+	return out
+}
+
+// PendingChanges returns the number of values awaiting transmission.
+func (c *Consolidator) PendingChanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirty)
+}
+
+// Get returns the current value by name.
+func (c *Consolidator) Get(name string) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.current[name]
+	return v, ok
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Consolidator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Consolidator) sortOrderLocked() {
+	if !c.ordered {
+		sort.Strings(c.order)
+		c.ordered = true
+	}
+}

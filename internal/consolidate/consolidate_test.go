@@ -1,0 +1,290 @@
+package consolidate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// counterSource emits a static value and a dynamic counter that changes
+// every 'changeEvery' collections.
+type counterSource struct {
+	name        string
+	calls       int
+	changeEvery int
+	fail        error
+}
+
+func (s *counterSource) Name() string { return s.name }
+
+func (s *counterSource) Collect(dst []Value) ([]Value, error) {
+	if s.fail != nil {
+		return dst, s.fail
+	}
+	s.calls++
+	dyn := s.calls
+	if s.changeEvery > 1 {
+		dyn = s.calls / s.changeEvery
+	}
+	dst = append(dst,
+		TextValue(s.name+".type", Static, "Pentium III"),
+		NumValue(s.name+".count", Dynamic, float64(dyn)),
+	)
+	return dst, nil
+}
+
+func TestKindString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestValueEqualAndRender(t *testing.T) {
+	a := NumValue("x", Dynamic, 1.5)
+	b := NumValue("x", Dynamic, 1.5)
+	c := NumValue("x", Dynamic, 2)
+	d := TextValue("x", Dynamic, "1.5")
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("numeric equality wrong")
+	}
+	if !d.Equal(TextValue("x", Static, "1.5")) {
+		t.Fatal("text equality must ignore kind")
+	}
+	if a.Render() != "1.5" || d.Render() != "1.5" {
+		t.Fatalf("Render = %q / %q", a.Render(), d.Render())
+	}
+}
+
+func TestFirstTickMarksEverythingDirty(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s"}, 1)
+	c.Tick()
+	delta := c.Delta()
+	if len(delta) != 2 {
+		t.Fatalf("first delta has %d values, want 2", len(delta))
+	}
+}
+
+func TestStaticSentOnlyOnce(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s"}, 1)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+		delta := c.Delta()
+		for _, v := range delta {
+			if v.Name == "s.type" && i > 0 {
+				t.Fatalf("static value re-sent on tick %d", i)
+			}
+		}
+	}
+	st := c.Stats()
+	// 10 ticks × 2 values collected; static suppressed 9 times.
+	if st.Collected != 20 {
+		t.Errorf("Collected = %d, want 20", st.Collected)
+	}
+	if st.Suppressed != 9 {
+		t.Errorf("Suppressed = %d, want 9", st.Suppressed)
+	}
+}
+
+func TestUnchangedDynamicSuppressed(t *testing.T) {
+	c := New()
+	src := &counterSource{name: "s", changeEvery: 5}
+	c.AddSource(src, 1)
+	sent := 0
+	for i := 0; i < 50; i++ {
+		c.Tick()
+		for _, v := range c.Delta() {
+			if v.Name == "s.count" {
+				sent++
+			}
+		}
+	}
+	// counter value changes every 5 collections → ~10 transmissions.
+	if sent < 9 || sent > 11 {
+		t.Fatalf("dynamic value sent %d times over 50 ticks, want ~10", sent)
+	}
+}
+
+func TestIndependentRates(t *testing.T) {
+	c := New()
+	fast := &counterSource{name: "fast"}
+	slow := &counterSource{name: "slow"}
+	c.AddSource(fast, 1)
+	c.AddSource(slow, 10)
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if fast.calls != 100 {
+		t.Errorf("fast collected %d times, want 100", fast.calls)
+	}
+	if slow.calls != 10 {
+		t.Errorf("slow collected %d times, want 10", slow.calls)
+	}
+}
+
+func TestSnapshotCache(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s"}, 1)
+	c.Tick()
+	a := c.Snapshot()
+	b := c.Snapshot()
+	if &a[0] != &b[0] {
+		t.Fatal("snapshots between ticks did not share the cache")
+	}
+	st := c.Stats()
+	if st.CacheBuilds != 1 || st.CacheHits != 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+	c.Tick() // counter changed → cache invalid
+	d := c.Snapshot()
+	if len(d) != 2 {
+		t.Fatalf("snapshot has %d values", len(d))
+	}
+	if d[0].Name != "s.count" || d[0].Num == a[0].Num {
+		t.Fatalf("snapshot after tick shows stale value: %+v vs %+v", d[0], a[0])
+	}
+}
+
+func TestSnapshotCacheSurvivesNoChangeTick(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s", changeEvery: 1000}, 1)
+	c.Tick()
+	a := c.Snapshot()
+	c.Tick() // nothing changed
+	b := c.Snapshot()
+	if &a[0] != &b[0] {
+		t.Fatal("cache invalidated although no value changed")
+	}
+}
+
+func TestSnapshotOrderStable(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "zz"}, 1)
+	c.AddSource(&counterSource{name: "aa"}, 1)
+	c.Tick()
+	snap := c.Snapshot()
+	want := []string{"aa.count", "aa.type", "zz.count", "zz.type"}
+	for i, v := range snap {
+		if v.Name != want[i] {
+			t.Fatalf("snapshot order %v", snap)
+		}
+	}
+}
+
+func TestSourceFailureIsolated(t *testing.T) {
+	c := New()
+	bad := &counterSource{name: "bad", fail: errors.New("boom")}
+	good := &counterSource{name: "good"}
+	c.AddSource(bad, 1)
+	c.AddSource(good, 1)
+	var failedSource string
+	c.OnError(func(src string, err error) { failedSource = src })
+	c.Tick()
+	if failedSource != "bad" {
+		t.Fatalf("error hook got %q", failedSource)
+	}
+	if _, ok := c.Get("good.count"); !ok {
+		t.Fatal("good source not collected after bad source failed")
+	}
+	if c.Stats().SourceFailures != 1 {
+		t.Fatalf("SourceFailures = %d", c.Stats().SourceFailures)
+	}
+}
+
+func TestGet(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s"}, 1)
+	if _, ok := c.Get("s.count"); ok {
+		t.Fatal("Get before any tick succeeded")
+	}
+	c.Tick()
+	v, ok := c.Get("s.count")
+	if !ok || v.Num != 1 {
+		t.Fatalf("Get = %+v,%v", v, ok)
+	}
+}
+
+func TestDeltaEmptyWhenClean(t *testing.T) {
+	c := New()
+	c.AddSource(&counterSource{name: "s", changeEvery: 100}, 1)
+	c.Tick()
+	c.Delta()
+	c.Tick() // no change
+	if d := c.Delta(); d != nil {
+		t.Fatalf("delta after unchanged tick = %v", d)
+	}
+	if c.PendingChanges() != 0 {
+		t.Fatal("pending changes nonzero when clean")
+	}
+}
+
+// Property: for any change pattern, union of deltas equals the final
+// snapshot state (no change is lost, none invented).
+func TestPropertyDeltasCoverSnapshot(t *testing.T) {
+	f := func(pattern []byte) bool {
+		c := New()
+		i := 0
+		src := FuncSource{SourceName: "p", Fn: func(dst []Value) ([]Value, error) {
+			v := float64(0)
+			if i < len(pattern) {
+				v = float64(pattern[i] % 8)
+			}
+			i++
+			dst = append(dst, NumValue("p.v", Dynamic, v))
+			return dst, nil
+		}}
+		c.AddSource(src, 1)
+		last := make(map[string]Value)
+		for range pattern {
+			c.Tick()
+			for _, v := range c.Delta() {
+				last[v.Name] = v
+			}
+		}
+		if len(pattern) == 0 {
+			return true
+		}
+		snap := c.Snapshot()
+		for _, v := range snap {
+			if got, ok := last[v.Name]; !ok || !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: suppressed + changed == collected.
+func TestPropertyStatsBalance(t *testing.T) {
+	f := func(ticks uint8, changeEvery uint8) bool {
+		c := New()
+		c.AddSource(&counterSource{name: "s", changeEvery: int(changeEvery%7) + 1}, 1)
+		for i := 0; i < int(ticks); i++ {
+			c.Tick()
+		}
+		st := c.Stats()
+		return st.Collected == st.Changed+st.Suppressed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySources(t *testing.T) {
+	c := New()
+	for i := 0; i < 50; i++ {
+		c.AddSource(&counterSource{name: fmt.Sprintf("s%02d", i)}, 1+i%5)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	snap := c.Snapshot()
+	if len(snap) != 100 {
+		t.Fatalf("snapshot has %d values, want 100", len(snap))
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/monitor"
+	"clusterworx/internal/node"
+	"clusterworx/internal/transmit"
+)
+
+// Transport ships one change set from an agent to the server. In-process
+// simulation wires it straight to Server.HandleValues; the network daemon
+// wires it through the framed, compressed wire protocol.
+type Transport func(nodeName string, values []consolidate.Value) error
+
+// AgentConfig configures a node agent.
+type AgentConfig struct {
+	Node *node.Node
+	// Period is the consolidation tick (default one second; the paper's
+	// pipeline benchmarks sample far faster, but one hertz is the
+	// practical monitoring default).
+	Period time.Duration
+	// Heartbeat forces a transmission even with no changes, so the server
+	// can distinguish "idle node" from "dead node" (default 5 s).
+	Heartbeat time.Duration
+	// Plugins is the optional administrator plug-in set.
+	Plugins *monitor.PluginSet
+	// Transport delivers change sets.
+	Transport Transport
+}
+
+// Agent is the per-node monitoring daemon: gathering + consolidation +
+// transmission, driven by the virtual clock. The agent only runs while the
+// node's OS runs — when the node dies, so does its agent, which is exactly
+// how the server notices.
+type Agent struct {
+	cfg     AgentConfig
+	clk     *clock.Clock
+	cons    *consolidate.Consolidator
+	set     *monitor.Set
+	timer   *clock.Timer
+	stopped bool
+
+	lastSent time.Duration
+	sendErrs int
+	sent     int
+}
+
+// NewAgent builds and starts an agent on the node's clock.
+func NewAgent(clk *clock.Clock, cfg AgentConfig) (*Agent, error) {
+	if cfg.Period <= 0 {
+		cfg.Period = time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 5 * time.Second
+	}
+	n := cfg.Node
+	set, err := monitor.NewSet(monitor.Config{
+		FS:       n.FS(),
+		Hostname: n.Name(),
+		Now:      clk.Now,
+		Probes:   n,
+		Echo:     n.Reachable,
+		Plugins:  cfg.Plugins,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		set.Close()
+		return nil, err
+	}
+	a := &Agent{cfg: cfg, clk: clk, cons: cons, set: set}
+	a.timer = clk.AfterFunc(cfg.Period, a.tick)
+	return a, nil
+}
+
+// Consolidator exposes the agent's consolidation stage (for stats).
+func (a *Agent) Consolidator() *consolidate.Consolidator { return a.cons }
+
+// SendErrors returns the number of failed transmissions.
+func (a *Agent) SendErrors() int { return a.sendErrs }
+
+// Transmissions returns the number of change sets shipped.
+func (a *Agent) Transmissions() int { return a.sent }
+
+// Stop halts the agent loop and releases gatherer files.
+func (a *Agent) Stop() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	a.set.Close() //nolint:errcheck // shutdown path
+}
+
+// tick is one agent period: consolidate, then transmit changes (or a
+// heartbeat). The agent process only exists while the OS runs.
+func (a *Agent) tick() {
+	if a.stopped {
+		return
+	}
+	a.timer = a.clk.AfterFunc(a.cfg.Period, a.tick)
+	if a.cfg.Node.State() != node.Up {
+		return // dead agent: no gathering, no transmission
+	}
+	a.cons.Tick()
+	now := a.clk.Now()
+	delta := a.cons.Delta()
+	if len(delta) == 0 && now-a.lastSent < a.cfg.Heartbeat {
+		return
+	}
+	if a.cfg.Transport == nil {
+		return
+	}
+	if err := a.cfg.Transport(a.cfg.Node.Name(), delta); err != nil {
+		a.sendErrs++
+		return
+	}
+	a.sent++
+	a.lastSent = now
+}
+
+// WireTransport builds a Transport that frames and compresses change sets
+// through a transmit.Writer (the §5.3.3 wire path); the receiving side
+// decodes with ReadWireValues.
+func WireTransport(w *transmit.Writer) Transport {
+	var buf []byte
+	return func(nodeName string, values []consolidate.Value) error {
+		buf = buf[:0]
+		buf = append(buf, nodeName...)
+		buf = append(buf, '\n')
+		buf = transmit.MarshalValues(buf, values)
+		return w.WriteFrame(buf)
+	}
+}
+
+// ReadWireValues decodes one frame produced by WireTransport.
+func ReadWireValues(frame []byte) (nodeName string, values []consolidate.Value, err error) {
+	for i, b := range frame {
+		if b == '\n' {
+			nodeName = string(frame[:i])
+			values, err = transmit.UnmarshalValues(frame[i+1:])
+			return nodeName, values, err
+		}
+	}
+	values, err = transmit.UnmarshalValues(nil)
+	return string(frame), values, err
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clusterworx/internal/events"
+	"clusterworx/internal/node"
+)
+
+// The §5.2 self-healing loop end to end: a server-side connectivity rule
+// power-cycles a node whose kernel wedged, with no administrator involved.
+func TestAutoHealCrashedNode(t *testing.T) {
+	sim := bootSim(t, 4)
+	if err := sim.Server.Engine().AddRule(events.Rule{
+		Name:      "dead-node",
+		Metric:    "net.echo.ok",
+		Op:        events.LT,
+		Threshold: 1,
+		Sustain:   3, // three failed sweeps: not just a slow boot
+		Action:    events.ActPowerCycle,
+		Notify:    true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(time.Minute) // sweeps see everyone alive; rule stays armed
+	if got := len(sim.Server.Engine().Log()); got != 0 {
+		t.Fatalf("rule fired %d times on a healthy cluster", got)
+	}
+
+	victim := sim.Node("node002")
+	victim.Crash("scheduler deadlock")
+	if victim.State() != node.Crashed {
+		t.Fatal("crash failed")
+	}
+
+	// Three 5s sweeps to trigger, then the cycle (1s) and boot (~3s).
+	sim.Advance(time.Minute)
+	if victim.State() != node.Up {
+		t.Fatalf("victim = %v; auto-heal failed", victim.State())
+	}
+	log := sim.Server.Engine().Log()
+	if len(log) != 1 || log[0].Action != events.ActPowerCycle || log[0].Node != "node002" {
+		t.Fatalf("event log = %+v", log)
+	}
+	if sim.Mailer.Count() != 1 {
+		t.Fatalf("mails = %d", sim.Mailer.Count())
+	}
+
+	// Healthy again: the rule re-arms. A second crash heals again and
+	// notifies again (automatic re-fire, §5.2).
+	sim.Advance(time.Minute)
+	victim.Crash("deadlock again")
+	sim.Advance(time.Minute)
+	if victim.State() != node.Up {
+		t.Fatalf("second heal failed: %v", victim.State())
+	}
+	if got := len(sim.Server.Engine().Log()); got != 2 {
+		t.Fatalf("event log after second crash = %d entries", got)
+	}
+	if sim.Mailer.Count() != 2 {
+		t.Fatalf("mails after refire = %d", sim.Mailer.Count())
+	}
+}
+
+// The sweep must not resurrect lastSeen: a dead node stays DOWN on the
+// status screen even while the probe keeps reporting about it.
+func TestSweepDoesNotMaskDeadNode(t *testing.T) {
+	sim := bootSim(t, 2)
+	sim.Node("node000").Crash("gone")
+	sim.Advance(time.Minute)
+	for _, st := range sim.Server.Status() {
+		if st.Name == "node000" && st.Alive {
+			t.Fatal("probe traffic made a dead node look alive")
+		}
+	}
+	// And the probe value is visible to clients.
+	v, ok := sim.Server.NodeValue("node000", "net.echo.ok")
+	if !ok || v.Num != 0 {
+		t.Fatalf("echo value = %+v, %v", v, ok)
+	}
+}
+
+func TestEchoSweepDisabled(t *testing.T) {
+	sim, err := NewSim(SimConfig{Nodes: 1, EchoSweep: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Stop()
+	sim.PowerOnAll()
+	sim.Advance(30 * time.Second)
+	sim.Node("node000").Crash("x")
+	sim.Advance(time.Minute)
+	// Without the sweep, only the agent-side echo value exists, frozen at
+	// its last (alive) reading.
+	v, ok := sim.Server.NodeValue("node000", "net.echo.ok")
+	if ok && v.Num == 0 {
+		t.Fatal("echo turned 0 with the sweep disabled; who probed?")
+	}
+}
+
+// A failing NIC accumulates receive errors; a rule on the error counter
+// flags the node — the intro's "locations of the network bottlenecks".
+func TestNetErrorRule(t *testing.T) {
+	sim := bootSim(t, 2)
+	if err := sim.Server.Engine().AddRule(events.Rule{
+		Name: "nic-errors", Metric: "net.eth0.rx.errs", Op: events.GT, Threshold: 100,
+		Notify: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Node("node001").InjectNetErrors(10)
+	sim.Advance(5 * time.Second) // ~50 errors: still under threshold
+	if len(sim.Server.Engine().Log()) != 0 {
+		t.Fatal("rule fired before the counter crossed the threshold")
+	}
+	sim.Advance(2 * time.Minute)
+	log := sim.Server.Engine().Log()
+	if len(log) != 1 || log[0].Node != "node001" {
+		t.Fatalf("event log = %+v", log)
+	}
+	if sim.Mailer.Count() != 1 {
+		t.Fatalf("mails = %d", sim.Mailer.Count())
+	}
+}

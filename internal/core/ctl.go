@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"clusterworx/internal/dashboard"
+)
+
+// This file implements the control protocol the CLI (and, in the original
+// product, the Java GUI tier) speaks to the server: one request line, one
+// response block terminated by a lone "." line. The first response line is
+// "OK" or "ERR <reason>".
+//
+// Requests:
+//
+//	ping
+//	status                      monitoring screen rows
+//	nodes                       registered node names
+//	values <node>               current monitor values
+//	value <node> <metric>       one monitor value
+//	history <node> <metric> [n] most recent n points (default 20)
+//	trend <node> <metric>       least-squares slope per hour
+//	power on|off|cycle <node>   outlet control via the node's ICE Box
+//	reset <node>                reset line
+//	console <node>              post-mortem serial buffer
+//	rules                       event rules
+//	eventlog [n]                most recent firings
+//	images                      image library
+//	chart <node> <metric>       ASCII historical graph (the GUI view)
+//	spark <node> <metric>       one-line sparkline
+//	compare <metric>            per-node stats + mean bars
+//	efficiency                  cluster utilization report
+//	correlate <node> <m1> <m2>  Pearson correlation of two metrics
+//	bios settings|set|flash ... remote LinuxBIOS management (§2)
+//	clone <imageID> <node...>   multicast-clone an image to nodes (§4)
+
+// ServeCtl accepts control connections until the listener closes.
+func (s *Server) ServeCtl(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.serveCtlConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveCtlConn(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			fmt.Fprintf(w, "OK bye\n.\n")
+			w.Flush()
+			return
+		}
+		resp := s.HandleCtl(line)
+		fmt.Fprintf(w, "%s\n.\n", strings.ReplaceAll(resp, "\n.", "\n.."))
+		w.Flush()
+	}
+}
+
+// HandleCtl executes one control request and returns the response block
+// (without the terminating dot line).
+func (s *Server) HandleCtl(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request"
+	}
+	cmd := strings.ToLower(fields[0])
+	switch cmd {
+	case "ping":
+		return "OK pong"
+
+	case "status":
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, st := range s.Status() {
+			state := "DOWN"
+			if st.Alive {
+				state = "up"
+			}
+			fmt.Fprintf(&b, "\n%-12s %-5s values=%-3d load=%-6.2f temp=%-6.1f mem%%=%.1f",
+				st.Name, state, st.Values, st.Load1, st.TempC, st.MemPct)
+		}
+		return b.String()
+
+	case "nodes":
+		return "OK\n" + strings.Join(s.NodeNames(), "\n")
+
+	case "values":
+		if len(fields) != 2 {
+			return "ERR usage: values <node>"
+		}
+		vals := s.NodeValues(fields[1])
+		if vals == nil {
+			return "ERR unknown node " + fields[1]
+		}
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, v := range vals {
+			fmt.Fprintf(&b, "\n%-28s %s", v.Name, v.Render())
+		}
+		return b.String()
+
+	case "value":
+		if len(fields) != 3 {
+			return "ERR usage: value <node> <metric>"
+		}
+		v, ok := s.NodeValue(fields[1], fields[2])
+		if !ok {
+			return fmt.Sprintf("ERR no value %s on %s", fields[2], fields[1])
+		}
+		return "OK " + v.Render()
+
+	case "history":
+		if len(fields) < 3 || len(fields) > 4 {
+			return "ERR usage: history <node> <metric> [n]"
+		}
+		n := 20
+		if len(fields) == 4 {
+			parsed, err := strconv.Atoi(fields[3])
+			if err != nil || parsed <= 0 {
+				return "ERR bad count " + fields[3]
+			}
+			n = parsed
+		}
+		series := s.hist.Series(fields[1], fields[2])
+		if series == nil {
+			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		}
+		pts := series.Range(0, 1<<62)
+		if len(pts) > n {
+			pts = pts[len(pts)-n:]
+		}
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "\n%.3f %g", p.T.Seconds(), p.V)
+		}
+		return b.String()
+
+	case "trend":
+		if len(fields) != 3 {
+			return "ERR usage: trend <node> <metric>"
+		}
+		series := s.hist.Series(fields[1], fields[2])
+		if series == nil {
+			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		}
+		slope, ok := series.Trend(0, 1<<62)
+		if !ok {
+			return "ERR not enough points"
+		}
+		return fmt.Sprintf("OK %g per hour", slope)
+
+	case "power":
+		if len(fields) != 3 {
+			return "ERR usage: power on|off|cycle <node>"
+		}
+		var err error
+		switch strings.ToLower(fields[1]) {
+		case "on":
+			err = s.PowerOn(fields[2])
+		case "off":
+			err = s.PowerOff(fields[2])
+		case "cycle":
+			err = s.PowerCycle(fields[2])
+		default:
+			return "ERR unknown power verb " + fields[1]
+		}
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %s power %s", fields[2], strings.ToLower(fields[1]))
+
+	case "reset":
+		if len(fields) != 2 {
+			return "ERR usage: reset <node>"
+		}
+		if err := s.Reset(fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + fields[1] + " reset"
+
+	case "console":
+		if len(fields) != 2 {
+			return "ERR usage: console <node>"
+		}
+		data, err := s.Console(fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK console dump follows\n" + string(data)
+
+	case "rules":
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, r := range s.engine.Rules() {
+			fmt.Fprintf(&b, "\n%s", r)
+		}
+		return b.String()
+
+	case "eventlog":
+		n := 20
+		if len(fields) == 2 {
+			parsed, err := strconv.Atoi(fields[1])
+			if err != nil || parsed <= 0 {
+				return "ERR bad count " + fields[1]
+			}
+			n = parsed
+		}
+		log := s.engine.Log()
+		if len(log) > n {
+			log = log[len(log)-n:]
+		}
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, f := range log {
+			fmt.Fprintf(&b, "\n%.1fs %s %s value=%g action=%s", f.At.Seconds(), f.Rule, f.Node, f.Value, f.Action)
+			if f.ActionErr != nil {
+				fmt.Fprintf(&b, " error=%q", f.ActionErr)
+			}
+		}
+		return b.String()
+
+	case "images":
+		ids := s.images.List()
+		sort.Strings(ids)
+		return "OK\n" + strings.Join(ids, "\n")
+
+	case "chart":
+		if len(fields) != 3 {
+			return "ERR usage: chart <node> <metric>"
+		}
+		series := s.hist.Series(fields[1], fields[2])
+		if series == nil {
+			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		}
+		last, _ := series.Last()
+		return "OK " + fields[1] + " " + fields[2] + "\n" +
+			strings.TrimRight(dashboard.Chart(series, 0, last.T, 60, 12), "\n")
+
+	case "spark":
+		if len(fields) != 3 {
+			return "ERR usage: spark <node> <metric>"
+		}
+		series := s.hist.Series(fields[1], fields[2])
+		if series == nil {
+			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		}
+		last, _ := series.Last()
+		return "OK " + dashboard.Sparkline(series, 0, last.T, 40)
+
+	case "compare":
+		if len(fields) != 2 {
+			return "ERR usage: compare <metric>"
+		}
+		out := dashboard.CompareNodes(s.hist, fields[1], 0, s.now(), 30)
+		return "OK\n" + strings.TrimRight(out, "\n")
+
+	case "correlate":
+		if len(fields) != 4 {
+			return "ERR usage: correlate <node> <metric1> <metric2>"
+		}
+		r, err := dashboard.Correlate(s.hist, fields[1], fields[2], fields[3], 0, s.now())
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK r=%.3f", r)
+
+	case "clone":
+		if len(fields) < 3 {
+			return "ERR usage: clone <imageID> <node> [node...]"
+		}
+		summary, err := s.CloneNodes(fields[1], fields[2:])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + summary
+
+	case "efficiency":
+		out := dashboard.EfficiencyReport(s.hist, 0, s.now(), 30)
+		return "OK\n" + strings.TrimRight(out, "\n")
+
+	case "bios":
+		if len(fields) < 3 {
+			return "ERR usage: bios settings|set|flash <node> [...]"
+		}
+		switch strings.ToLower(fields[1]) {
+		case "settings":
+			settings, err := s.BIOSSettings(fields[2])
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK\n" + strings.Join(settings, "\n")
+		case "set":
+			if len(fields) != 5 {
+				return "ERR usage: bios set <node> <key> <value>"
+			}
+			if err := s.BIOSSet(fields[2], fields[3], fields[4]); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK set; active after next reboot"
+		case "flash":
+			if len(fields) != 4 {
+				return "ERR usage: bios flash <node> <version>"
+			}
+			if err := s.BIOSFlash(fields[2], fields[3]); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK flashed; active after next reboot"
+		default:
+			return "ERR unknown bios verb " + fields[1]
+		}
+
+	default:
+		return "ERR unknown request " + cmd
+	}
+}
+
+// CtlClient is the client side of the control protocol.
+type CtlClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialCtl connects to a server's control port.
+func DialCtl(addr string, timeout time.Duration) (*CtlClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &CtlClient{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Do sends one request and returns the response body (first line "OK..."
+// stripped of nothing — callers get the raw block minus the dot
+// terminator). An "ERR" first line is returned as an error.
+func (c *CtlClient) Do(req string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "." {
+			break
+		}
+		if strings.HasPrefix(line, "..") {
+			line = line[1:]
+		}
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(line)
+	}
+	resp := b.String()
+	if strings.HasPrefix(resp, "ERR") {
+		return "", fmt.Errorf("core: server: %s", strings.TrimPrefix(strings.TrimPrefix(resp, "ERR"), " "))
+	}
+	return resp, nil
+}
+
+// Close ends the session.
+func (c *CtlClient) Close() error {
+	fmt.Fprintf(c.conn, "quit\n") //nolint:errcheck // best-effort goodbye
+	return c.conn.Close()
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/node"
+)
+
+func TestCtlChartAndSpark(t *testing.T) {
+	sim := bootSim(t, 2)
+	sim.Node("node000").SetLoad(2)
+	sim.Advance(5 * time.Minute)
+
+	resp := sim.Server.HandleCtl("chart node000 load.1")
+	if !strings.HasPrefix(resp, "OK") || !strings.Contains(resp, "*") {
+		t.Fatalf("chart response:\n%s", resp)
+	}
+	if !strings.Contains(resp, "+---") {
+		t.Fatalf("chart missing axis:\n%s", resp)
+	}
+	resp = sim.Server.HandleCtl("spark node000 load.1")
+	if !strings.HasPrefix(resp, "OK ") || len(resp) < 10 {
+		t.Fatalf("spark response: %q", resp)
+	}
+	for _, bad := range []string{"chart ghost load.1", "chart node000", "spark ghost x", "spark x"} {
+		if resp := sim.Server.HandleCtl(bad); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", bad, firstLine(resp))
+		}
+	}
+}
+
+func TestCtlCompare(t *testing.T) {
+	sim := bootSim(t, 3)
+	sim.Node("node002").SetLoad(3)
+	sim.Advance(5 * time.Minute)
+	resp := sim.Server.HandleCtl("compare load.1")
+	if !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("compare: %s", firstLine(resp))
+	}
+	for _, n := range []string{"node000", "node001", "node002"} {
+		if !strings.Contains(resp, n) {
+			t.Fatalf("compare missing %s:\n%s", n, resp)
+		}
+	}
+	if resp := sim.Server.HandleCtl("compare"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatal("compare without metric accepted")
+	}
+}
+
+func TestCtlCorrelate(t *testing.T) {
+	sim := bootSim(t, 1)
+	// Ramp the load so load.1 and cpu temperature co-vary.
+	for i := 0; i < 30; i++ {
+		sim.Node("node000").SetLoad(float64(i%10) / 3)
+		sim.Advance(30 * time.Second)
+	}
+	resp := sim.Server.HandleCtl("correlate node000 load.1 hw.temp.cpu")
+	if !strings.HasPrefix(resp, "OK r=") {
+		t.Fatalf("correlate: %s", firstLine(resp))
+	}
+	if resp := sim.Server.HandleCtl("correlate node000 load.1"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatal("short correlate accepted")
+	}
+	if resp := sim.Server.HandleCtl("correlate ghost a b"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatal("correlate on ghost accepted")
+	}
+}
+
+func TestCtlBIOS(t *testing.T) {
+	sim := bootSim(t, 2)
+	resp := sim.Server.HandleCtl("bios settings node000")
+	if !strings.Contains(resp, "version=") || !strings.Contains(resp, "console=ttyS0,115200") {
+		t.Fatalf("bios settings:\n%s", resp)
+	}
+	if resp := sim.Server.HandleCtl("bios set node000 boot_order disk,net"); !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("bios set: %s", resp)
+	}
+	if resp := sim.Server.HandleCtl("bios settings node000"); !strings.Contains(resp, "boot_order=disk,net") {
+		t.Fatalf("setting did not stick:\n%s", resp)
+	}
+	if resp := sim.Server.HandleCtl("bios flash node000 1.1.4"); !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("bios flash: %s", resp)
+	}
+	if resp := sim.Server.HandleCtl("bios settings node000"); !strings.Contains(resp, "version=1.1.4") {
+		t.Fatalf("flash did not stick:\n%s", resp)
+	}
+	for _, bad := range []string{"bios settings ghost", "bios set node000 k", "bios flash node000", "bios fry node000", "bios"} {
+		if resp := sim.Server.HandleCtl(bad); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", bad, firstLine(resp))
+		}
+	}
+}
+
+func TestBIOSManagementRequiresLinuxBIOS(t *testing.T) {
+	// A node on a legacy BIOS cannot be managed remotely — the paper's §2
+	// keyboard-and-monitor problem.
+	srv := NewServer(ServerConfig{Cluster: "legacy"})
+	srv.RegisterFirmware("old-node", firmware.NewLegacyBIOS())
+	if _, err := srv.BIOSSettings("old-node"); err == nil || !strings.Contains(err.Error(), "not remotely configurable") {
+		t.Fatalf("legacy BIOS settings err = %v", err)
+	}
+	if err := srv.BIOSSet("old-node", "k", "v"); err == nil {
+		t.Fatal("legacy BIOS set succeeded")
+	}
+	if err := srv.BIOSFlash("old-node", "2"); err == nil {
+		t.Fatal("legacy BIOS flash succeeded")
+	}
+	if _, err := srv.BIOSSettings("unknown"); err == nil {
+		t.Fatal("unknown node BIOS succeeded")
+	}
+}
+
+func TestBIOSFlashVisibleOnNextBoot(t *testing.T) {
+	sim := bootSim(t, 1)
+	if err := sim.Server.BIOSFlash("node000", "9.9.9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Server.PowerCycle("node000"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(15 * time.Second)
+	if sim.Node("node000").State() != node.Up {
+		t.Fatal("node did not reboot")
+	}
+	if !strings.Contains(string(sim.Node("node000").Serial().PostMortem()), "LinuxBIOS-9.9.9") {
+		t.Fatal("flashed version not active after reboot")
+	}
+}
+
+func TestCtlEfficiency(t *testing.T) {
+	sim := bootSim(t, 2)
+	sim.Node("node001").SetLoad(2)
+	sim.Advance(5 * time.Minute)
+	resp := sim.Server.HandleCtl("efficiency")
+	if !strings.Contains(resp, "cluster efficiency:") || !strings.Contains(resp, "node001") {
+		t.Fatalf("efficiency:\n%s", resp)
+	}
+}
+
+// Property: the control protocol never panics on arbitrary request lines.
+func TestPropertyCtlNeverPanics(t *testing.T) {
+	sim := bootSim(t, 1)
+	f := func(line string) bool {
+		resp := sim.Server.HandleCtl(line)
+		return strings.HasPrefix(resp, "OK") || strings.HasPrefix(resp, "ERR")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"history node000 load.1 99999999999999999999",
+		"power on \x00", "values " + strings.Repeat("x", 10000),
+		"correlate a b c d e f", "bios set",
+	} {
+		resp := sim.Server.HandleCtl(line)
+		if !strings.HasPrefix(resp, "OK") && !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", line, firstLine(resp))
+		}
+	}
+}
+
+func TestCtlClone(t *testing.T) {
+	sim := bootSim(t, 3)
+	resp := sim.Server.HandleCtl("clone lnxi-nfs@2.1 node001 node002")
+	if !strings.HasPrefix(resp, "OK cloned") {
+		t.Fatalf("clone: %s", firstLine(resp))
+	}
+	if sim.NodeImage("node001") != "lnxi-nfs@2.1" || sim.NodeImage("node002") != "lnxi-nfs@2.1" {
+		t.Fatal("image not recorded")
+	}
+	sim.Advance(30 * time.Second)
+	if sim.Node("node001").State() != node.Up {
+		t.Fatalf("cloned node = %v", sim.Node("node001").State())
+	}
+	for _, bad := range []string{"clone", "clone onlyimage", "clone ghost@1 node001", "clone lnxi-nfs@2.1 ghostnode"} {
+		if resp := sim.Server.HandleCtl(bad); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", bad, firstLine(resp))
+		}
+	}
+	// The image library is stocked.
+	if resp := sim.Server.HandleCtl("images"); !strings.Contains(resp, "lnxi-node@2.1") {
+		t.Fatalf("images: %s", resp)
+	}
+}
+
+func TestCloneWithoutBackend(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	if _, err := srv.CloneNodes("x@1", []string{"n"}); err == nil {
+		t.Fatal("clone without backend succeeded")
+	}
+}

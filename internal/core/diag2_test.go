@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/image"
+)
+
+func TestDiagUpdate(t *testing.T) {
+	sim := bootSim(t, 3)
+	v1 := image.NewBuilder("os", "1.0", image.BootDisk, 32<<20).
+		AddPackage("kernel-a", 4<<20).Build()
+	v2 := image.NewBuilder("os", "1.1", image.BootDisk, 32<<20).
+		AddPackage("kernel-b", 4<<20).Build()
+	targets := []string{"node001"}
+	r1, err := sim.Clone(v1, targets, 0, cloning.Params{})
+	t.Logf("clone v1: err=%v up=%d img=%q", err, len(r1.NodeUp), sim.NodeImage("node001"))
+	res, err := sim.Update(v1, v2, targets, 0, cloning.Params{})
+	t.Logf("update: err=%v up=%d mc=%d burst=%v allup=%v img=%q diff=%d",
+		err, len(res.NodeUp), res.MulticastBytes, res.BurstDone, res.AllUp, sim.NodeImage("node001"), len(v2.Diff(v1)))
+	sim.Advance(30 * time.Second)
+	t.Logf("state=%v", sim.Node("node001").State())
+}

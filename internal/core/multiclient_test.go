@@ -1,0 +1,81 @@
+package core
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The §5.1 three-tier claim: "The 3-tier design allows multiple clients to
+// access the ClusterWorX server at the same time without conflict." Twenty
+// concurrent control clients hammer one server over TCP while it keeps
+// ingesting agent data.
+func TestManyConcurrentClients(t *testing.T) {
+	sim := bootSim(t, 4)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sim.Server.ServeCtl(l) //nolint:errcheck // ends with listener
+
+	// Keep the cluster alive in the background while clients query: the
+	// virtual clock is advanced from another goroutine, exactly like the
+	// cwxd daemon does.
+	stop := make(chan struct{})
+	var wgClock sync.WaitGroup
+	wgClock.Add(1)
+	go func() {
+		defer wgClock.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sim.Advance(200 * time.Millisecond)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const clients = 20
+	const requests = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := DialCtl(l.Addr().String(), 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			reqs := []string{"ping", "status", "nodes", "values node000", "history node001 load.1 5", "rules"}
+			for i := 0; i < requests; i++ {
+				req := reqs[(id+i)%len(reqs)]
+				resp, err := cl.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if req == "ping" && !strings.Contains(resp, "pong") {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	wgClock.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("client failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"clusterworx/internal/transmit"
+)
+
+// This file carries agent traffic over real TCP for the daemons: agents
+// dial the server's agent port and stream framed, deflate-compressed
+// change sets (the §5.3.3 transmission stage on an actual socket).
+
+// ServeAgents accepts agent connections until the listener closes. Each
+// frame is decoded and fed to HandleValues.
+func (s *Server) ServeAgents(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.serveAgentConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveAgentConn(conn net.Conn) {
+	r := transmit.NewReader(conn)
+	for {
+		frame, err := r.ReadFrame()
+		if err != nil {
+			return // io.EOF on clean agent shutdown, anything else likewise ends the session
+		}
+		nodeName, values, err := ReadWireValues(frame)
+		if err != nil {
+			return // protocol violation: drop the connection
+		}
+		s.HandleValues(nodeName, values)
+	}
+}
+
+// AgentConn is a server connection from the agent side.
+type AgentConn struct {
+	conn net.Conn
+	w    *transmit.Writer
+}
+
+// DialAgent connects an agent to the server's agent port with wire
+// compression enabled.
+func DialAgent(addr string, timeout time.Duration) (*AgentConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &AgentConn{conn: conn, w: transmit.NewWriter(conn, true)}, nil
+}
+
+// Transport returns the Transport shipping through this connection.
+func (a *AgentConn) Transport() Transport { return WireTransport(a.w) }
+
+// Stats returns raw and on-wire byte counts (the compression win).
+func (a *AgentConn) Stats() (raw, wire int64) { return a.w.RawBytes(), a.w.WireBytes() }
+
+// Close ends the connection.
+func (a *AgentConn) Close() error { return a.conn.Close() }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clusterworx/internal/events"
+	"clusterworx/internal/node"
+)
+
+// The paper's scaling claim: "the cluster management solution ClusterWorX
+// scales to meet the needs of any size system" and the introduction's
+// thousand-node framing ("imagine walking around ... every one of the 1000
+// nodes"). One server monitors a 1000-node cluster, detects the one
+// overheating node among them, and acts on exactly that node.
+func TestScaleThousandNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node simulation skipped with -short")
+	}
+	const nodes = 1000
+	sim, err := NewSim(SimConfig{
+		Nodes:   nodes,
+		Cluster: "bigiron",
+		// Slower sampling keeps the event volume proportionate; a real
+		// deployment samples a thousand nodes at this kind of rate too.
+		Period:    5 * time.Second,
+		Heartbeat: 10 * time.Second,
+		EchoSweep: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Stop()
+	if err := sim.Server.Engine().AddRule(events.Rule{
+		Name: "overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85,
+		Action: events.ActPowerOff, Notify: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Boxes) != nodes/10 {
+		t.Fatalf("boxes = %d", len(sim.Boxes))
+	}
+
+	sim.PowerOnAll()
+	sim.Advance(2 * time.Minute) // sequenced power-up of 100 boxes
+
+	status := sim.Server.Status()
+	if len(status) != nodes {
+		t.Fatalf("status rows = %d", len(status))
+	}
+	alive := 0
+	for _, st := range status {
+		if st.Alive {
+			alive++
+		}
+	}
+	if alive != nodes {
+		t.Fatalf("alive = %d/%d after power-up", alive, nodes)
+	}
+
+	// One failing node among a thousand.
+	victim := sim.Node("node666")
+	victim.SetLoad(1)
+	sim.Advance(3 * time.Minute)
+	victim.FailFan()
+	sim.Advance(10 * time.Minute)
+
+	if victim.Damaged() {
+		t.Fatal("victim burned at scale")
+	}
+	if victim.State() != node.PowerOff {
+		t.Fatalf("victim = %v", victim.State())
+	}
+	log := sim.Server.Engine().Log()
+	if len(log) != 1 || log[0].Node != "node666" {
+		t.Fatalf("event log = %+v", log)
+	}
+	if sim.Mailer.Count() != 1 {
+		t.Fatalf("mails = %d", sim.Mailer.Count())
+	}
+	// No bystander was touched.
+	up := 0
+	for _, n := range sim.Nodes {
+		if n.State() == node.Up {
+			up++
+		}
+	}
+	if up != nodes-1 {
+		t.Fatalf("up = %d, want %d", up, nodes-1)
+	}
+	// History accumulated for the whole cluster.
+	if got := len(sim.Server.History().Nodes()); got != nodes {
+		t.Fatalf("history nodes = %d", got)
+	}
+}

@@ -1,0 +1,421 @@
+// Package core is ClusterWorX itself: the 3-tier management framework
+// (paper §5) tying every substrate together. Node agents gather and
+// consolidate monitor data and transmit change sets; the management server
+// keeps the cluster registry, historical store and event engine, fronts
+// the ICE Boxes for corrective actions and console access, and drives disk
+// cloning; clients (the CLI, the examples, and in the original product the
+// Java GUI) talk to the server's control API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/events"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/history"
+	"clusterworx/internal/icebox"
+	"clusterworx/internal/image"
+	"clusterworx/internal/notify"
+)
+
+// DownAfter is how long without agent data before a node is presumed down.
+const DownAfter = 15 * time.Second
+
+// NodeStatus is one row of the main monitoring screen.
+type NodeStatus struct {
+	Name     string
+	Alive    bool // agent data within DownAfter
+	LastSeen time.Duration
+	Values   int // monitor values known
+	Load1    float64
+	TempC    float64
+	MemPct   float64
+}
+
+// Server is the ClusterWorX management server.
+type Server struct {
+	mu      sync.Mutex
+	now     func() time.Duration
+	cluster string
+
+	nodes map[string]*nodeRec
+	hist  *history.Store
+
+	engine   *events.Engine
+	notifier *notify.Notifier
+
+	boxes   []*icebox.Box
+	boxByID map[string]*icebox.Box
+
+	images   *image.Store
+	firmware map[string]firmware.Firmware
+	cloner   func(imageID string, nodes []string) (string, error)
+}
+
+type nodeRec struct {
+	name     string
+	lastSeen time.Duration
+	seen     bool
+	values   map[string]consolidate.Value
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	Cluster  string
+	Now      func() time.Duration // time source (virtual in simulation)
+	Notifier *notify.Notifier     // optional; engine runs without it
+}
+
+// NewServer builds a server with an empty registry.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Now == nil {
+		start := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Cluster == "" {
+		cfg.Cluster = "cluster"
+	}
+	s := &Server{
+		now:      cfg.Now,
+		cluster:  cfg.Cluster,
+		nodes:    make(map[string]*nodeRec),
+		hist:     history.NewStore(0),
+		notifier: cfg.Notifier,
+		boxByID:  make(map[string]*icebox.Box),
+		images:   image.NewStore(),
+		firmware: make(map[string]firmware.Firmware),
+	}
+	var ntf events.Notifier
+	if cfg.Notifier != nil {
+		ntf = cfg.Notifier
+	}
+	s.engine = events.New(serverActuator{s}, ntf, cfg.Now)
+	return s
+}
+
+// Cluster returns the cluster name.
+func (s *Server) Cluster() string { return s.cluster }
+
+// Engine exposes the event engine for rule administration.
+func (s *Server) Engine() *events.Engine { return s.engine }
+
+// History exposes the historical store.
+func (s *Server) History() *history.Store { return s.hist }
+
+// Images exposes the image library.
+func (s *Server) Images() *image.Store { return s.images }
+
+// AddICEBox registers a management device.
+func (s *Server) AddICEBox(b *icebox.Box) {
+	s.mu.Lock()
+	s.boxes = append(s.boxes, b)
+	s.boxByID[b.ID()] = b
+	s.mu.Unlock()
+}
+
+// ICEBoxes returns the registered devices.
+func (s *Server) ICEBoxes() []*icebox.Box {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*icebox.Box(nil), s.boxes...)
+}
+
+// RegisterNode pre-creates a registry entry (agents also auto-register on
+// first data).
+func (s *Server) RegisterNode(name string) {
+	s.mu.Lock()
+	s.nodeLocked(name)
+	s.mu.Unlock()
+}
+
+func (s *Server) nodeLocked(name string) *nodeRec {
+	rec, ok := s.nodes[name]
+	if !ok {
+		rec = &nodeRec{name: name, values: make(map[string]consolidate.Value)}
+		s.nodes[name] = rec
+	}
+	return rec
+}
+
+// HandleValues ingests one agent transmission (a change set): it updates
+// the live registry, appends numeric values to history, and runs the event
+// engine over the node's updated state.
+func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
+	now := s.now()
+	s.mu.Lock()
+	rec := s.nodeLocked(nodeName)
+	rec.lastSeen = now
+	rec.seen = true
+	for _, v := range values {
+		rec.values[v.Name] = v
+		if !v.IsText {
+			s.hist.Append(nodeName, v.Name, now, v.Num)
+		}
+	}
+	// Event evaluation sees the node's full current state, so rules on
+	// metrics that did not change this round still hold.
+	sample := make(map[string]float64, len(rec.values))
+	for name, v := range rec.values {
+		if !v.IsText {
+			sample[name] = v.Num
+		}
+	}
+	s.mu.Unlock()
+	s.engine.ObserveMap(nodeName, sample)
+}
+
+// ProbeConnectivity runs the server-side UDP-echo connectivity sweep
+// (§5.1: "the UDP echo port is used to ensure network connectivity").
+// Unlike agent data this is measured *at* the server, so it is the one
+// monitor value that keeps arriving for a dead node — which is exactly
+// what lets an event rule like "net.echo.ok < 1 -> power-cycle" heal a
+// wedged node automatically. The probe result does not refresh the node's
+// lastSeen: only agent data proves the OS is alive.
+func (s *Server) ProbeConnectivity(probe func(node string) bool) {
+	now := s.now()
+	for _, name := range s.NodeNames() {
+		ok := probe(name)
+		v := consolidate.NumValue("net.echo.ok", consolidate.Dynamic, 0)
+		if ok {
+			v.Num = 1
+		}
+		s.mu.Lock()
+		rec := s.nodeLocked(name)
+		rec.values[v.Name] = v
+		s.hist.Append(name, v.Name, now, v.Num)
+		sample := make(map[string]float64, len(rec.values))
+		for n, val := range rec.values {
+			if !val.IsText {
+				sample[n] = val.Num
+			}
+		}
+		s.mu.Unlock()
+		s.engine.ObserveMap(name, sample)
+	}
+}
+
+// NodeNames returns all registered nodes, sorted.
+func (s *Server) NodeNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeValue returns a node's current value for a metric.
+func (s *Server) NodeValue(nodeName, metric string) (consolidate.Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.nodes[nodeName]
+	if !ok {
+		return consolidate.Value{}, false
+	}
+	v, ok := rec.values[metric]
+	return v, ok
+}
+
+// NodeValues returns a sorted snapshot of a node's current values.
+func (s *Server) NodeValues(nodeName string) []consolidate.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.nodes[nodeName]
+	if !ok {
+		return nil
+	}
+	out := make([]consolidate.Value, 0, len(rec.values))
+	for _, v := range rec.values {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Status renders the monitoring screen rows.
+func (s *Server) Status() []NodeStatus {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]NodeStatus, 0, len(names))
+	for _, name := range names {
+		rec := s.nodes[name]
+		st := NodeStatus{
+			Name:     name,
+			Alive:    rec.seen && now-rec.lastSeen <= DownAfter,
+			LastSeen: rec.lastSeen,
+			Values:   len(rec.values),
+		}
+		if v, ok := rec.values["load.1"]; ok {
+			st.Load1 = v.Num
+		}
+		if v, ok := rec.values["hw.temp.cpu"]; ok {
+			st.TempC = v.Num
+		}
+		if v, ok := rec.values["mem.used.pct"]; ok {
+			st.MemPct = v.Num
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// --- ICE Box fronting ------------------------------------------------------------
+
+// findPort locates the ICE Box and port controlling a node.
+func (s *Server) findPort(nodeName string) (*icebox.Box, int, error) {
+	s.mu.Lock()
+	boxes := append([]*icebox.Box(nil), s.boxes...)
+	s.mu.Unlock()
+	for _, b := range boxes {
+		if port, ok := b.FindPort(nodeName); ok {
+			return b, port, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("core: no ICE Box port for node %s", nodeName)
+}
+
+// PowerOn energizes a node's outlet.
+func (s *Server) PowerOn(nodeName string) error {
+	b, port, err := s.findPort(nodeName)
+	if err != nil {
+		return err
+	}
+	return b.PowerOn(port)
+}
+
+// PowerOff cuts a node's outlet.
+func (s *Server) PowerOff(nodeName string) error {
+	b, port, err := s.findPort(nodeName)
+	if err != nil {
+		return err
+	}
+	return b.PowerOff(port)
+}
+
+// PowerCycle cycles a node's outlet.
+func (s *Server) PowerCycle(nodeName string) error {
+	b, port, err := s.findPort(nodeName)
+	if err != nil {
+		return err
+	}
+	return b.PowerCycle(port)
+}
+
+// Reset pulses a node's reset line.
+func (s *Server) Reset(nodeName string) error {
+	b, port, err := s.findPort(nodeName)
+	if err != nil {
+		return err
+	}
+	return b.Reset(port)
+}
+
+// Console returns a node's post-mortem serial buffer.
+func (s *Server) Console(nodeName string) ([]byte, error) {
+	b, port, err := s.findPort(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	return b.Console(port)
+}
+
+// SetCloner installs the disk-cloning backend invoked by the control
+// protocol's "clone" request. The callback returns a human-readable
+// summary. In the simulation it is Sim.Clone; a hardware deployment would
+// boot targets into the cloning environment here.
+func (s *Server) SetCloner(fn func(imageID string, nodes []string) (string, error)) {
+	s.mu.Lock()
+	s.cloner = fn
+	s.mu.Unlock()
+}
+
+// CloneNodes runs the installed cloner.
+func (s *Server) CloneNodes(imageID string, nodes []string) (string, error) {
+	s.mu.Lock()
+	fn := s.cloner
+	s.mu.Unlock()
+	if fn == nil {
+		return "", fmt.Errorf("core: no cloning backend installed")
+	}
+	if _, ok := s.images.Get(imageID); !ok {
+		return "", fmt.Errorf("core: unknown image %s (see 'images')", imageID)
+	}
+	return fn(imageID, nodes)
+}
+
+// RegisterFirmware records which firmware a node runs so the remote BIOS
+// management commands (§2) can reach it.
+func (s *Server) RegisterFirmware(nodeName string, fw firmware.Firmware) {
+	s.mu.Lock()
+	s.firmware[nodeName] = fw
+	s.mu.Unlock()
+}
+
+// biosFor returns a node's remotely-manageable firmware. A legacy BIOS is
+// the paper's §2 pain point: "imagine walking around with a keyboard and
+// monitor to every one of the 1000 nodes" — it cannot be managed here.
+func (s *Server) biosFor(nodeName string) (*firmware.LinuxBIOS, error) {
+	s.mu.Lock()
+	fw, ok := s.firmware[nodeName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no firmware registered for %s", nodeName)
+	}
+	lb, ok := fw.(*firmware.LinuxBIOS)
+	if !ok {
+		return nil, fmt.Errorf("core: %s runs %s, which is not remotely configurable (bring a keyboard and monitor)", nodeName, fw.Name())
+	}
+	return lb, nil
+}
+
+// BIOSSettings dumps a node's firmware settings.
+func (s *Server) BIOSSettings(nodeName string) ([]string, error) {
+	lb, err := s.biosFor(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string{"version=" + lb.Version()}, lb.Settings()...), nil
+}
+
+// BIOSSet changes a firmware setting remotely; it becomes active "as soon
+// as the nodes are rebooted" (§2).
+func (s *Server) BIOSSet(nodeName, key, value string) error {
+	lb, err := s.biosFor(nodeName)
+	if err != nil {
+		return err
+	}
+	lb.Set(key, value)
+	return nil
+}
+
+// BIOSFlash installs a new firmware release on a node remotely.
+func (s *Server) BIOSFlash(nodeName, version string) error {
+	lb, err := s.biosFor(nodeName)
+	if err != nil {
+		return err
+	}
+	lb.Flash(version)
+	return nil
+}
+
+// serverActuator adapts the server's ICE Box fronting to events.Actuator.
+// Halt is delivered as a power-off: with the OS possibly wedged, the
+// outlet is the only reliable lever.
+type serverActuator struct{ s *Server }
+
+func (a serverActuator) PowerOff(node string) error   { return a.s.PowerOff(node) }
+func (a serverActuator) PowerCycle(node string) error { return a.s.PowerCycle(node) }
+func (a serverActuator) Reset(node string) error      { return a.s.Reset(node) }
+func (a serverActuator) Halt(node string) error       { return a.s.PowerOff(node) }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/icebox"
+	"clusterworx/internal/image"
+	"clusterworx/internal/monitor"
+	"clusterworx/internal/node"
+	"clusterworx/internal/notify"
+	"clusterworx/internal/simnet"
+)
+
+// SimConfig sizes an in-process simulated cluster.
+type SimConfig struct {
+	Nodes   int
+	Cluster string
+	// Firmware selects per-node firmware (default LinuxBIOS 1.0.1).
+	Firmware func(i int) firmware.Firmware
+	// Period and Heartbeat configure the agents.
+	Period    time.Duration
+	Heartbeat time.Duration
+	// Mailer receives notifications (default: a Recording inspectable via
+	// Sim.Mailer).
+	Mailer notify.Mailer
+	// NotifyBatch is the notification batching window.
+	NotifyBatch time.Duration
+	// Plugins supplies optional per-node plug-in sets.
+	Plugins func(i int) *monitor.PluginSet
+	// EchoSweep is the server-side connectivity probe period
+	// (default 5 s; negative disables).
+	EchoSweep time.Duration
+	Seed      int64
+}
+
+// Sim is a complete simulated cluster: nodes in ICE Boxes, agents feeding
+// a management server, and a Fast Ethernet fabric for cloning — all on one
+// virtual clock.
+type Sim struct {
+	Clk    *clock.Clock
+	Server *Server
+	Nodes  []*node.Node
+	Boxes  []*icebox.Box
+	Agents []*Agent
+	Net    *simnet.Network
+	// Mailer is the recording mailbox when SimConfig.Mailer was nil.
+	Mailer *notify.Recording
+
+	byName    map[string]*node.Node
+	nodeImage map[string]string
+}
+
+// NewSim builds the cluster powered off; call PowerOnAll (or power nodes
+// individually through Server) and then Advance the clock.
+func NewSim(cfg SimConfig) (*Sim, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: sim needs at least one node")
+	}
+	if cfg.Cluster == "" {
+		cfg.Cluster = "simcluster"
+	}
+	clk := clock.New()
+
+	var rec *notify.Recording
+	mailer := cfg.Mailer
+	if mailer == nil {
+		rec = &notify.Recording{}
+		mailer = rec
+	}
+	notifier := notify.New(clk, mailer, notify.Config{
+		Cluster: cfg.Cluster,
+		Admin:   "admin@" + cfg.Cluster,
+		Batch:   cfg.NotifyBatch,
+	})
+	srv := NewServer(ServerConfig{Cluster: cfg.Cluster, Now: clk.Now, Notifier: notifier})
+
+	net := simnet.New(clk, 100*time.Microsecond)
+	net.Seed(cfg.Seed + 99)
+	net.Attach("master", simnet.FastEthernet)
+
+	sim := &Sim{
+		Clk:       clk,
+		Server:    srv,
+		Net:       net,
+		Mailer:    rec,
+		byName:    make(map[string]*node.Node, cfg.Nodes),
+		nodeImage: make(map[string]string, cfg.Nodes),
+	}
+
+	// Stock the image library and wire the cloning backend, so the control
+	// protocol's "images" and "clone" requests work out of the box.
+	for _, kind := range []string{"harddisk", "nfsboot"} {
+		if im, err := image.Prebuilt(kind); err == nil {
+			srv.Images().Put(im) //nolint:errcheck // fresh store cannot collide
+		}
+	}
+	srv.SetCloner(func(imageID string, nodeNames []string) (string, error) {
+		im, ok := srv.Images().Get(imageID)
+		if !ok {
+			return "", fmt.Errorf("core: unknown image %s", imageID)
+		}
+		res, err := sim.Clone(im, nodeNames, 0.01, cloning.Params{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("cloned %s to %d node(s) in %s (%d MB multicast, %d repair chunks)",
+			imageID, len(res.NodeUp), res.AllUp.Round(time.Second), res.MulticastBytes>>20, res.RepairChunks), nil
+	})
+
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node%03d", i)
+		ncfg := node.Config{Name: name, Seed: cfg.Seed + int64(i)}
+		if cfg.Firmware != nil {
+			ncfg.Firmware = cfg.Firmware(i)
+		}
+		n := node.New(clk, ncfg)
+		sim.Nodes = append(sim.Nodes, n)
+		sim.byName[name] = n
+		srv.RegisterNode(name)
+		srv.RegisterFirmware(name, n.Firmware())
+		net.Attach(simnet.Addr(name), simnet.FastEthernet)
+
+		if i%icebox.NodePorts == 0 {
+			box := icebox.New(clk, fmt.Sprintf("ice%02d", i/icebox.NodePorts))
+			sim.Boxes = append(sim.Boxes, box)
+			srv.AddICEBox(box)
+		}
+		box := sim.Boxes[len(sim.Boxes)-1]
+		if err := box.Connect(i%icebox.NodePorts, n); err != nil {
+			return nil, err
+		}
+
+		var plugins *monitor.PluginSet
+		if cfg.Plugins != nil {
+			plugins = cfg.Plugins(i)
+		}
+		agent, err := NewAgent(clk, AgentConfig{
+			Node:      n,
+			Period:    cfg.Period,
+			Heartbeat: cfg.Heartbeat,
+			Plugins:   plugins,
+			Transport: func(nodeName string, values []consolidate.Value) error {
+				srv.HandleValues(nodeName, values)
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.Agents = append(sim.Agents, agent)
+	}
+
+	// Server-side UDP-echo sweep: the one probe that works on dead nodes.
+	sweep := cfg.EchoSweep
+	if sweep == 0 {
+		sweep = 5 * time.Second
+	}
+	if sweep > 0 {
+		var tick func()
+		tick = func() {
+			srv.ProbeConnectivity(func(name string) bool {
+				n := sim.byName[name]
+				return n != nil && n.Reachable()
+			})
+			clk.AfterFunc(sweep, tick)
+		}
+		clk.AfterFunc(sweep, tick)
+	}
+	return sim, nil
+}
+
+// PowerOnAll starts a sequenced power-up on every ICE Box.
+func (s *Sim) PowerOnAll() {
+	for _, b := range s.Boxes {
+		b.PowerOnAll()
+	}
+}
+
+// Advance moves virtual time.
+func (s *Sim) Advance(d time.Duration) { s.Clk.Advance(d) }
+
+// Node returns a node by name.
+func (s *Sim) Node(name string) *node.Node { return s.byName[name] }
+
+// NodeImage returns the image ID last cloned onto a node.
+func (s *Sim) NodeImage(name string) string { return s.nodeImage[name] }
+
+// Clone distributes img to the named nodes with the reliable-multicast
+// protocol over the sim's Fast Ethernet, taking the targets out of service
+// for the duration. It runs to completion on the virtual clock and
+// returns the session result.
+func (s *Sim) Clone(img *image.Image, nodeNames []string, loss float64, params cloning.Params) (cloning.Result, error) {
+	return s.clone(img, nil, nodeNames, loss, params)
+}
+
+// Update distributes only the delta between each target's current image
+// (which must be old) and img — the §4 parallel kernel/package update.
+func (s *Sim) Update(old, img *image.Image, nodeNames []string, loss float64, params cloning.Params) (cloning.Result, error) {
+	return s.clone(img, old, nodeNames, loss, params)
+}
+
+func (s *Sim) clone(img, old *image.Image, nodeNames []string, loss float64, params cloning.Params) (cloning.Result, error) {
+	if len(nodeNames) == 0 {
+		return cloning.Result{}, fmt.Errorf("core: clone needs target nodes")
+	}
+	master := s.Net.Endpoint("master")
+	group := "clone"
+	addrs := make([]simnet.Addr, 0, len(nodeNames))
+	for _, name := range nodeNames {
+		n := s.byName[name]
+		if n == nil {
+			return cloning.Result{}, fmt.Errorf("core: unknown node %s", name)
+		}
+		// Nodes reboot into the cloning environment: OS (and agent) stop.
+		n.PowerOff()
+		addr := simnet.Addr(name)
+		s.Net.Join(group, addr)
+		addrs = append(addrs, addr)
+	}
+	s.Net.SetLoss(loss)
+	defer s.Net.SetLoss(0)
+
+	sess := cloning.NewUpdateSession(s.Clk, s.Net, master, group, img, old, addrs, params)
+	for _, name := range nodeNames {
+		name := name
+		n := s.byName[name]
+		ep := s.Net.Endpoint(simnet.Addr(name))
+		// Each client flashes at its own node's disk rate and reboots with
+		// its own firmware's cold-start time.
+		clientParams := params
+		clientParams.DiskBandwidth = n.DiskBandwidth()
+		clientParams.RebootTime = n.BootTime()
+		client := cloning.NewUpdateClient(s.Clk, ep, img, old, clientParams)
+		client.ReportUpTo("master")
+		client.OnUp(func() {
+			s.nodeImage[name] = img.ID()
+			n.PowerOn() // boots the freshly written image
+		})
+	}
+	sess.Start()
+	// Step (not RunUntilIdle): agent timers perpetually reschedule, so the
+	// queue never drains; the session's completion is the stop condition.
+	for !sess.Done() {
+		if !s.Clk.Step() {
+			return sess.Result(), fmt.Errorf("core: cloning session did not converge")
+		}
+	}
+	for _, addr := range addrs {
+		s.Net.Leave(group, addr)
+	}
+	return sess.Result(), nil
+}
+
+// Stop shuts down all agents (test hygiene).
+func (s *Sim) Stop() {
+	for _, a := range s.Agents {
+		a.Stop()
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clusterworx/internal/events"
+	"clusterworx/internal/node"
+	"clusterworx/internal/slurm"
+)
+
+func TestSlurmJobsDriveMonitoredLoad(t *testing.T) {
+	sim := bootSim(t, 4)
+	br := sim.AttachSlurm()
+
+	id, err := br.Cluster.Submit(slurm.Spec{
+		Name: "mpi", Nodes: 2, Duration: 10 * time.Minute, Exclusive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := br.Cluster.Job(id)
+	if j.State != slurm.Running || len(j.Allocated) != 2 {
+		t.Fatalf("job = %+v", j)
+	}
+	sim.Advance(5 * time.Minute) // load averages ramp
+
+	// The allocated nodes show the job's load on the monitoring screen.
+	allocated := map[string]bool{j.Allocated[0]: true, j.Allocated[1]: true}
+	for _, st := range sim.Server.Status() {
+		v, ok := sim.Server.NodeValue(st.Name, "load.1")
+		if !ok {
+			t.Fatalf("no load.1 for %s", st.Name)
+		}
+		if allocated[st.Name] && v.Num < 0.6 {
+			t.Fatalf("allocated node %s load.1 = %v", st.Name, v.Num)
+		}
+		if !allocated[st.Name] && v.Num > 0.3 {
+			t.Fatalf("idle node %s load.1 = %v", st.Name, v.Num)
+		}
+	}
+
+	// Job completion releases the load.
+	sim.Advance(10 * time.Minute)
+	if j, _ := br.Cluster.Job(id); j.State != slurm.Completed {
+		t.Fatalf("job = %v", j.State)
+	}
+	sim.Advance(10 * time.Minute)
+	for name := range allocated {
+		if v, _ := sim.Server.NodeValue(name, "load.1"); v.Num > 0.3 {
+			t.Fatalf("%s load.1 = %v after completion", name, v.Num)
+		}
+		if br.JobLoad(name) != 0 {
+			t.Fatalf("%s job load = %v after completion", name, br.JobLoad(name))
+		}
+	}
+}
+
+func TestNodeCrashPropagatesToScheduler(t *testing.T) {
+	sim := bootSim(t, 3)
+	br := sim.AttachSlurm()
+	id, _ := br.Cluster.Submit(slurm.Spec{
+		Name: "tough", Nodes: 1, Duration: time.Hour, Requeue: true,
+	})
+	j, _ := br.Cluster.Job(id)
+	victim := j.Allocated[0]
+
+	sim.Node(victim).Crash("hardware")
+	// The bridge reports the node down; the job requeues onto another.
+	j, _ = br.Cluster.Job(id)
+	if j.State != slurm.Running {
+		t.Fatalf("requeued job = %v", j.State)
+	}
+	if j.Allocated[0] == victim {
+		t.Fatal("job still on the crashed node")
+	}
+	// Scheduler's view matches.
+	for _, n := range br.Cluster.Nodes() {
+		if n.Name == victim && n.Up {
+			t.Fatal("crashed node still up in slurm")
+		}
+	}
+
+	// Heal the node (reset via ICE Box); it rejoins the pool.
+	if err := sim.Server.Reset(victim); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(10 * time.Second)
+	for _, n := range br.Cluster.Nodes() {
+		if n.Name == victim && !n.Up {
+			t.Fatal("healed node did not rejoin slurm")
+		}
+	}
+}
+
+func TestEventActionFailsJobsThroughBridge(t *testing.T) {
+	// The full loop: overtemp rule powers a node off via the ICE Box; the
+	// bridge tells slurm; the exclusive job on it dies with NODE_FAIL.
+	sim := bootSim(t, 2)
+	br := sim.AttachSlurm()
+	sim.Server.Engine().AddRule(events.Rule{
+		Name: "overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85,
+		Action: events.ActPowerOff,
+	})
+
+	id, _ := br.Cluster.Submit(slurm.Spec{Name: "hot", Nodes: 1, Duration: time.Hour, Exclusive: true})
+	j, _ := br.Cluster.Job(id)
+	victim := sim.Node(j.Allocated[0])
+	sim.Advance(3 * time.Minute)
+	victim.FailFan()
+	sim.Advance(20 * time.Minute)
+
+	if victim.State() != node.PowerOff {
+		t.Fatalf("victim = %v", victim.State())
+	}
+	if j, _ := br.Cluster.Job(id); j.State != slurm.NodeFailed {
+		t.Fatalf("job = %v, want NODE_FAIL", j.State)
+	}
+}

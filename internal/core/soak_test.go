@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"clusterworx/internal/events"
+	"clusterworx/internal/node"
+)
+
+// Soak: a 40-node cluster runs for four simulated hours under random
+// faults (kernel panics, fan failures, power losses, load swings) with the
+// standard protective rule set. Invariants checked throughout:
+//
+//   - no node ever suffers thermal damage (the overtemp rule must win);
+//   - the monitoring screen never shows a node alive that is not Up;
+//   - notification volume stays proportional to incidents, not samples;
+//   - the cluster is fully recoverable at the end.
+func TestSoakRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(2003))
+	sim, err := NewSim(SimConfig{Nodes: 40, Cluster: "soak", Seed: 2003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Stop()
+	for _, r := range []events.Rule{
+		{Name: "overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85,
+			Action: events.ActPowerOff, Notify: true},
+		{Name: "dead-node", Metric: "net.echo.ok", Op: events.LT, Threshold: 1,
+			Sustain: 3, Action: events.ActPowerCycle, Notify: true},
+	} {
+		if err := sim.Server.Engine().AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.PowerOnAll()
+	sim.Advance(time.Minute)
+
+	checkInvariants := func(step int) {
+		t.Helper()
+		for i, n := range sim.Nodes {
+			if n.Damaged() {
+				t.Fatalf("step %d: node %d thermally damaged at %.1f°C", step, i, n.Temperature())
+			}
+		}
+		for _, st := range sim.Server.Status() {
+			if st.Alive && sim.Node(st.Name).State() != node.Up {
+				// Alive means data within DownAfter; a very recent death
+				// is allowed, but only within the staleness window.
+				if sim.Clk.Now()-st.LastSeen > DownAfter {
+					t.Fatalf("step %d: %s alive on screen but %v", step, st.Name, sim.Node(st.Name).State())
+				}
+			}
+		}
+	}
+
+	const steps = 240 // 4 simulated hours in 1-minute steps
+	for step := 0; step < steps; step++ {
+		victim := sim.Nodes[rng.Intn(len(sim.Nodes))]
+		switch rng.Intn(10) {
+		case 0:
+			victim.Crash("soak panic")
+		case 1:
+			victim.FailFan()
+		case 2:
+			victim.RepairFan()
+		case 3, 4, 5:
+			victim.SetLoad(rng.Float64() * 2)
+		default:
+			// quiet minute
+		}
+		sim.Advance(time.Minute)
+		if step%20 == 0 {
+			checkInvariants(step)
+		}
+	}
+
+	// Recovery sweep: repair fans, reset any breakers that mass
+	// power-cycles tripped during the soak, then bring racks back with the
+	// ICE Boxes' *sequenced* power-up — powering 25 outlets in the same
+	// instant is exactly how the breakers tripped in the first place.
+	for _, n := range sim.Nodes {
+		n.RepairFan()
+	}
+	for _, b := range sim.Boxes {
+		b.ResetBreaker(0)
+		b.ResetBreaker(1)
+		b.PowerOnAll()
+	}
+	sim.Advance(5 * time.Minute)
+
+	up := 0
+	for _, n := range sim.Nodes {
+		if n.State() == node.Up {
+			up++
+		}
+	}
+	if up != len(sim.Nodes) {
+		states := map[string]int{}
+		for _, n := range sim.Nodes {
+			states[n.State().String()]++
+		}
+		t.Fatalf("after recovery only %d/%d up: %v", up, len(sim.Nodes), states)
+	}
+
+	// Sanity on volumes: every firing produced at most one mail-incident,
+	// and the engine fired at least once over four faulty hours.
+	firings := len(sim.Server.Engine().Log())
+	mails := sim.Mailer.Count()
+	if firings == 0 {
+		t.Fatal("four hours of faults produced no events")
+	}
+	if mails > firings {
+		t.Fatalf("mails (%d) exceed firings (%d); dedup broken", mails, firings)
+	}
+	t.Logf("soak: %d firings, %d mails, all %d nodes recovered", firings, mails, up)
+}

@@ -1,0 +1,266 @@
+// Package dashboard renders the ClusterWorX GUI's views as text: the main
+// monitoring screen and the historical graphs (§5.1 — "historical graphing
+// allows the administrator to chart monitoring values over time ...
+// analyze the relationships between monitored values, or compare
+// performance between nodes"). The original product drew these in a Java
+// client; the terminal client renders the same data as aligned tables and
+// braille-free ASCII charts, keeping the server API identical.
+package dashboard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"clusterworx/internal/history"
+)
+
+// Chart renders a time series as an ASCII line chart of the given
+// dimensions (columns × rows of plot area, plus axes). Points are
+// bucket-averaged to the width.
+func Chart(s *history.Series, t0, t1 time.Duration, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	pts := s.Downsample(t0, t1, width)
+	if len(pts) == 0 {
+		return "(no data)\n"
+	}
+	lo, hi := pts[0].V, pts[0].V
+	for _, p := range pts {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	if hi == lo {
+		hi = lo + 1 // flat line: give it one row of headroom
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := make(map[int]int, len(pts)) // column -> row, for connecting strokes
+	span := t1 - t0
+	for _, p := range pts {
+		c := int(float64(p.T-t0) / float64(span) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		r := int((p.V - lo) / (hi - lo) * float64(height-1))
+		row := height - 1 - r
+		grid[row][c] = '*'
+		col[c] = row
+	}
+	// Vertical strokes between adjacent plotted columns.
+	cols := make([]int, 0, len(col))
+	for c := range col {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for i := 1; i < len(cols); i++ {
+		a, b := cols[i-1], cols[i]
+		ra, rb := col[a], col[b]
+		if ra == rb {
+			continue
+		}
+		step := 1
+		if rb < ra {
+			step = -1
+		}
+		for r := ra + step; r != rb; r += step {
+			if grid[r][b] == ' ' {
+				grid[r][b] = '|'
+			}
+		}
+	}
+
+	var out strings.Builder
+	label0 := fmt.Sprintf("%.4g", hi)
+	label1 := fmt.Sprintf("%.4g", lo)
+	pad := len(label0)
+	if len(label1) > pad {
+		pad = len(label1)
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&out, "%*s |", pad, label0)
+		case height - 1:
+			fmt.Fprintf(&out, "%*s |", pad, label1)
+		default:
+			fmt.Fprintf(&out, "%*s |", pad, "")
+		}
+		out.Write(grid[r])
+		out.WriteByte('\n')
+	}
+	fmt.Fprintf(&out, "%*s +%s\n", pad, "", strings.Repeat("-", width))
+	fmt.Fprintf(&out, "%*s  %-*s%s\n", pad, "", width-len(fmtT(t1)), fmtT(t0), fmtT(t1))
+	return out.String()
+}
+
+// Sparkline renders a compact one-line view of a series using eight block
+// levels, for the status screen.
+func Sparkline(s *history.Series, t0, t1 time.Duration, width int) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	pts := s.Downsample(t0, t1, width)
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := pts[0].V, pts[0].V
+	for _, p := range pts {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	var out strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int((p.V - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		out.WriteRune(levels[idx])
+	}
+	return out.String()
+}
+
+// CompareNodes renders the §5.1 "compare performance between nodes" view:
+// per-node min/mean/max of one metric over a range, with a mean bar.
+func CompareNodes(store *history.Store, metric string, t0, t1 time.Duration, barWidth int) string {
+	stats := store.Compare(metric, t0, t1)
+	if len(stats) == 0 {
+		return "(no data)\n"
+	}
+	names := make([]string, 0, len(stats))
+	globalMax := 0.0
+	for name, st := range stats {
+		if st.N == 0 {
+			continue
+		}
+		names = append(names, name)
+		globalMax = math.Max(globalMax, st.Max)
+	}
+	sort.Strings(names)
+	if globalMax == 0 {
+		globalMax = 1
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-12s %8s %8s %8s  %s\n", "node", "min", "mean", "max", metric)
+	for _, name := range names {
+		st := stats[name]
+		bar := int(st.Mean / globalMax * float64(barWidth))
+		fmt.Fprintf(&out, "%-12s %8.2f %8.2f %8.2f  %s\n",
+			name, st.Min, st.Mean, st.Max, strings.Repeat("#", bar))
+	}
+	return out.String()
+}
+
+// Correlate renders the §5.1 "analyze the relationships between monitored
+// values" view: the Pearson correlation of two metrics on one node over
+// aligned buckets.
+func Correlate(store *history.Store, nodeName, metricA, metricB string, t0, t1 time.Duration) (float64, error) {
+	sa := store.Series(nodeName, metricA)
+	sb := store.Series(nodeName, metricB)
+	if sa == nil || sb == nil {
+		return 0, fmt.Errorf("dashboard: missing history for %s/%s on %s", metricA, metricB, nodeName)
+	}
+	const buckets = 64
+	pa := sa.Downsample(t0, t1, buckets)
+	pb := sb.Downsample(t0, t1, buckets)
+	// Align on bucket timestamps present in both.
+	bv := make(map[time.Duration]float64, len(pb))
+	for _, p := range pb {
+		bv[p.T] = p.V
+	}
+	var xs, ys []float64
+	for _, p := range pa {
+		if v, ok := bv[p.T]; ok {
+			xs = append(xs, p.V)
+			ys = append(ys, v)
+		}
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("dashboard: only %d aligned samples", len(xs))
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) (float64, error) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("dashboard: a series is constant; correlation undefined")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+func fmtT(d time.Duration) string {
+	return d.Round(time.Second).String()
+}
+
+// Efficiency computes cluster utilization over a window — the paper's
+// introduction lists "cluster efficiency" first among the administrator's
+// concerns. It is derived from each node's cpu.idle.pct history: a node's
+// efficiency is 100 − mean(idle%), the cluster's is the mean over nodes
+// with data.
+func Efficiency(store *history.Store, t0, t1 time.Duration) (cluster float64, perNode map[string]float64) {
+	perNode = make(map[string]float64)
+	stats := store.Compare("cpu.idle.pct", t0, t1)
+	var sum float64
+	for nodeName, st := range stats {
+		if st.N == 0 {
+			continue
+		}
+		eff := 100 - st.Mean
+		if eff < 0 {
+			eff = 0
+		}
+		perNode[nodeName] = eff
+		sum += eff
+	}
+	if len(perNode) > 0 {
+		cluster = sum / float64(len(perNode))
+	}
+	return cluster, perNode
+}
+
+// EfficiencyReport renders Efficiency as the administrator's view: cluster
+// total plus a per-node bar list, busiest first.
+func EfficiencyReport(store *history.Store, t0, t1 time.Duration, barWidth int) string {
+	cluster, perNode := Efficiency(store, t0, t1)
+	if len(perNode) == 0 {
+		return "(no data)\n"
+	}
+	names := make([]string, 0, len(perNode))
+	for n := range perNode {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if perNode[names[i]] != perNode[names[j]] {
+			return perNode[names[i]] > perNode[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var out strings.Builder
+	fmt.Fprintf(&out, "cluster efficiency: %.1f%% over %s..%s\n", cluster, fmtT(t0), fmtT(t1))
+	for _, n := range names {
+		bar := int(perNode[n] / 100 * float64(barWidth))
+		fmt.Fprintf(&out, "%-12s %5.1f%%  %s\n", n, perNode[n], strings.Repeat("#", bar))
+	}
+	return out.String()
+}

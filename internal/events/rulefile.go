@@ -1,0 +1,152 @@
+package events
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Rule files are how administrators configure events outside the API (§5.2
+// "Events are configured by administrators"): one rule per line,
+//
+//	<name> <metric> <op> <threshold> [action=X] [sustain=N] [notify]
+//
+// with '#' comments and blank lines ignored. Ops are > >= < <= == !=;
+// actions are none, power-off, power-cycle, reset, halt.
+//
+// Example:
+//
+//	# protect hardware
+//	overtemp    hw.temp.cpu  >  85  action=power-off  notify
+//	dead-node   net.echo.ok  <  1   action=power-cycle sustain=3 notify
+//	swap-storm  swap.used.pct > 90  notify
+
+// ParseOp parses a comparison operator token.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case ">":
+		return GT, nil
+	case ">=":
+		return GE, nil
+	case "<":
+		return LT, nil
+	case "<=":
+		return LE, nil
+	case "==", "=":
+		return EQ, nil
+	case "!=":
+		return NE, nil
+	default:
+		return 0, fmt.Errorf("events: unknown operator %q", s)
+	}
+}
+
+// ParseAction parses an action token.
+func ParseAction(s string) (ActionType, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return ActNone, nil
+	case "power-off", "poweroff":
+		return ActPowerOff, nil
+	case "power-cycle", "powercycle", "cycle":
+		return ActPowerCycle, nil
+	case "reset", "reboot":
+		return ActReset, nil
+	case "halt":
+		return ActHalt, nil
+	default:
+		return 0, fmt.Errorf("events: unknown action %q", s)
+	}
+}
+
+// ParseRules reads a rule file. Errors carry the line number.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		rule, err := parseRuleLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("events: line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("events: reading rules: %w", err)
+	}
+	return rules, nil
+}
+
+func parseRuleLine(fields []string) (Rule, error) {
+	var r Rule
+	if len(fields) < 4 {
+		return r, fmt.Errorf("want: <name> <metric> <op> <threshold> [options], got %d fields", len(fields))
+	}
+	r.Name = fields[0]
+	r.Metric = fields[1]
+	op, err := ParseOp(fields[2])
+	if err != nil {
+		return r, err
+	}
+	r.Op = op
+	thr, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return r, fmt.Errorf("bad threshold %q: %v", fields[3], err)
+	}
+	r.Threshold = thr
+	for _, opt := range fields[4:] {
+		key, val, hasVal := strings.Cut(opt, "=")
+		switch strings.ToLower(key) {
+		case "notify":
+			if hasVal {
+				return r, fmt.Errorf("notify takes no value")
+			}
+			r.Notify = true
+		case "action":
+			act, err := ParseAction(val)
+			if err != nil {
+				return r, err
+			}
+			r.Action = act
+		case "sustain":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return r, fmt.Errorf("bad sustain %q", val)
+			}
+			r.Sustain = n
+		default:
+			return r, fmt.Errorf("unknown option %q", opt)
+		}
+	}
+	return r, nil
+}
+
+// FormatRules renders rules back into the file format (round-trippable).
+func FormatRules(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%s %s %s %g", r.Name, r.Metric, r.Op, r.Threshold)
+		if r.Action != ActNone {
+			fmt.Fprintf(&b, " action=%s", r.Action)
+		}
+		if r.Sustain > 1 {
+			fmt.Fprintf(&b, " sustain=%d", r.Sustain)
+		}
+		if r.Notify {
+			b.WriteString(" notify")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

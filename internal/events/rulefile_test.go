@@ -1,0 +1,115 @@
+package events
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleRules = `
+# protect hardware
+overtemp    hw.temp.cpu   >  85  action=power-off  notify
+dead-node   net.echo.ok   <  1   action=power-cycle sustain=3 notify
+
+swap-storm  swap.used.pct >= 90  notify   # inline comment
+quiet       load.15       <= 0.01
+exact       cpu.count     == 4
+not-one     proc.running  != 1 action=none
+`
+
+func TestParseRulesSample(t *testing.T) {
+	rules, err := ParseRules(strings.NewReader(sampleRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 6 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "overtemp" || r.Metric != "hw.temp.cpu" || r.Op != GT ||
+		r.Threshold != 85 || r.Action != ActPowerOff || !r.Notify {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if rules[1].Sustain != 3 || rules[1].Action != ActPowerCycle {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2].Op != GE || rules[3].Op != LE || rules[4].Op != EQ || rules[5].Op != NE {
+		t.Fatal("operators wrong")
+	}
+	// Parsed rules install cleanly.
+	e := New(nil, nil, nil)
+	for _, r := range rules {
+		if err := e.AddRule(r); err != nil {
+			t.Fatalf("AddRule(%s): %v", r.Name, err)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []string{
+		"short line\n",
+		"name metric ~ 5\n",
+		"name metric > notanumber\n",
+		"name metric > 5 action=explode\n",
+		"name metric > 5 sustain=0\n",
+		"name metric > 5 sustain=x\n",
+		"name metric > 5 frobnicate=1\n",
+		"name metric > 5 notify=yes\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseRules(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseRules(%q) succeeded", c)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error lacks line number: %v", err)
+		}
+	}
+}
+
+func TestParseEmptyAndComments(t *testing.T) {
+	rules, err := ParseRules(strings.NewReader("\n# nothing here\n   \n"))
+	if err != nil || len(rules) != 0 {
+		t.Fatalf("%v %v", rules, err)
+	}
+}
+
+func TestParseActionAliases(t *testing.T) {
+	for in, want := range map[string]ActionType{
+		"poweroff": ActPowerOff, "cycle": ActPowerCycle, "reboot": ActReset,
+		"halt": ActHalt, "none": ActNone, "": ActNone,
+	} {
+		got, err := ParseAction(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAction(%q) = %v, %v", in, got, err)
+		}
+	}
+}
+
+// Property: FormatRules/ParseRules round-trips any valid plugin-free rule.
+func TestPropertyRuleRoundTrip(t *testing.T) {
+	f := func(nameSel, metricSel uint8, opSel, actSel uint8, thr int16, sustain uint8, notify bool) bool {
+		r := Rule{
+			Name:      "rule" + string(rune('a'+nameSel%26)),
+			Metric:    "m." + string(rune('a'+metricSel%26)),
+			Op:        Op(opSel % 6),
+			Threshold: float64(thr),
+			Action:    ActionType(actSel % 5), // excludes ActPlugin
+			Sustain:   int(sustain%5) + 1,
+			Notify:    notify,
+		}
+		text := FormatRules([]Rule{r})
+		parsed, err := ParseRules(strings.NewReader(text))
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		got := parsed[0]
+		if got.Sustain == 0 {
+			got.Sustain = 1
+		}
+		return got.Name == r.Name && got.Metric == r.Metric && got.Op == r.Op &&
+			got.Threshold == r.Threshold && got.Action == r.Action &&
+			got.Sustain == r.Sustain && got.Notify == r.Notify
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package experiments regenerates every quantitative claim in the paper's
+// evaluation (the E1–E14 index in DESIGN.md). Each function produces a
+// printable table; the repository-root benchmarks and the cwxsim binary
+// both drive these, and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clusterworx/internal/gather"
+	"clusterworx/internal/procfs"
+)
+
+// Table is one experiment's result: a header and rows of columns.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// benchFS builds the evolving /proc the gathering experiments sample.
+func benchFS(seed int64) *procfs.FS {
+	fs := procfs.NewFS()
+	syn := procfs.NewSynthetic(seed)
+	procfs.RegisterStd(fs, syn.Stat)
+	return fs
+}
+
+// timeSamples runs fn for at least minDur and returns samples/second and
+// the per-call cost.
+func timeSamples(minDur time.Duration, fn func() error) (perSec float64, perCall time.Duration, err error) {
+	// Warm up.
+	for i := 0; i < 16; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	n := 0
+	start := time.Now()
+	for {
+		const batch = 64
+		for i := 0; i < batch; i++ {
+			if err := fn(); err != nil {
+				return 0, 0, err
+			}
+		}
+		n += batch
+		if time.Since(start) >= minDur {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	perSec = float64(n) / elapsed.Seconds()
+	perCall = elapsed / time.Duration(n)
+	return perSec, perCall, nil
+}
+
+// E1GatherLadder reproduces §5.3.1's optimization ladder on /proc/meminfo:
+// paper numbers 85 → 4173 (+4800 %) → 14031 (+236 %) → 33855 (+141 %)
+// samples per second.
+func E1GatherLadder(minDur time.Duration) (*Table, error) {
+	fs := benchFS(1)
+	var m gather.MemStats
+
+	keepOpen, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer keepOpen.Close()
+
+	strategies := []struct {
+		name  string
+		paper float64 // paper samples/s
+		fn    func() error
+	}{
+		{"naive (chunked read + scanf)", 85, func() error { return gather.NewNaiveMeminfo(fs).Gather(&m) }},
+		{"buffered (one read, generic parse)", 4173, func() error { return gather.NewBufferedMeminfo(fs).Gather(&m) }},
+		{"a-priori format parse", 14031, func() error { return gather.NewAprioriMeminfo(fs).Gather(&m) }},
+		{"keep open + rewind", 33855, func() error { return keepOpen.Gather(&m) }},
+	}
+	// Reuse allocated gatherers for per-sample strategies too (the paper's
+	// implementations were long-lived); rebuild closures with persistent
+	// gatherers.
+	naive := gather.NewNaiveMeminfo(fs)
+	strategies[0].fn = func() error { return naive.Gather(&m) }
+	buffered := gather.NewBufferedMeminfo(fs)
+	strategies[1].fn = func() error { return buffered.Gather(&m) }
+	apriori := gather.NewAprioriMeminfo(fs)
+	strategies[2].fn = func() error { return apriori.Gather(&m) }
+
+	t := &Table{
+		ID:     "E1",
+		Title:  "gathering ladder, /proc/meminfo (§5.3.1)",
+		Header: []string{"strategy", "samples/s", "us/call", "step speedup", "paper samples/s", "paper step"},
+	}
+	paperSteps := []string{"-", "+4800%", "+236%", "+141%"}
+	var prev float64
+	for i, s := range strategies {
+		perSec, perCall, err := timeSamples(minDur, s.fn)
+		if err != nil {
+			return nil, err
+		}
+		step := "-"
+		if i > 0 && prev > 0 {
+			step = fmt.Sprintf("+%.0f%%", (perSec/prev-1)*100)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name,
+			fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%.2f", float64(perCall.Nanoseconds())/1000),
+			step,
+			fmt.Sprintf("%.0f", s.paper),
+			paperSteps[i],
+		})
+		prev = perSec
+	}
+	t.Notes = append(t.Notes,
+		"absolute rates differ from the paper's 1 GHz P3; the ladder ordering and multiplicative wins are the claim")
+	return t, nil
+}
+
+// E2PerFileCosts reproduces §5.3.1's per-file costs with the final
+// strategy: paper meminfo 29.5 µs, stat 35 µs, loadavg 7.5 µs, uptime
+// 6.2 µs, net/dev 21.6 µs per device.
+func E2PerFileCosts(minDur time.Duration) (*Table, error) {
+	fs := benchFS(2)
+
+	mg, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer mg.Close()
+	sg, err := gather.NewStatGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer sg.Close()
+	lg, err := gather.NewLoadavgGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer lg.Close()
+	ug, err := gather.NewUptimeGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer ug.Close()
+	ng, err := gather.NewNetDevGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer ng.Close()
+
+	var m gather.MemStats
+	var c gather.CPUStats
+	var l gather.LoadStats
+	var u gather.UptimeStats
+	var nd gather.NetDevStats
+
+	files := []struct {
+		name  string
+		paper float64 // µs/call
+		fn    func() error
+	}{
+		{"/proc/meminfo", 29.5, func() error { return mg.Gather(&m) }},
+		{"/proc/stat", 35, func() error { return sg.Gather(&c) }},
+		{"/proc/loadavg", 7.5, func() error { return lg.Gather(&l) }},
+		{"/proc/uptime", 6.2, func() error { return ug.Gather(&u) }},
+		{"/proc/net/dev (2 devices)", 2 * 21.6, func() error { return ng.Gather(&nd) }},
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "per-file gathering cost, final strategy (§5.3.1)",
+		Header: []string{"file", "us/call", "paper us/call", "rel to meminfo", "paper rel"},
+	}
+	var us []float64
+	for _, f := range files {
+		_, perCall, err := timeSamples(minDur, f.fn)
+		if err != nil {
+			return nil, err
+		}
+		us = append(us, float64(perCall.Nanoseconds())/1000)
+	}
+	for i, f := range files {
+		t.Rows = append(t.Rows, []string{
+			f.name,
+			fmt.Sprintf("%.2f", us[i]),
+			fmt.Sprintf("%.1f", f.paper),
+			fmt.Sprintf("%.2f", us[i]/us[0]),
+			fmt.Sprintf("%.2f", f.paper/files[0].paper),
+		})
+	}
+	t.Notes = append(t.Notes, "shape: uptime < loadavg < net/dev <= meminfo ~ stat, all tens of microseconds or below")
+	return t, nil
+}
+
+// E3ParserComparison reproduces §5.3.1's C-vs-Java observation as
+// optimized-vs-generic parsing of identical bytes: the hand parser wins,
+// but only modestly once I/O is already optimal.
+func E3ParserComparison(minDur time.Duration) (*Table, error) {
+	fs := procfs.NewFS()
+	procfs.RegisterStd(fs, procfs.Frozen())
+	memText, err := fs.ReadFile("/proc/meminfo")
+	if err != nil {
+		return nil, err
+	}
+	statText, err := fs.ReadFile("/proc/stat")
+	if err != nil {
+		return nil, err
+	}
+	var m gather.MemStats
+	var c gather.CPUStats
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"meminfo a-priori", func() error { return gather.ParseMeminfoApriori(memText, &m) }},
+		{"meminfo generic", func() error { return gather.ParseMeminfoGeneric(memText, &m) }},
+		{"stat a-priori", func() error { return gather.ParseStatApriori(statText, &c) }},
+		{"stat generic", func() error { return gather.ParseStatGeneric(statText, &c) }},
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "parser-only comparison on identical bytes (§5.3.1 C-vs-Java analogue)",
+		Header: []string{"parser", "ns/parse", "ratio vs optimized"},
+	}
+	var ns []float64
+	for _, cse := range cases {
+		_, perCall, err := timeSamples(minDur, cse.fn)
+		if err != nil {
+			return nil, err
+		}
+		ns = append(ns, float64(perCall.Nanoseconds()))
+	}
+	for i, cse := range cases {
+		base := ns[i/2*2] // the a-priori row of each pair
+		t.Rows = append(t.Rows, []string{
+			cse.name,
+			fmt.Sprintf("%.0f", ns[i]),
+			fmt.Sprintf("%.2fx", ns[i]/base),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the paper found C only slightly ahead of Java and kept Java; here the generic parser is the 'portable' analogue and loses by a small factor, dwarfed by the E1 I/O effects")
+	return t, nil
+}
+
+// E4OverheadBudget reproduces §5.3.1's closing arithmetic: 29.5 µs/call at
+// 50 samples/s is about 5 s of CPU per hour.
+func E4OverheadBudget(minDur time.Duration) (*Table, error) {
+	fs := benchFS(4)
+	mg, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		return nil, err
+	}
+	defer mg.Close()
+	var m gather.MemStats
+	_, perCall, err := timeSamples(minDur, func() error { return mg.Gather(&m) })
+	if err != nil {
+		return nil, err
+	}
+	const rate = 50.0
+	perHour := time.Duration(float64(perCall) * rate * 3600)
+	paperPerHour := time.Duration(29.5 * rate * 3600 * float64(time.Microsecond))
+	t := &Table{
+		ID:     "E4",
+		Title:  "monitoring CPU budget at 50 samples/s (§5.3.1)",
+		Header: []string{"quantity", "measured", "paper"},
+		Rows: [][]string{
+			{"per-call cost", fmt.Sprintf("%.2f us", float64(perCall.Nanoseconds())/1000), "29.5 us"},
+			{"CPU time per hour", fmt.Sprintf("%.2f s", perHour.Seconds()), fmt.Sprintf("%.1f s (\"approximately 5 seconds\")", paperPerHour.Seconds())},
+			{"CPU fraction", fmt.Sprintf("%.4f%%", perHour.Seconds()/3600*100), fmt.Sprintf("%.3f%%", paperPerHour.Seconds()/3600*100)},
+		},
+	}
+	return t, nil
+}

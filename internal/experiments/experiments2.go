@@ -1,0 +1,634 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/cloning"
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/core"
+	"clusterworx/internal/events"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/icebox"
+	"clusterworx/internal/image"
+	"clusterworx/internal/monitor"
+	"clusterworx/internal/node"
+	"clusterworx/internal/notify"
+	"clusterworx/internal/slurm"
+	"clusterworx/internal/transmit"
+)
+
+// E5Consolidation reproduces §5.3.2: transmitting only changed values
+// "reduces the amount of transferred data substantially", and the request
+// cache serves simultaneous requests from one data set.
+func E5Consolidation(ticks int) (*Table, error) {
+	clk := clock.New()
+	n := node.New(clk, node.Config{Name: "n1"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	set, err := monitor.NewSet(monitor.Config{
+		FS: n.FS(), Hostname: n.Name(), Now: clk.Now, Probes: n, Echo: n.Reachable,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		return nil, err
+	}
+
+	var fullBytes, deltaBytes int64
+	var buf []byte
+	for i := 0; i < ticks; i++ {
+		clk.Advance(time.Second)
+		cons.Tick()
+		buf = transmit.MarshalValues(buf[:0], cons.Snapshot())
+		fullBytes += int64(len(buf))
+		buf = transmit.MarshalValues(buf[:0], cons.Delta())
+		deltaBytes += int64(len(buf))
+		// Simultaneous GUI requests served from the cache between ticks.
+		cons.Snapshot()
+		cons.Snapshot()
+	}
+	st := cons.Stats()
+	reduction := 100 * (1 - float64(deltaBytes)/float64(fullBytes))
+	t := &Table{
+		ID:     "E5",
+		Title:  fmt.Sprintf("consolidation over %d one-second ticks on an idle node (§5.3.2)", ticks),
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"values collected", fmt.Sprintf("%d", st.Collected)},
+			{"values changed (transmitted)", fmt.Sprintf("%d", st.Changed)},
+			{"values suppressed", fmt.Sprintf("%d", st.Suppressed)},
+			{"full-snapshot bytes", fmt.Sprintf("%d", fullBytes)},
+			{"change-only bytes", fmt.Sprintf("%d", deltaBytes)},
+			{"data reduction", fmt.Sprintf("%.1f%%", reduction)},
+			{"cache hits", fmt.Sprintf("%d", st.CacheHits)},
+			{"cache builds", fmt.Sprintf("%d", st.CacheBuilds)},
+		},
+		Notes: []string{"paper: 'transmits only data that has changed ... reduces the amount of transferred data substantially'"},
+	}
+	return t, nil
+}
+
+// E6Compression reproduces §5.3.3: text monitoring data stays
+// human-readable and compresses very effectively on the wire.
+func E6Compression() (*Table, error) {
+	clk := clock.New()
+	n := node.New(clk, node.Config{Name: "n1"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+
+	// Raw /proc text, as gathered.
+	var procText []byte
+	for _, f := range []string{"/proc/meminfo", "/proc/stat", "/proc/loadavg", "/proc/uptime", "/proc/net/dev", "/proc/cpuinfo"} {
+		data, err := n.FS().ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		procText = append(procText, data...)
+	}
+
+	// A realistic monitoring update stream: 60 ticks of change sets.
+	set, err := monitor.NewSet(monitor.Config{FS: n.FS(), Hostname: n.Name(), Now: clk.Now, Probes: n, Echo: n.Reachable})
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	cons := consolidate.New()
+	if err := set.Install(cons); err != nil {
+		return nil, err
+	}
+	var stream []byte
+	for i := 0; i < 60; i++ {
+		clk.Advance(time.Second)
+		cons.Tick()
+		stream = transmit.MarshalValues(stream, cons.Delta())
+	}
+
+	row := func(name string, data []byte) []string {
+		comp := transmit.CompressedSize(data)
+		return []string{name, fmt.Sprintf("%d", len(data)), fmt.Sprintf("%d", comp),
+			fmt.Sprintf("%.1fx", float64(len(data))/float64(comp))}
+	}
+	t := &Table{
+		ID:     "E6",
+		Title:  "wire compression of text monitoring data (§5.3.3)",
+		Header: []string{"payload", "raw bytes", "deflate bytes", "ratio"},
+		Rows: [][]string{
+			row("/proc file text", procText),
+			row("60s change-set stream", stream),
+		},
+		Notes: []string{"paper: data stays text for platform independence; 'data compression techniques ... are known to be very effective on text input'"},
+	}
+	return t, nil
+}
+
+// E7CloneScaling reproduces §4's headline: multicast clones hundreds of
+// nodes over one Fast Ethernet in roughly constant time (~12 min for 400+
+// nodes at LLNL including reboot), while unicast grows linearly.
+func E7CloneScaling(counts []int, img *image.Image, unicastCap int) (*Table, error) {
+	params := cloning.Params{}
+	t := &Table{
+		ID:    "E7",
+		Title: fmt.Sprintf("clone+reboot time vs node count, image %s (%d MB) over Fast Ethernet (§4)", img.ID(), img.Size>>20),
+		Header: []string{"nodes", "multicast total", "multicast burst", "unicast total",
+			"unicast/multicast"},
+	}
+	for _, n := range counts {
+		mc := cloning.RunMulticast(img, n, 0.01, 42, params)
+		ucTotal := "-"
+		ratio := "-"
+		if n <= unicastCap {
+			uc := cloning.RunUnicast(img, n, 0.01, 42, params)
+			ucTotal = fmtDur(uc.AllUp)
+			ratio = fmt.Sprintf("%.1fx", float64(uc.AllUp)/float64(mc.AllUp))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmtDur(mc.AllUp),
+			fmtDur(mc.BurstDone),
+			ucTotal,
+			ratio,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: 'It took about 12 min. to clone and reboot over 400 nodes of the Lawrence Livermore cluster'",
+		"multicast stays ~flat with node count; unicast grows linearly")
+	return t, nil
+}
+
+// E8CloneLoss reproduces §4's reliability mechanism: round-robin ACK plus
+// unicast repair converges under loss with bounded extra traffic.
+func E8CloneLoss(lossRates []float64, nodes int, img *image.Image) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("multicast cloning of %d nodes under packet loss (§4)", nodes),
+		Header: []string{"loss", "total time", "repair chunks", "repair bytes", "rounds", "traffic vs lossless"},
+	}
+	base := cloning.RunMulticast(img, nodes, 0, 7, cloning.Params{})
+	for _, loss := range lossRates {
+		r := cloning.RunMulticast(img, nodes, loss, 7, cloning.Params{})
+		if len(r.NodeUp) != nodes {
+			return nil, fmt.Errorf("experiments: only %d/%d nodes converged at loss %.2f", len(r.NodeUp), nodes, loss)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", loss*100),
+			fmtDur(r.AllUp),
+			fmt.Sprintf("%d", r.RepairChunks),
+			fmt.Sprintf("%d", r.RepairBytes),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.2fx", float64(r.TotalBytes())/float64(base.TotalBytes())),
+		})
+	}
+	t.Notes = append(t.Notes, "every node converges to a checksum-verified image at every loss rate")
+	return t, nil
+}
+
+// E9BootTimes reproduces §2: LinuxBIOS cold-starts in ~3 s, a commercial
+// BIOS in 30–60 s, and only LinuxBIOS talks on serial from power-on.
+func E9BootTimes() (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "cold-start time to operational kernel (§2)",
+		Header: []string{"firmware", "memory", "boot source", "boot time", "serial from power-on"},
+	}
+	for _, fw := range []firmware.Firmware{firmware.NewLinuxBIOS("1.0.1"), firmware.NewLegacyBIOS()} {
+		for _, mem := range []uint64{512 << 20, 1 << 30, 2 << 30} {
+			for _, src := range []firmware.BootSource{firmware.BootLocalDisk, firmware.BootNetwork} {
+				env := firmware.Env{MemBytes: mem, Source: src, KernelBytes: 4 << 20, DiskBandwidth: 20e6, NetBandwidth: 100e6 / 8}
+				t.Rows = append(t.Rows, []string{
+					fw.Name(),
+					fmt.Sprintf("%d MB", mem>>20),
+					src.String(),
+					fmtDur(firmware.BootTime(fw, env)),
+					fmt.Sprintf("%v", fw.SerialFromPowerOn()),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "paper: LinuxBIOS 'starts loading the operating system ... in about 3 seconds, whereas most commercial BIOS alternatives require about 30 to 60 seconds'")
+	return t, nil
+}
+
+// E10Notification reproduces §5.2's smart notification: one e-mail per
+// triggered event across an entire rack of failing nodes, with automatic
+// re-fire after a fix.
+func E10Notification(nodes int) (*Table, error) {
+	clk := clock.New()
+	rec := &notify.Recording{}
+	ntf := notify.New(clk, rec, notify.Config{Cluster: "prod", Batch: 2 * time.Second})
+	eng := events.New(nil, ntf, clk.Now)
+	if err := eng.AddRule(events.Rule{
+		Name: "overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85, Notify: true,
+	}); err != nil {
+		return nil, err
+	}
+	name := func(i int) string { return fmt.Sprintf("node%03d", i) }
+
+	// A cooling failure takes out the whole rack within seconds.
+	for i := 0; i < nodes; i++ {
+		eng.ObserveMap(name(i), map[string]float64{"hw.temp.cpu": 90 + float64(i%5)})
+		clk.Advance(100 * time.Millisecond)
+	}
+	clk.Advance(5 * time.Second)
+	mailsAfterStorm := rec.Count()
+
+	// Keep violating: still no new mail.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < nodes; i++ {
+			eng.ObserveMap(name(i), map[string]float64{"hw.temp.cpu": 92})
+		}
+		clk.Advance(time.Second)
+	}
+	mailsWhileActive := rec.Count()
+
+	// Admin fixes the rack; later one node fails again: re-fire.
+	for i := 0; i < nodes; i++ {
+		eng.ObserveMap(name(i), map[string]float64{"hw.temp.cpu": 40})
+	}
+	clk.Advance(time.Minute)
+	eng.ObserveMap(name(3), map[string]float64{"hw.temp.cpu": 97})
+	clk.Advance(5 * time.Second)
+	mailsAfterRefire := rec.Count()
+
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("smart notification, %d-node thermal storm (§5.2)", nodes),
+		Header: []string{"phase", "e-mails sent", "expected"},
+		Rows: [][]string{
+			{fmt.Sprintf("all %d nodes trigger within seconds", nodes), fmt.Sprintf("%d", mailsAfterStorm), "1"},
+			{"violation persists for 10 more rounds", fmt.Sprintf("%d", mailsWhileActive), "1"},
+			{"fixed, then one node re-fails", fmt.Sprintf("%d", mailsAfterRefire), "2"},
+		},
+		Notes: []string{"paper: 'Only one e-mail is sent per triggered event, even if multiple nodes are involved ... the event re-fires automatically'"},
+	}
+	if mailsAfterStorm != 1 || mailsWhileActive != 1 || mailsAfterRefire != 2 {
+		return t, fmt.Errorf("experiments: notification counts deviate from the paper's semantics")
+	}
+	return t, nil
+}
+
+// E11ThermalRunaway reproduces §5.2's motivating scenario: "powering down
+// a node on CPU fan failure to prevent the CPU from burning." Two
+// identical clusters suffer the same fan failure; only one runs the event
+// rule.
+func E11ThermalRunaway() (*Table, error) {
+	run := func(withRule bool) (damaged bool, finalState node.State, tMax float64, acted string, err error) {
+		sim, err := core.NewSim(core.SimConfig{Nodes: 4, Cluster: "thermal"})
+		if err != nil {
+			return false, 0, 0, "", err
+		}
+		defer sim.Stop()
+		if withRule {
+			if err := sim.Server.Engine().AddRule(events.Rule{
+				Name: "fan-overtemp", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 85,
+				Action: events.ActPowerOff, Notify: true,
+			}); err != nil {
+				return false, 0, 0, "", err
+			}
+		}
+		sim.PowerOnAll()
+		sim.Advance(30 * time.Second)
+		victim := sim.Node("node001")
+		victim.SetLoad(1)
+		sim.Advance(3 * time.Minute)
+		victim.FailFan()
+		tMax = victim.Temperature()
+		for i := 0; i < 60; i++ {
+			sim.Advance(30 * time.Second)
+			if temp := victim.Temperature(); temp > tMax {
+				tMax = temp
+			}
+		}
+		acted = "-"
+		if log := sim.Server.Engine().Log(); len(log) > 0 {
+			acted = fmt.Sprintf("%s at %s", log[0].Action, fmtDur(log[0].At))
+		}
+		return victim.Damaged(), victim.State(), tMax, acted, nil
+	}
+
+	t := &Table{
+		ID:     "E11",
+		Title:  "fan failure under full load, with and without the event engine (§5.2)",
+		Header: []string{"configuration", "peak temp", "action taken", "CPU damaged", "final state"},
+	}
+	for _, withRule := range []bool{false, true} {
+		damaged, st, tMax, acted, err := run(withRule)
+		if err != nil {
+			return nil, err
+		}
+		name := "no event rule"
+		if withRule {
+			name = "rule: temp>85C -> power-off"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%.1f C", tMax), acted, fmt.Sprintf("%v", damaged), st.String(),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: corrective action is taken 'before problems become critical (e.g. powering down a node on CPU fan failure to prevent the CPU from burning)'")
+	return t, nil
+}
+
+// E12PowerSequencing reproduces §3.1: "During the power up procedure, ICE
+// Box also automatically sequences power, reducing the risk of power
+// spikes."
+func E12PowerSequencing() (*Table, error) {
+	run := func(delay time.Duration) (tripped bool, peakAmps float64, up int, err error) {
+		clk := clock.New()
+		box := icebox.New(clk, "ice0")
+		var nodes []*node.Node
+		for i := 0; i < icebox.NodePorts; i++ {
+			n := node.New(clk, node.Config{Name: fmt.Sprintf("n%02d", i), Seed: int64(i)})
+			nodes = append(nodes, n)
+			if err := box.Connect(i, n); err != nil {
+				return false, 0, 0, err
+			}
+		}
+		box.SetSequenceDelay(delay)
+		box.PowerOnAll()
+		for i := 0; i < 200; i++ {
+			clk.Advance(50 * time.Millisecond)
+			for in := 0; in < 2; in++ {
+				box.InletAmps(in) // sample, updating the peak tracker
+			}
+		}
+		clk.Advance(time.Minute)
+		for in := 0; in < 2; in++ {
+			if a := box.PeakAmps(in); a > peakAmps {
+				peakAmps = a
+			}
+		}
+		for _, n := range nodes {
+			if n.State() == node.Up {
+				up++
+			}
+		}
+		return box.BreakerTripped(0) || box.BreakerTripped(1), peakAmps, up, nil
+	}
+
+	t := &Table{
+		ID:     "E12",
+		Title:  "sequenced vs simultaneous power-up of a full ICE Box (§3.1)",
+		Header: []string{"power-up", "breaker tripped", "peak inlet amps", "nodes up"},
+	}
+	for _, tc := range []struct {
+		name  string
+		delay time.Duration
+	}{
+		{"simultaneous (sequencing off)", 0},
+		{fmt.Sprintf("sequenced (%s stagger)", icebox.DefaultSequenceDelay), icebox.DefaultSequenceDelay},
+	} {
+		tripped, peak, up, err := run(tc.delay)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			tc.name, fmt.Sprintf("%v", tripped), fmt.Sprintf("%.1f / %.0f limit", peak, icebox.BreakerAmps), fmt.Sprintf("%d/10", up),
+		})
+	}
+	return t, nil
+}
+
+// E13Console reproduces §3.3: the 16 KiB per-port buffer retains the tail
+// of a dead node's output for post-mortem analysis.
+func E13Console() (*Table, error) {
+	clk := clock.New()
+	box := icebox.New(clk, "ice0")
+	n := node.New(clk, node.Config{Name: "n0"})
+	if err := box.Connect(0, n); err != nil {
+		return nil, err
+	}
+	box.PowerOn(0) //nolint:errcheck // single node cannot trip
+	clk.Advance(10 * time.Second)
+	for i := 0; i < 2000; i++ {
+		n.Serial().WriteString(fmt.Sprintf("app: step %05d checkpoint ok\n", i))
+	}
+	n.Crash("MCE on CPU0")
+	box.PowerOff(0) //nolint:errcheck // connected port
+	dump, err := box.Console(0)
+	if err != nil {
+		return nil, err
+	}
+	hasPanic := strings.Contains(string(dump), "MCE on CPU0")
+	t := &Table{
+		ID:     "E13",
+		Title:  "post-mortem serial buffer after node death (§3.3)",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"bytes node ever wrote", fmt.Sprintf("%d", n.Serial().TotalWritten())},
+			{"bytes retained by ICE Box", fmt.Sprintf("%d (cap %d)", len(dump), console16k())},
+			{"panic visible post-mortem", fmt.Sprintf("%v", hasPanic)},
+		},
+	}
+	if !hasPanic {
+		return t, fmt.Errorf("experiments: post-mortem buffer lost the panic")
+	}
+	return t, nil
+}
+
+func console16k() int { return 16 << 10 }
+
+// E14Slurm reproduces §6: allocation, FIFO arbitration, and tolerance of
+// controller failure.
+func E14Slurm() (*Table, error) {
+	clk := clock.New()
+	nodeNames := make([]string, 16)
+	for i := range nodeNames {
+		nodeNames[i] = fmt.Sprintf("node%03d", i)
+	}
+	c := slurm.New(clk, nodeNames)
+	completed := 0
+	c.OnComplete(func(j slurm.Job) {
+		if j.State == slurm.Completed {
+			completed++
+		}
+	})
+	// A mixed workload: exclusive MPI jobs and shared serial jobs.
+	total := 0
+	for i := 0; i < 12; i++ {
+		spec := slurm.Spec{Name: fmt.Sprintf("job%d", i), User: "alice",
+			Nodes: 1 + i%8, Duration: time.Duration(2+i%5) * time.Minute, Exclusive: i%3 != 0}
+		if _, err := c.Submit(spec); err != nil {
+			return nil, err
+		}
+		total++
+	}
+	clk.Advance(3 * time.Minute)
+	queuedMid := len(c.Queue())
+
+	// Kill the active controller mid-run.
+	c.KillController(0)
+	gap := c.Active() == ""
+	clk.Advance(slurm.DefaultHeartbeat)
+	promoted := c.Active()
+
+	// Submit more work through the backup.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(slurm.Spec{Name: fmt.Sprintf("late%d", i), Nodes: 2,
+			Duration: time.Minute, Exclusive: true}); err != nil {
+			return nil, err
+		}
+		total++
+	}
+	clk.RunUntilIdle()
+
+	t := &Table{
+		ID:     "E14",
+		Title:  "SLURM substrate: queueing, allocation, controller fail-over (§6)",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"jobs submitted", fmt.Sprintf("%d", total)},
+			{"pending when controller died", fmt.Sprintf("%d", queuedMid)},
+			{"control gap observed", fmt.Sprintf("%v", gap)},
+			{"promoted controller", promoted},
+			{"fail-overs", fmt.Sprintf("%d", c.Failovers())},
+			{"jobs completed", fmt.Sprintf("%d", completed)},
+		},
+	}
+	if completed != total {
+		return t, fmt.Errorf("experiments: %d of %d jobs completed", completed, total)
+	}
+	return t, nil
+}
+
+// E15Update covers §4's cloning improvement: "the ability to more easily
+// update the kernel on all nodes ... and update files or packages on the
+// nodes in parallel" — an incremental multicast update moving only the
+// changed segments.
+func E15Update(nodes int) (*Table, error) {
+	v1 := image.NewBuilder("prod", "2.0", image.BootDisk, 192<<20).
+		AddPackage("kernel-2.4.18", 24<<20).
+		AddPackage("mpich", 48<<20).
+		Build()
+	v2 := image.NewBuilder("prod", "2.1", image.BootDisk, 192<<20).
+		AddPackage("kernel-2.4.19", 24<<20). // kernel upgraded
+		AddPackage("mpich", 48<<20).
+		Build()
+	full := cloning.RunMulticast(v2, nodes, 0.01, 3, cloning.Params{})
+	upd := cloning.RunUpdate(v1, v2, nodes, 0.01, 3, cloning.Params{})
+	if len(upd.NodeUp) != nodes || len(full.NodeUp) != nodes {
+		return nil, fmt.Errorf("experiments: E15 did not converge")
+	}
+	t := &Table{
+		ID:     "E15",
+		Title:  fmt.Sprintf("kernel update on %d nodes: full reclone vs incremental (§4)", nodes),
+		Header: []string{"method", "bytes multicast", "total time", "disk written/node"},
+		Rows: [][]string{
+			{"full reclone", fmt.Sprintf("%d MB", full.MulticastBytes>>20), fmtDur(full.AllUp),
+				fmt.Sprintf("%d MB", v2.Size>>20)},
+			{"incremental update", fmt.Sprintf("%d MB", upd.MulticastBytes>>20), fmtDur(upd.AllUp),
+				fmt.Sprintf("%d MB", (v2.Size-sharedBytes(v1, v2))>>20)},
+		},
+		Notes: []string{
+			"paper: improvements to cloning add 'the ability to more easily update the kernel on all nodes ... and update files or packages on the nodes in parallel'",
+			fmt.Sprintf("the two versions share %d of %d MB; only the changed kernel segment moves", sharedBytes(v1, v2)>>20, v2.Size>>20),
+		},
+	}
+	return t, nil
+}
+
+// sharedBytes sums the chunk bytes of img already present in old.
+func sharedBytes(old, img *image.Image) int64 {
+	missing := make(map[int]struct{})
+	for _, i := range img.Diff(old) {
+		missing[i] = struct{}{}
+	}
+	var shared int64
+	for i := 0; i < img.NumChunks(); i++ {
+		if _, m := missing[i]; !m {
+			shared += int64(img.ChunkLen(i))
+		}
+	}
+	return shared
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Millisecond).String()
+}
+
+// E16Schedulers compares the built-in FIFO arbitration with the
+// Maui-style backfill policy plugged through the §6 external-scheduler
+// API, on a synthetic mixed workload: makespan, mean wait, and cluster
+// utilization.
+func E16Schedulers(nodes, jobs int, seed int64) (*Table, error) {
+	type outcome struct {
+		makespan time.Duration
+		meanWait time.Duration
+		util     float64
+	}
+	run := func(sched slurm.Scheduler) (outcome, error) {
+		clk := clock.New()
+		names := make([]string, nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("node%03d", i)
+		}
+		c := slurm.New(clk, names)
+		c.SetScheduler(sched)
+		rng := rand.New(rand.NewSource(seed))
+		var totalWork time.Duration // node-seconds of demand
+		var ids []int
+		// Bursty arrivals: all jobs submitted over the first ~10 minutes.
+		for i := 0; i < jobs; i++ {
+			clk.Advance(time.Duration(rng.Intn(30)) * time.Second)
+			spec := slurm.Spec{
+				Name:      fmt.Sprintf("job%d", i),
+				Nodes:     1 + rng.Intn(nodes/2),
+				Duration:  time.Duration(1+rng.Intn(10)) * time.Minute,
+				Exclusive: true,
+			}
+			id, err := c.Submit(spec)
+			if err != nil {
+				return outcome{}, err
+			}
+			ids = append(ids, id)
+			totalWork += spec.Duration * time.Duration(spec.Nodes)
+		}
+		clk.RunUntilIdle()
+		var makespan time.Duration
+		var waitSum time.Duration
+		for _, id := range ids {
+			j, _ := c.Job(id)
+			if j.State != slurm.Completed {
+				return outcome{}, fmt.Errorf("job %d ended %v", id, j.State)
+			}
+			if j.EndedAt > makespan {
+				makespan = j.EndedAt
+			}
+			waitSum += j.StartedAt - j.SubmittedAt
+		}
+		util := float64(totalWork) / (float64(makespan) * float64(nodes))
+		return outcome{
+			makespan: makespan,
+			meanWait: waitSum / time.Duration(len(ids)),
+			util:     util,
+		}, nil
+	}
+
+	fifo, err := run(slurm.FIFO{})
+	if err != nil {
+		return nil, err
+	}
+	bf, err := run(slurm.Backfill{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E16",
+		Title:  fmt.Sprintf("FIFO vs backfill (external-scheduler API), %d jobs on %d nodes (§6)", jobs, nodes),
+		Header: []string{"policy", "makespan", "mean wait", "cluster utilization"},
+		Rows: [][]string{
+			{"built-in FIFO", fmtDur(fifo.makespan), fmtDur(fifo.meanWait), fmt.Sprintf("%.0f%%", fifo.util*100)},
+			{"Maui-style backfill", fmtDur(bf.makespan), fmtDur(bf.meanWait), fmt.Sprintf("%.0f%%", bf.util*100)},
+		},
+		Notes: []string{
+			"paper: SLURM 'provides an Applications Programming Interface (API) for integration with external schedulers such as The Maui Scheduler'",
+			"backfill trades strict fairness for utilization; both run through the same allocation core",
+		},
+	}
+	return t, nil
+}

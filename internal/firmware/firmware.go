@@ -1,0 +1,351 @@
+// Package firmware models the two boot paths the paper compares (§2):
+// LinuxBIOS — "a Linux kernel that can boot Linux from a cold start ... in
+// about 3 seconds" with serial console output from power-on — and a
+// conventional vendor BIOS that "requires about 30 to 60 seconds", probes
+// legacy devices (video, floppy, CD-ROM, IDE) and stays silent on serial
+// until the bootloader runs.
+//
+// A Firmware is a staged finite state machine; the boot executor walks the
+// stages on the virtual clock, emitting each stage's serial output and
+// reporting hardware faults the way the real firmware would (LinuxBIOS
+// "reports all detected errors and hardware failures using the serial
+// console"; a legacy BIOS hangs mute).
+package firmware
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"clusterworx/internal/clock"
+)
+
+// BootSource says where the kernel comes from.
+type BootSource uint8
+
+// Boot sources; LinuxBIOS can use either and is reconfigured remotely.
+const (
+	BootLocalDisk BootSource = iota
+	BootNetwork
+)
+
+// String names the boot source.
+func (s BootSource) String() string {
+	if s == BootNetwork {
+		return "net"
+	}
+	return "disk"
+}
+
+// Env describes the node hardware the firmware initializes.
+type Env struct {
+	MemBytes      uint64
+	Source        BootSource
+	KernelBytes   int64   // kernel+initrd to load
+	NetBandwidth  float64 // bytes/s available for network boot
+	DiskBandwidth float64 // bytes/s for local kernel load
+	MemoryFault   bool    // inject a bad DIMM
+}
+
+// Stage is one step of a boot sequence.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+	Serial   string // emitted on the serial console at stage start, if any
+}
+
+// Firmware produces a staged boot plan for an environment.
+type Firmware interface {
+	// Name identifies the firmware ("LinuxBIOS", "LegacyBIOS").
+	Name() string
+	// Stages returns the boot plan for env.
+	Stages(env Env) []Stage
+	// SerialFromPowerOn reports whether the serial console carries output
+	// from the first instruction (true only for LinuxBIOS).
+	SerialFromPowerOn() bool
+}
+
+// BootTime returns the total cold-start duration of fw in env, faults
+// aside.
+func BootTime(fw Firmware, env Env) time.Duration {
+	var total time.Duration
+	for _, st := range fw.Stages(env) {
+		total += st.Duration
+	}
+	return total
+}
+
+// --- LinuxBIOS ---------------------------------------------------------------
+
+// LinuxBIOS is the open-source firmware: hardware init, serial console
+// activation, memory check, then kernel load — "only it does it in about 3
+// seconds".
+type LinuxBIOS struct {
+	mu       sync.Mutex
+	version  string
+	settings map[string]string
+}
+
+// NewLinuxBIOS returns a LinuxBIOS image at the given version.
+func NewLinuxBIOS(version string) *LinuxBIOS {
+	return &LinuxBIOS{version: version, settings: map[string]string{
+		"console":    "ttyS0,115200",
+		"boot_order": "net,disk",
+	}}
+}
+
+// Name implements Firmware.
+func (l *LinuxBIOS) Name() string { return "LinuxBIOS" }
+
+// SerialFromPowerOn implements Firmware: true, the defining feature.
+func (l *LinuxBIOS) SerialFromPowerOn() bool { return true }
+
+// Version returns the flashed firmware version.
+func (l *LinuxBIOS) Version() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
+}
+
+// Flash installs a new firmware version remotely ("flash new LinuxBIOS
+// releases on demand"); it takes effect on the next boot.
+func (l *LinuxBIOS) Flash(version string) {
+	l.mu.Lock()
+	l.version = version
+	l.mu.Unlock()
+}
+
+// Set changes a BIOS setting remotely "from within the Linux operating
+// system"; active as soon as the node is rebooted.
+func (l *LinuxBIOS) Set(key, value string) {
+	l.mu.Lock()
+	l.settings[key] = value
+	l.mu.Unlock()
+}
+
+// Setting reads a BIOS setting.
+func (l *LinuxBIOS) Setting(key string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.settings[key]
+}
+
+// Settings returns a sorted key=value dump for the management tools.
+func (l *LinuxBIOS) Settings() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.settings))
+	for k, v := range l.settings {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stages implements Firmware.
+func (l *LinuxBIOS) Stages(env Env) []Stage {
+	gib := float64(env.MemBytes) / (1 << 30)
+	stages := []Stage{
+		{
+			Name:     "hwinit",
+			Duration: 200 * time.Millisecond,
+			Serial:   fmt.Sprintf("\nLinuxBIOS-%s booting...\nserial console ttyS0 enabled\n", l.Version()),
+		},
+		{
+			Name:     "memcheck",
+			Duration: time.Duration(0.8 * gib * float64(time.Second)),
+			Serial:   fmt.Sprintf("checking memory: %d MB\n", env.MemBytes>>20),
+		},
+	}
+	if env.MemoryFault {
+		stages = append(stages, Stage{
+			Name:     "memfault",
+			Duration: 50 * time.Millisecond,
+			Serial:   "ERROR: memory test failed at 0x1f400000 - halting\n",
+		})
+		return stages
+	}
+	load := kernelLoadStage(env)
+	load.Serial = fmt.Sprintf("loading kernel from %s (%d KB)\n", env.Source, env.KernelBytes>>10)
+	stages = append(stages, load, Stage{
+		Name:     "kernel",
+		Duration: 1800 * time.Millisecond,
+		Serial:   "Linux version 2.4.18 (LinuxBIOS payload)\nVFS: Mounted root.\n",
+	})
+	return stages
+}
+
+// --- Legacy BIOS --------------------------------------------------------------
+
+// LegacyBIOS is the vendor firmware: slow POST, probes of "inherently
+// unreliable devices such as video cards, floppy disks, CD-ROM and hard
+// drives", no serial output until the bootloader, no remote
+// configuration.
+type LegacyBIOS struct{}
+
+// NewLegacyBIOS returns the conventional BIOS.
+func NewLegacyBIOS() *LegacyBIOS { return &LegacyBIOS{} }
+
+// Name implements Firmware.
+func (LegacyBIOS) Name() string { return "LegacyBIOS" }
+
+// SerialFromPowerOn implements Firmware: the screen gets output, the
+// serial port does not.
+func (LegacyBIOS) SerialFromPowerOn() bool { return false }
+
+// Stages implements Firmware.
+func (LegacyBIOS) Stages(env Env) []Stage {
+	gib := float64(env.MemBytes) / (1 << 30)
+	stages := []Stage{
+		{Name: "post", Duration: time.Duration(8 * gib * float64(time.Second))}, // silent memory count
+		{Name: "video", Duration: 2 * time.Second},
+		{Name: "floppy", Duration: 3 * time.Second},
+		{Name: "ide-probe", Duration: 5 * time.Second},
+		{Name: "cdrom-probe", Duration: 4 * time.Second},
+	}
+	if env.MemoryFault {
+		// Beep codes on a speaker nobody can hear; serial stays mute.
+		stages = append(stages, Stage{Name: "beep-halt", Duration: time.Second})
+		return stages
+	}
+	if env.Source == BootNetwork {
+		stages = append(stages, Stage{Name: "pxe-rom", Duration: 5 * time.Second})
+	}
+	stages = append(stages, Stage{
+		Name:     "bootloader",
+		Duration: 3 * time.Second,
+		Serial:   "LILO 22.2 boot: linux\n", // serial finally alive
+	})
+	load := kernelLoadStage(env)
+	load.Serial = "Loading linux"
+	stages = append(stages, load, Stage{
+		Name:     "kernel",
+		Duration: 5 * time.Second,
+		Serial:   "Linux version 2.4.18\nVFS: Mounted root.\n",
+	})
+	return stages
+}
+
+// kernelLoadStage computes the kernel transfer stage for the environment.
+func kernelLoadStage(env Env) Stage {
+	kernel := env.KernelBytes
+	if kernel <= 0 {
+		kernel = 4 << 20
+	}
+	var rate float64
+	switch env.Source {
+	case BootNetwork:
+		rate = env.NetBandwidth
+		if rate <= 0 {
+			rate = 100e6 / 8
+		}
+	default:
+		rate = env.DiskBandwidth
+		if rate <= 0 {
+			rate = 20e6
+		}
+	}
+	return Stage{
+		Name:     "kernel-load",
+		Duration: time.Duration(float64(kernel) / rate * float64(time.Second)),
+	}
+}
+
+// --- boot executor -------------------------------------------------------------
+
+// Outcome is a finished boot's disposition.
+type Outcome uint8
+
+// Boot outcomes. A cancelled boot (power pulled) reports nothing: the
+// canceller initiated the transition and owns the consequences.
+const (
+	BootOK Outcome = iota
+	BootFault
+)
+
+// Run is an in-flight boot sequence.
+type Run struct {
+	clk       *clock.Clock
+	fw        Firmware
+	stages    []Stage
+	serial    io.Writer
+	onDone    func(Outcome)
+	stage     int
+	current   string
+	timer     *clock.Timer
+	cancelled bool
+	done      bool
+	startedAt time.Duration
+	outcome   Outcome
+}
+
+// Boot starts fw in env, writing stage output to serial (which may be nil)
+// and invoking onDone with the outcome. It returns a handle that can
+// cancel the boot (power pulled mid-POST).
+func Boot(clk *clock.Clock, fw Firmware, env Env, serial io.Writer, onDone func(Outcome)) *Run {
+	r := &Run{
+		clk:       clk,
+		fw:        fw,
+		stages:    fw.Stages(env),
+		serial:    serial,
+		onDone:    onDone,
+		startedAt: clk.Now(),
+	}
+	if env.MemoryFault {
+		r.outcome = BootFault
+	}
+	r.enterStage()
+	return r
+}
+
+// Cancel aborts the boot silently; onDone never fires.
+func (r *Run) Cancel() {
+	if r.done || r.cancelled {
+		return
+	}
+	r.cancelled = true
+	r.done = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+}
+
+// Stage returns the stage currently executing, or "" when finished.
+func (r *Run) Stage() string {
+	if r.done {
+		return ""
+	}
+	return r.current
+}
+
+// Elapsed returns time since power-on.
+func (r *Run) Elapsed() time.Duration { return r.clk.Now() - r.startedAt }
+
+func (r *Run) enterStage() {
+	if r.cancelled || r.done {
+		return
+	}
+	if r.stage >= len(r.stages) {
+		r.finish(r.outcome)
+		return
+	}
+	st := r.stages[r.stage]
+	r.current = st.Name
+	if st.Serial != "" && r.serial != nil {
+		r.serial.Write([]byte(st.Serial)) //nolint:errcheck // console writes cannot fail
+	}
+	r.stage++
+	r.timer = r.clk.AfterFunc(st.Duration, r.enterStage)
+}
+
+func (r *Run) finish(out Outcome) {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.onDone != nil {
+		r.onDone(out)
+	}
+}

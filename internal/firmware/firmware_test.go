@@ -1,0 +1,195 @@
+package firmware
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/console"
+)
+
+func env1G() Env {
+	return Env{MemBytes: 1 << 30, Source: BootLocalDisk, KernelBytes: 4 << 20, DiskBandwidth: 20e6}
+}
+
+func TestLinuxBIOSBootsInAboutThreeSeconds(t *testing.T) {
+	bt := BootTime(NewLinuxBIOS("1.0.1"), env1G())
+	if bt < 1500*time.Millisecond || bt > 4*time.Second {
+		t.Fatalf("LinuxBIOS boot = %v, want ~3 s", bt)
+	}
+}
+
+func TestLegacyBIOSBootsInThirtyToSixtySeconds(t *testing.T) {
+	bt := BootTime(NewLegacyBIOS(), env1G())
+	if bt < 25*time.Second || bt > 60*time.Second {
+		t.Fatalf("LegacyBIOS boot = %v, want 30-60 s", bt)
+	}
+}
+
+func TestBootRatioMatchesPaper(t *testing.T) {
+	lb := BootTime(NewLinuxBIOS("1"), env1G())
+	legacy := BootTime(NewLegacyBIOS(), env1G())
+	ratio := float64(legacy) / float64(lb)
+	if ratio < 8 {
+		t.Fatalf("legacy/linuxbios boot ratio = %.1f, want ~10-20x", ratio)
+	}
+}
+
+func TestMoreMemorySlowsBoth(t *testing.T) {
+	small, big := env1G(), env1G()
+	big.MemBytes = 4 << 30
+	if BootTime(NewLinuxBIOS("1"), big) <= BootTime(NewLinuxBIOS("1"), small) {
+		t.Fatal("LinuxBIOS memcheck not scaling with memory")
+	}
+	if BootTime(NewLegacyBIOS(), big) <= BootTime(NewLegacyBIOS(), small) {
+		t.Fatal("legacy POST not scaling with memory")
+	}
+}
+
+func TestNetbootPaths(t *testing.T) {
+	netEnv := env1G()
+	netEnv.Source = BootNetwork
+	// LinuxBIOS netboots directly; legacy needs a PXE ROM stage.
+	legacyStages := NewLegacyBIOS().Stages(netEnv)
+	found := false
+	for _, s := range legacyStages {
+		if s.Name == "pxe-rom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("legacy netboot lacks pxe-rom stage")
+	}
+	if BootSource(99).String() == "" || BootNetwork.String() != "net" || BootLocalDisk.String() != "disk" {
+		t.Fatal("BootSource.String wrong")
+	}
+}
+
+func TestSerialFromPowerOn(t *testing.T) {
+	clk := clock.New()
+	for _, tc := range []struct {
+		fw        Firmware
+		fromStart bool
+	}{
+		{NewLinuxBIOS("1.0.1"), true},
+		{NewLegacyBIOS(), false},
+	} {
+		con := console.New(0)
+		Boot(clk, tc.fw, env1G(), con, nil)
+		clk.Advance(200 * time.Millisecond) // early in POST
+		early := len(con.PostMortem()) > 0
+		if early != tc.fromStart {
+			t.Errorf("%s: serial output at 200ms = %v, want %v", tc.fw.Name(), early, tc.fromStart)
+		}
+		if tc.fw.SerialFromPowerOn() != tc.fromStart {
+			t.Errorf("%s: SerialFromPowerOn() = %v", tc.fw.Name(), tc.fw.SerialFromPowerOn())
+		}
+		clk.RunUntilIdle()
+	}
+}
+
+func TestBootRunCompletes(t *testing.T) {
+	clk := clock.New()
+	con := console.New(0)
+	var outcome Outcome = 99
+	r := Boot(clk, NewLinuxBIOS("1.0.1"), env1G(), con, func(o Outcome) { outcome = o })
+	if r.Stage() != "hwinit" {
+		t.Fatalf("initial stage %q", r.Stage())
+	}
+	clk.RunUntilIdle()
+	if outcome != BootOK {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if r.Stage() != "" {
+		t.Fatalf("stage after done = %q", r.Stage())
+	}
+	text := string(con.PostMortem())
+	for _, want := range []string{"LinuxBIOS-1.0.1", "checking memory: 1024 MB", "Mounted root"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serial missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMemoryFaultReporting(t *testing.T) {
+	clk := clock.New()
+	bad := env1G()
+	bad.MemoryFault = true
+
+	// LinuxBIOS reports the failure on the serial console.
+	con := console.New(0)
+	var out Outcome
+	Boot(clk, NewLinuxBIOS("1"), bad, con, func(o Outcome) { out = o })
+	clk.RunUntilIdle()
+	if out != BootFault {
+		t.Fatalf("LinuxBIOS outcome = %v, want BootFault", out)
+	}
+	if !strings.Contains(string(con.PostMortem()), "memory test failed") {
+		t.Fatal("LinuxBIOS did not report memory fault on serial")
+	}
+
+	// Legacy BIOS fails mute.
+	con2 := console.New(0)
+	Boot(clk, NewLegacyBIOS(), bad, con2, func(o Outcome) { out = o })
+	clk.RunUntilIdle()
+	if out != BootFault {
+		t.Fatalf("legacy outcome = %v", out)
+	}
+	if len(con2.PostMortem()) != 0 {
+		t.Fatalf("legacy BIOS wrote to serial on fault: %q", con2.PostMortem())
+	}
+}
+
+func TestCancelSuppressesCallback(t *testing.T) {
+	clk := clock.New()
+	called := false
+	r := Boot(clk, NewLinuxBIOS("1"), env1G(), nil, func(Outcome) { called = true })
+	clk.Advance(50 * time.Millisecond)
+	r.Cancel()
+	r.Cancel() // idempotent
+	clk.RunUntilIdle()
+	if called {
+		t.Fatal("cancelled boot fired onDone")
+	}
+	if r.Elapsed() < 50*time.Millisecond {
+		t.Fatalf("elapsed = %v", r.Elapsed())
+	}
+}
+
+func TestRemoteSettingsAndFlash(t *testing.T) {
+	lb := NewLinuxBIOS("1.0.1")
+	if lb.Setting("console") != "ttyS0,115200" {
+		t.Fatalf("default console setting = %q", lb.Setting("console"))
+	}
+	lb.Set("boot_order", "disk,net")
+	if lb.Setting("boot_order") != "disk,net" {
+		t.Fatal("Set did not take")
+	}
+	lb.Flash("1.1.0")
+	if lb.Version() != "1.1.0" {
+		t.Fatal("Flash did not take")
+	}
+	dump := lb.Settings()
+	if len(dump) != 2 || !strings.HasPrefix(dump[0], "boot_order=") {
+		t.Fatalf("Settings() = %v", dump)
+	}
+	// New version shows up in next boot's serial banner.
+	clk := clock.New()
+	con := console.New(0)
+	Boot(clk, lb, env1G(), con, nil)
+	clk.RunUntilIdle()
+	if !strings.Contains(string(con.PostMortem()), "LinuxBIOS-1.1.0") {
+		t.Fatal("flashed version not active on next boot")
+	}
+}
+
+func TestNilSerialIsSafe(t *testing.T) {
+	clk := clock.New()
+	done := false
+	Boot(clk, NewLegacyBIOS(), env1G(), nil, func(Outcome) { done = true })
+	clk.RunUntilIdle()
+	if !done {
+		t.Fatal("boot with nil serial did not complete")
+	}
+}

@@ -1,0 +1,81 @@
+package gather
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clusterworx/internal/procfs"
+)
+
+// fsWithIfaces builds a frozen /proc whose net/dev has n interfaces — the
+// substrate for the paper's "21.6 µs per call per network device" claim.
+func fsWithIfaces(n int) *procfs.FS {
+	s := procfs.BaselineStat()
+	s.Ifaces = nil
+	for i := 0; i < n; i++ {
+		s.Ifaces = append(s.Ifaces, procfs.IfaceStat{
+			Name:    fmt.Sprintf("eth%d", i),
+			RxBytes: uint64(i) * 1e6, RxPackets: uint64(i) * 1e3,
+			TxBytes: uint64(i) * 5e5, TxPackets: uint64(i) * 500,
+		})
+	}
+	fs := procfs.NewFS()
+	procfs.RegisterStd(fs, func() *procfs.NodeStat { return &s })
+	return fs
+}
+
+func TestNetDevParsesManyIfaces(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		fs := fsWithIfaces(n)
+		g, err := NewNetDevGatherer(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nd NetDevStats
+		if err := g.Gather(&nd); err != nil {
+			t.Fatalf("%d ifaces: %v", n, err)
+		}
+		if len(nd.Ifaces) != n {
+			t.Fatalf("parsed %d of %d ifaces", len(nd.Ifaces), n)
+		}
+		for i, ifc := range nd.Ifaces {
+			if ifc.Name != fmt.Sprintf("eth%d", i) || ifc.RxBytes != uint64(i)*1e6 {
+				t.Fatalf("iface %d = %+v", i, ifc)
+			}
+		}
+		g.Close()
+	}
+}
+
+// The paper charges net/dev per device; measure that the per-call cost
+// grows roughly linearly in the interface count (not quadratically, not
+// flat).
+func TestNetDevCostPerDevice(t *testing.T) {
+	cost := func(n int) time.Duration {
+		fs := fsWithIfaces(n)
+		g, err := NewNetDevGatherer(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		var nd NetDevStats
+		const iters = 3000
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := g.Gather(&nd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / iters
+	}
+	c2 := cost(2)
+	c16 := cost(16)
+	ratio := float64(c16) / float64(c2)
+	// 8x the devices: expect several-fold growth, bounded well below
+	// super-linear blowup. (There is a fixed header/open component, so the
+	// ratio is below 8.)
+	if ratio < 1.5 || ratio > 16 {
+		t.Fatalf("2->16 ifaces cost ratio = %.1f (c2=%v c16=%v)", ratio, c2, c16)
+	}
+}

@@ -1,0 +1,341 @@
+package gather
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+
+	"clusterworx/internal/procfs"
+)
+
+// MeminfoGatherer samples /proc/meminfo with some strategy.
+type MeminfoGatherer interface {
+	Gather(out *MemStats) error
+	Close() error
+}
+
+// --- strategy 1: naive ------------------------------------------------------
+//
+// The paper's first implementation: open per sample, read the file in small
+// pieces (each piece paying a full content regeneration by the kernel
+// handler), and parse with scanf-style conversion. 85 samples/s.
+
+// NaiveMeminfo is the baseline strategy. Retained only as the experimental
+// control; production code uses KeepOpenMeminfo.
+type NaiveMeminfo struct {
+	fs  *procfs.FS
+	buf []byte
+}
+
+// NewNaiveMeminfo returns the naive gatherer.
+func NewNaiveMeminfo(fs *procfs.FS) *NaiveMeminfo {
+	return &NaiveMeminfo{fs: fs, buf: make([]byte, 0, readBufSize)}
+}
+
+// Gather opens, chunk-reads and scanf-parses /proc/meminfo.
+func (g *NaiveMeminfo) Gather(out *MemStats) error {
+	f, err := g.fs.Open("/proc/meminfo")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := readChunked(f, g.buf)
+	if err != nil {
+		return err
+	}
+	g.buf = data[:0]
+	return scanfMeminfo(data, out)
+}
+
+// Close implements MeminfoGatherer; the naive strategy holds nothing open.
+func (g *NaiveMeminfo) Close() error { return nil }
+
+// scanfMeminfo parses each kB line with fmt.Sscanf, the moral equivalent of
+// the stdio fscanf loop the paper's first implementation used.
+func scanfMeminfo(data []byte, out *MemStats) error {
+	targets := map[string]*uint64{
+		"MemTotal:": &out.MemTotal, "MemFree:": &out.MemFree,
+		"MemShared:": &out.MemShared, "Buffers:": &out.Buffers,
+		"Cached:": &out.Cached, "SwapCached:": &out.SwapCached,
+		"Active:": &out.Active, "Inactive:": &out.Inactive,
+		"SwapTotal:": &out.SwapTotal, "SwapFree:": &out.SwapFree,
+	}
+	found := 0
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		var name string
+		var value uint64
+		if n, _ := fmt.Sscanf(string(line), "%s %d kB", &name, &value); n == 2 {
+			if dst, ok := targets[name]; ok {
+				*dst = value
+				found++
+			}
+		}
+	}
+	if found < 10 {
+		return &ParseError{File: "/proc/meminfo", Detail: "scanf found only " + strconv.Itoa(found) + " fields"}
+	}
+	return nil
+}
+
+// --- strategy 2: buffered ---------------------------------------------------
+//
+// "Loading /proc/meminfo at once into a separate buffer and parsing the
+// data within that buffer" — one read(2), one regeneration, generic parse.
+// 4173 samples/s (+4800 %).
+
+// BufferedMeminfo opens per sample but reads the whole file with a single
+// read and parses generically within the buffer.
+type BufferedMeminfo struct {
+	fs  *procfs.FS
+	buf []byte
+}
+
+// NewBufferedMeminfo returns the buffered gatherer.
+func NewBufferedMeminfo(fs *procfs.FS) *BufferedMeminfo {
+	return &BufferedMeminfo{fs: fs, buf: make([]byte, readBufSize)}
+}
+
+// Gather opens, single-reads, and generically parses /proc/meminfo.
+func (g *BufferedMeminfo) Gather(out *MemStats) error {
+	f, err := g.fs.Open("/proc/meminfo")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := readWhole(f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseMeminfoGeneric(data, out)
+}
+
+// Close implements MeminfoGatherer.
+func (g *BufferedMeminfo) Close() error { return nil }
+
+// --- strategy 3: a-priori format knowledge ----------------------------------
+//
+// "By taking advantage of the fact that /proc data uses standard ASCII
+// output and by using a priori knowledge about the output format" — the
+// positional hand parser. 14031 samples/s (+236 %). Still reopens per
+// sample.
+
+// AprioriMeminfo opens per sample and parses with the positional parser.
+type AprioriMeminfo struct {
+	fs  *procfs.FS
+	buf []byte
+}
+
+// NewAprioriMeminfo returns the a-priori gatherer.
+func NewAprioriMeminfo(fs *procfs.FS) *AprioriMeminfo {
+	return &AprioriMeminfo{fs: fs, buf: make([]byte, readBufSize)}
+}
+
+// Gather opens, single-reads, and positionally parses /proc/meminfo.
+func (g *AprioriMeminfo) Gather(out *MemStats) error {
+	f, err := g.fs.Open("/proc/meminfo")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := readWhole(f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseMeminfoApriori(data, out)
+}
+
+// Close implements MeminfoGatherer.
+func (g *AprioriMeminfo) Close() error { return nil }
+
+// --- strategy 4: keep the file open ------------------------------------------
+//
+// "We keep the file open all the time, just resetting the file pointer to
+// the beginning of the file between two consecutive steps." 33855
+// samples/s (+141 %), i.e. 29.5 µs of CPU per call on the paper's testbed.
+
+// KeepOpenMeminfo is the production strategy: the file stays open across
+// samples, rewound with Seek(0) between reads.
+type KeepOpenMeminfo struct {
+	f   *procfs.File
+	buf []byte
+}
+
+// NewKeepOpenMeminfo opens /proc/meminfo once for the gatherer's lifetime.
+func NewKeepOpenMeminfo(fs *procfs.FS) (*KeepOpenMeminfo, error) {
+	f, err := fs.Open("/proc/meminfo")
+	if err != nil {
+		return nil, err
+	}
+	return &KeepOpenMeminfo{f: f, buf: make([]byte, readBufSize)}, nil
+}
+
+// Gather rewinds, single-reads, and positionally parses /proc/meminfo.
+func (g *KeepOpenMeminfo) Gather(out *MemStats) error {
+	if _, err := g.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := readWhole(g.f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseMeminfoApriori(data, out)
+}
+
+// Close releases the kept-open file.
+func (g *KeepOpenMeminfo) Close() error { return g.f.Close() }
+
+// --- production gatherers for the remaining files ----------------------------
+//
+// All use the final strategy (kept open + a-priori parse). Per-call costs
+// on the paper's testbed: stat 35 µs, loadavg 7.5 µs, uptime 6.2 µs,
+// net/dev 21.6 µs per device.
+
+// StatGatherer samples /proc/stat.
+type StatGatherer struct {
+	f   *procfs.File
+	buf []byte
+}
+
+// NewStatGatherer opens /proc/stat once.
+func NewStatGatherer(fs *procfs.FS) (*StatGatherer, error) {
+	f, err := fs.Open("/proc/stat")
+	if err != nil {
+		return nil, err
+	}
+	return &StatGatherer{f: f, buf: make([]byte, readBufSize)}, nil
+}
+
+// Gather rewinds and parses /proc/stat.
+func (g *StatGatherer) Gather(out *CPUStats) error {
+	if _, err := g.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := readWhole(g.f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseStatApriori(data, out)
+}
+
+// Close releases the file.
+func (g *StatGatherer) Close() error { return g.f.Close() }
+
+// LoadavgGatherer samples /proc/loadavg.
+type LoadavgGatherer struct {
+	f   *procfs.File
+	buf []byte
+}
+
+// NewLoadavgGatherer opens /proc/loadavg once.
+func NewLoadavgGatherer(fs *procfs.FS) (*LoadavgGatherer, error) {
+	f, err := fs.Open("/proc/loadavg")
+	if err != nil {
+		return nil, err
+	}
+	return &LoadavgGatherer{f: f, buf: make([]byte, 256)}, nil
+}
+
+// Gather rewinds and parses /proc/loadavg.
+func (g *LoadavgGatherer) Gather(out *LoadStats) error {
+	if _, err := g.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := readWhole(g.f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseLoadavgApriori(data, out)
+}
+
+// Close releases the file.
+func (g *LoadavgGatherer) Close() error { return g.f.Close() }
+
+// UptimeGatherer samples /proc/uptime.
+type UptimeGatherer struct {
+	f   *procfs.File
+	buf []byte
+}
+
+// NewUptimeGatherer opens /proc/uptime once.
+func NewUptimeGatherer(fs *procfs.FS) (*UptimeGatherer, error) {
+	f, err := fs.Open("/proc/uptime")
+	if err != nil {
+		return nil, err
+	}
+	return &UptimeGatherer{f: f, buf: make([]byte, 128)}, nil
+}
+
+// Gather rewinds and parses /proc/uptime.
+func (g *UptimeGatherer) Gather(out *UptimeStats) error {
+	if _, err := g.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := readWhole(g.f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseUptimeApriori(data, out)
+}
+
+// Close releases the file.
+func (g *UptimeGatherer) Close() error { return g.f.Close() }
+
+// NetDevGatherer samples /proc/net/dev.
+type NetDevGatherer struct {
+	f   *procfs.File
+	buf []byte
+}
+
+// NewNetDevGatherer opens /proc/net/dev once.
+func NewNetDevGatherer(fs *procfs.FS) (*NetDevGatherer, error) {
+	f, err := fs.Open("/proc/net/dev")
+	if err != nil {
+		return nil, err
+	}
+	return &NetDevGatherer{f: f, buf: make([]byte, readBufSize)}, nil
+}
+
+// Gather rewinds and parses /proc/net/dev.
+func (g *NetDevGatherer) Gather(out *NetDevStats) error {
+	if _, err := g.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := readWhole(g.f, g.buf)
+	if err != nil {
+		return err
+	}
+	return parseNetDevApriori(data, out)
+}
+
+// Close releases the file.
+func (g *NetDevGatherer) Close() error { return g.f.Close() }
+
+// Compile-time interface checks for the meminfo strategy ladder.
+var (
+	_ MeminfoGatherer = (*NaiveMeminfo)(nil)
+	_ MeminfoGatherer = (*BufferedMeminfo)(nil)
+	_ MeminfoGatherer = (*AprioriMeminfo)(nil)
+	_ MeminfoGatherer = (*KeepOpenMeminfo)(nil)
+)
+
+// ParseMeminfoApriori exposes the positional parser for the E3
+// parser-comparison benchmark (optimized vs generic on identical bytes).
+func ParseMeminfoApriori(data []byte, out *MemStats) error {
+	return parseMeminfoApriori(data, out)
+}
+
+// ParseMeminfoGeneric exposes the generic parser for the E3 benchmark.
+func ParseMeminfoGeneric(data []byte, out *MemStats) error {
+	return parseMeminfoGeneric(data, out)
+}
+
+// ParseStatApriori exposes the positional /proc/stat parser.
+func ParseStatApriori(data []byte, out *CPUStats) error {
+	return parseStatApriori(data, out)
+}
+
+// ParseStatGeneric exposes the generic /proc/stat parser.
+func ParseStatGeneric(data []byte, out *CPUStats) error {
+	return parseStatGeneric(data, out)
+}

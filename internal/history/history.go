@@ -1,0 +1,257 @@
+// Package history stores monitor values over time for the paper's §5.1
+// historical graphing: "the administrator can chart monitoring values over
+// time ... view cluster use and performance trends over a selected time
+// interval, analyze the relationships between monitored values, or compare
+// performance between nodes."
+//
+// Each (node, metric) pair owns a bounded ring of points; queries provide
+// ranges, aggregate statistics, bucketed downsampling for charts, and a
+// least-squares trend for capacity prediction.
+package history
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample.
+type Point struct {
+	T time.Duration // virtual or wall offset, monotone per series
+	V float64
+}
+
+// DefaultCapacity is the per-series ring size.
+const DefaultCapacity = 4096
+
+// Series is a bounded time-ordered sample ring.
+type Series struct {
+	buf   []Point
+	start int
+	size  int
+}
+
+// NewSeries returns a ring holding the last capacity points.
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Series{buf: make([]Point, capacity)}
+}
+
+// Append adds a point. Out-of-order appends (clock skew after an agent
+// restart) are dropped rather than corrupting the ring's ordering.
+func (s *Series) Append(t time.Duration, v float64) {
+	if s.size > 0 && t < s.at(s.size-1).T {
+		return
+	}
+	if s.size < len(s.buf) {
+		*s.slot(s.size) = Point{T: t, V: v}
+		s.size++
+		return
+	}
+	*s.slot(0) = Point{T: t, V: v}
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+func (s *Series) slot(i int) *Point { return &s.buf[(s.start+i)%len(s.buf)] }
+
+func (s *Series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
+
+// Len returns the number of stored points.
+func (s *Series) Len() int { return s.size }
+
+// Last returns the most recent point.
+func (s *Series) Last() (Point, bool) {
+	if s.size == 0 {
+		return Point{}, false
+	}
+	return s.at(s.size - 1), true
+}
+
+// Range returns the points with t0 <= T <= t1, oldest first.
+func (s *Series) Range(t0, t1 time.Duration) []Point {
+	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
+	hi := sort.Search(s.size, func(i int) bool { return s.at(i).T > t1 })
+	out := make([]Point, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, s.at(i))
+	}
+	return out
+}
+
+// Stats aggregates the range [t0, t1].
+type Stats struct {
+	N         int
+	Min, Max  float64
+	Mean      float64
+	First     Point
+	LastPoint Point
+}
+
+// Stats computes aggregates over a range.
+func (s *Series) Stats(t0, t1 time.Duration) Stats {
+	var st Stats
+	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
+	for i := lo; i < s.size; i++ {
+		p := s.at(i)
+		if p.T > t1 {
+			break
+		}
+		if st.N == 0 {
+			st.Min, st.Max, st.First = p.V, p.V, p
+		}
+		if p.V < st.Min {
+			st.Min = p.V
+		}
+		if p.V > st.Max {
+			st.Max = p.V
+		}
+		st.Mean += p.V
+		st.LastPoint = p
+		st.N++
+	}
+	if st.N > 0 {
+		st.Mean /= float64(st.N)
+	}
+	return st
+}
+
+// Trend returns the least-squares slope over [t0, t1] in value units per
+// hour — the "predict future computing needs" primitive. ok is false with
+// fewer than two points or zero time spread.
+func (s *Series) Trend(t0, t1 time.Duration) (perHour float64, ok bool) {
+	pts := s.Range(t0, t1)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for _, p := range pts {
+		x := p.T.Hours()
+		sumX += x
+		sumY += p.V
+		sumXY += x * p.V
+		sumXX += x * x
+	}
+	n := float64(len(pts))
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sumXY - sumX*sumY) / den, true
+}
+
+// Downsample buckets [t0, t1] into n equal intervals and returns the mean
+// of each non-empty bucket, timestamped at the bucket midpoint — the chart
+// renderer's input.
+func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
+	if n <= 0 || t1 <= t0 {
+		return nil
+	}
+	width := (t1 - t0) / time.Duration(n)
+	if width <= 0 {
+		return nil
+	}
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, p := range s.Range(t0, t1) {
+		b := int((p.T - t0) / width)
+		if b >= n {
+			b = n - 1
+		}
+		sums[b] += p.V
+		counts[b]++
+	}
+	out := make([]Point, 0, n)
+	for b := 0; b < n; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		out = append(out, Point{
+			T: t0 + width*time.Duration(b) + width/2,
+			V: sums[b] / float64(counts[b]),
+		})
+	}
+	return out
+}
+
+// Store maps (node, metric) to series. Safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	capacity int
+	series   map[string]map[string]*Series
+}
+
+// NewStore returns a store creating series of the given capacity
+// (0 = DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{capacity: capacity, series: make(map[string]map[string]*Series)}
+}
+
+// Append records one sample.
+func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	byMetric, ok := st.series[nodeName]
+	if !ok {
+		byMetric = make(map[string]*Series)
+		st.series[nodeName] = byMetric
+	}
+	s, ok := byMetric[metric]
+	if !ok {
+		s = NewSeries(st.capacity)
+		byMetric[metric] = s
+	}
+	s.Append(t, v)
+}
+
+// Series returns the series for (node, metric), or nil. The returned
+// series must only be read while no appends race it; the server reads on
+// its event loop.
+func (st *Store) Series(nodeName, metric string) *Series {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.series[nodeName][metric]
+}
+
+// Nodes returns the node names with any history, sorted.
+func (st *Store) Nodes() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.series))
+	for n := range st.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics returns the metric names recorded for a node, sorted.
+func (st *Store) Metrics(nodeName string) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	byMetric := st.series[nodeName]
+	out := make([]string, 0, len(byMetric))
+	for m := range byMetric {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compare returns each node's Stats for one metric over a range — the
+// "compare performance between nodes" view.
+func (st *Store) Compare(metric string, t0, t1 time.Duration) map[string]Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[string]Stats)
+	for nodeName, byMetric := range st.series {
+		if s, ok := byMetric[metric]; ok {
+			out[nodeName] = s.Stats(t0, t1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package history
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestAppendAndLast(t *testing.T) {
+	s := NewSeries(8)
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series has Last")
+	}
+	s.Append(sec(1), 10)
+	s.Append(sec(2), 20)
+	p, ok := s.Last()
+	if !ok || p.T != sec(2) || p.V != 20 {
+		t.Fatalf("Last = %+v", p)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := NewSeries(4)
+	for i := 1; i <= 10; i++ {
+		s.Append(sec(i), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	pts := s.Range(0, sec(100))
+	if len(pts) != 4 || pts[0].V != 7 || pts[3].V != 10 {
+		t.Fatalf("Range = %v", pts)
+	}
+}
+
+func TestOutOfOrderDropped(t *testing.T) {
+	s := NewSeries(8)
+	s.Append(sec(5), 1)
+	s.Append(sec(3), 2) // clock skew: dropped
+	s.Append(sec(6), 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := NewSeries(16)
+	for i := 1; i <= 10; i++ {
+		s.Append(sec(i), float64(i))
+	}
+	pts := s.Range(sec(3), sec(7))
+	if len(pts) != 5 || pts[0].T != sec(3) || pts[4].T != sec(7) {
+		t.Fatalf("Range = %v", pts)
+	}
+	if len(s.Range(sec(20), sec(30))) != 0 {
+		t.Fatal("empty range returned points")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSeries(16)
+	for i, v := range []float64{5, 1, 9, 3} {
+		s.Append(sec(i+1), v)
+	}
+	st := s.Stats(sec(1), sec(4))
+	if st.N != 4 || st.Min != 1 || st.Max != 9 || st.Mean != 4.5 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.First.V != 5 || st.LastPoint.V != 3 {
+		t.Fatalf("First/Last = %+v", st)
+	}
+	if empty := s.Stats(sec(100), sec(200)); empty.N != 0 {
+		t.Fatalf("empty Stats = %+v", empty)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	s := NewSeries(64)
+	// Value climbs 1 unit per minute = 60/hour.
+	for i := 0; i <= 30; i++ {
+		s.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	slope, ok := s.Trend(0, time.Hour)
+	if !ok || math.Abs(slope-60) > 0.001 {
+		t.Fatalf("Trend = %v, %v; want 60/hour", slope, ok)
+	}
+	// Too few points.
+	s2 := NewSeries(4)
+	s2.Append(sec(1), 1)
+	if _, ok := s2.Trend(0, sec(10)); ok {
+		t.Fatal("Trend with one point succeeded")
+	}
+	// Zero time spread.
+	s3 := NewSeries(4)
+	s3.Append(sec(1), 1)
+	s3.Append(sec(1), 2)
+	if _, ok := s3.Trend(0, sec(10)); ok {
+		t.Fatal("Trend with zero spread succeeded")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries(256)
+	for i := 0; i < 100; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i%10))
+	}
+	pts := s.Downsample(0, sec(100), 10)
+	if len(pts) != 10 {
+		t.Fatalf("Downsample returned %d buckets", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.V-4.5) > 0.001 {
+			t.Fatalf("bucket mean = %v, want 4.5", p.V)
+		}
+	}
+	if s.Downsample(0, sec(100), 0) != nil {
+		t.Fatal("zero buckets not rejected")
+	}
+	if s.Downsample(sec(5), sec(5), 4) != nil {
+		t.Fatal("empty interval not rejected")
+	}
+}
+
+func TestDownsampleSparse(t *testing.T) {
+	s := NewSeries(16)
+	s.Append(sec(1), 10)
+	s.Append(sec(99), 20)
+	pts := s.Downsample(0, sec(100), 10)
+	if len(pts) != 2 {
+		t.Fatalf("sparse downsample = %v", pts)
+	}
+}
+
+func TestStore(t *testing.T) {
+	st := NewStore(16)
+	st.Append("n1", "load.1", sec(1), 0.5)
+	st.Append("n1", "load.1", sec(2), 0.7)
+	st.Append("n1", "mem.free.kb", sec(1), 1000)
+	st.Append("n2", "load.1", sec(1), 2.5)
+
+	if s := st.Series("n1", "load.1"); s == nil || s.Len() != 2 {
+		t.Fatal("Series lookup failed")
+	}
+	if st.Series("ghost", "load.1") != nil {
+		t.Fatal("ghost series not nil")
+	}
+	nodes := st.Nodes()
+	if len(nodes) != 2 || nodes[0] != "n1" || nodes[1] != "n2" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	metrics := st.Metrics("n1")
+	if len(metrics) != 2 || metrics[0] != "load.1" {
+		t.Fatalf("Metrics = %v", metrics)
+	}
+	cmp := st.Compare("load.1", 0, sec(10))
+	if len(cmp) != 2 || cmp["n2"].Mean != 2.5 {
+		t.Fatalf("Compare = %+v", cmp)
+	}
+}
+
+// Property: Range returns exactly the points within bounds, in order, for
+// any append sequence (monotone timestamps).
+func TestPropertyRangeCorrect(t *testing.T) {
+	f := func(vals []uint8, loSel, hiSel uint8) bool {
+		s := NewSeries(32)
+		for i, v := range vals {
+			s.Append(sec(i), float64(v))
+		}
+		total := len(vals)
+		kept := total
+		if kept > 32 {
+			kept = 32
+		}
+		lo := int(loSel) % (total + 1)
+		hi := lo + int(hiSel)%(total+1-lo)
+		pts := s.Range(sec(lo), sec(hi))
+		// Recompute expectation from the retained suffix.
+		first := total - kept
+		want := 0
+		for i := first; i < total; i++ {
+			if i >= lo && i <= hi {
+				want++
+			}
+		}
+		if len(pts) != want {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].T < pts[i-1].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Stats.Mean is always within [Min, Max].
+func TestPropertyStatsBounds(t *testing.T) {
+	f := func(vals []int8) bool {
+		s := NewSeries(64)
+		for i, v := range vals {
+			s.Append(sec(i), float64(v))
+		}
+		st := s.Stats(0, sec(len(vals)+1))
+		if st.N == 0 {
+			return len(vals) == 0 || len(vals) > 64
+		}
+		return st.Min <= st.Mean && st.Mean <= st.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package history
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Persistence keeps the §5.3.3 philosophy: history is written as
+// human-readable text (compress at rest if you care; deflate loves it).
+//
+// Format:
+//
+//	clusterworx-history v1
+//	series <node> <metric> <npoints>
+//	<seconds> <value>
+//	...
+//
+// Node and metric names are %q-quoted so whitespace survives.
+
+const persistHeader = "clusterworx-history v1"
+
+// SaveTo writes the whole store as text.
+func (st *Store) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, persistHeader); err != nil {
+		return err
+	}
+	for _, nodeName := range st.Nodes() {
+		for _, metric := range st.Metrics(nodeName) {
+			s := st.Series(nodeName, metric)
+			pts := s.Range(0, 1<<62)
+			if _, err := fmt.Fprintf(bw, "series %q %q %d\n", nodeName, metric, len(pts)); err != nil {
+				return err
+			}
+			for _, p := range pts {
+				if _, err := fmt.Fprintf(bw, "%.6f %g\n", p.T.Seconds(), p.V); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFrom merges persisted history into the store. Existing series
+// receive the loaded points subject to the usual ordering rule (older
+// points than what is already present are dropped).
+func (st *Store) LoadFrom(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("history: empty input")
+	}
+	if sc.Text() != persistHeader {
+		return fmt.Errorf("history: bad header %q", sc.Text())
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var nodeName, metric string
+		var n int
+		if _, err := fmt.Sscanf(line, "series %q %q %d", &nodeName, &metric, &n); err != nil {
+			return fmt.Errorf("history: line %d: bad series header %q: %v", lineNo, line, err)
+		}
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return fmt.Errorf("history: truncated series %s/%s at point %d", nodeName, metric, i)
+			}
+			lineNo++
+			secStr, valStr, ok := strings.Cut(sc.Text(), " ")
+			if !ok {
+				return fmt.Errorf("history: line %d: bad point %q", lineNo, sc.Text())
+			}
+			sec, err := strconv.ParseFloat(secStr, 64)
+			if err != nil {
+				return fmt.Errorf("history: line %d: bad timestamp: %v", lineNo, err)
+			}
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return fmt.Errorf("history: line %d: bad value: %v", lineNo, err)
+			}
+			st.Append(nodeName, metric, time.Duration(sec*float64(time.Second)), v)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,117 @@
+package history
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := NewStore(64)
+	for i := 0; i < 30; i++ {
+		ts := time.Duration(i) * time.Second
+		st.Append("node a", "load.1", ts, float64(i)*0.1)
+		st.Append("node a", "mem.free.kb", ts, 1e6-float64(i))
+		st.Append("nodeb", "load.1", ts, 2)
+	}
+	var buf bytes.Buffer
+	if err := st.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore(64)
+	if err := loaded.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Nodes(); len(got) != 2 || got[0] != "node a" {
+		t.Fatalf("nodes = %v (quoting broke?)", got)
+	}
+	orig := st.Series("node a", "load.1").Range(0, 1<<62)
+	back := loaded.Series("node a", "load.1").Range(0, 1<<62)
+	if len(orig) != len(back) {
+		t.Fatalf("points %d vs %d", len(orig), len(back))
+	}
+	for i := range orig {
+		if math.Abs((orig[i].T-back[i].T).Seconds()) > 1e-5 || orig[i].V != back[i].V {
+			t.Fatalf("point %d: %+v vs %+v", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		persistHeader + "\nnot a series line\n",
+		persistHeader + "\nseries \"n\" \"m\" 2\n1.0 2.0\n", // truncated
+		persistHeader + "\nseries \"n\" \"m\" 1\nnope\n",
+		persistHeader + "\nseries \"n\" \"m\" 1\nx 1\n",
+		persistHeader + "\nseries \"n\" \"m\" 1\n1 x\n",
+	}
+	for _, c := range cases {
+		st := NewStore(8)
+		if err := st.LoadFrom(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadFrom(%q) succeeded", c)
+		}
+	}
+}
+
+func TestLoadMergesIntoExisting(t *testing.T) {
+	st := NewStore(16)
+	st.Append("n", "m", 10*time.Second, 1)
+	var buf bytes.Buffer
+	old := NewStore(16)
+	old.Append("n", "m", 5*time.Second, 0.5)  // older than live data: dropped
+	old.Append("n", "m", 20*time.Second, 2.0) // newer: kept
+	if err := old.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pts := st.Series("n", "m").Range(0, 1<<62)
+	if len(pts) != 2 || pts[1].V != 2.0 {
+		t.Fatalf("merged = %v", pts)
+	}
+}
+
+// Property: save/load preserves every series' point count and last value
+// for arbitrary stores.
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	f := func(vals []int8, nodeSel []bool) bool {
+		st := NewStore(32)
+		for i, v := range vals {
+			nodeName := "a"
+			if i < len(nodeSel) && nodeSel[i] {
+				nodeName = "b"
+			}
+			st.Append(nodeName, "m", time.Duration(i)*time.Second, float64(v))
+		}
+		var buf bytes.Buffer
+		if err := st.SaveTo(&buf); err != nil {
+			return false
+		}
+		back := NewStore(32)
+		if err := back.LoadFrom(&buf); err != nil {
+			return false
+		}
+		for _, nodeName := range st.Nodes() {
+			a := st.Series(nodeName, "m")
+			b := back.Series(nodeName, "m")
+			if b == nil || a.Len() != b.Len() {
+				return false
+			}
+			la, _ := a.Last()
+			lb, _ := b.Last()
+			if la.V != lb.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package icebox
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Per-device console access (§3.4): "telnet and ssh connections can be
+// established either with the ICE Box or with each individual device
+// connected to the ICE Box using specific port numbers." A console
+// listener binds one TCP listener per node port; a connecting client first
+// receives the port's post-mortem buffer (so context survives a crash)
+// and then the live serial stream.
+
+// ConsoleServer serves one node port's serial console over TCP.
+type ConsoleServer struct {
+	box  *Box
+	port int
+
+	mu      sync.Mutex
+	clients map[net.Conn]struct{}
+}
+
+// NewConsoleServer returns a console server for a node port.
+func NewConsoleServer(b *Box, port int) (*ConsoleServer, error) {
+	b.mu.Lock()
+	err := b.checkPortLocked(port)
+	b.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ConsoleServer{box: b, port: port, clients: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts console sessions until the listener closes. Each session
+// gets the buffered history, then live output; client input is discarded
+// (the serial line into the node is not modeled).
+func (cs *ConsoleServer) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs.session(conn)
+		}()
+	}
+}
+
+// session runs one console client.
+func (cs *ConsoleServer) session(conn net.Conn) {
+	defer conn.Close()
+	dev := cs.box.Device(cs.port)
+	fmt.Fprintf(conn, "-- ICE Box %s port %d console (%s); buffered history follows --\n",
+		cs.box.ID(), cs.port, dev.Name())
+	history, err := cs.box.Console(cs.port)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	if _, err := conn.Write(history); err != nil {
+		return
+	}
+	fmt.Fprintf(conn, "-- live --\n")
+
+	// Attach a pipe as a live listener; detach on any write failure.
+	pw := &connWriter{conn: conn}
+	if err := cs.box.AttachConsole(cs.port, pw); err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	cs.mu.Lock()
+	cs.clients[conn] = struct{}{}
+	cs.mu.Unlock()
+	defer func() {
+		cs.mu.Lock()
+		delete(cs.clients, conn)
+		cs.mu.Unlock()
+		cs.detach(pw)
+	}()
+
+	// Block until the client goes away; input bytes are drained and
+	// dropped.
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (cs *ConsoleServer) detach(w io.Writer) {
+	cs.box.mu.Lock()
+	con := cs.box.ports[cs.port].con
+	cs.box.mu.Unlock()
+	con.Detach(w)
+}
+
+// connWriter forwards console bytes to a TCP client, going inert after the
+// first failure so a dead client cannot stall the node's serial path.
+type connWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	dead bool
+}
+
+func (w *connWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return len(p), nil
+	}
+	if _, err := w.conn.Write(p); err != nil {
+		w.dead = true
+	}
+	return len(p), nil
+}
+
+// ServeConsoles starts one console listener per connected node port,
+// bound to consecutive TCP ports starting at basePort+portIndex (the
+// "specific port numbers" scheme). It returns the listeners so the caller
+// controls shutdown.
+func ServeConsoles(b *Box, host string, basePort int) ([]net.Listener, error) {
+	var listeners []net.Listener
+	for _, port := range b.ConnectedPorts() {
+		l, err := net.Listen("tcp", fmt.Sprintf("%s:%d", host, basePort+port))
+		if err != nil {
+			for _, prev := range listeners {
+				prev.Close()
+			}
+			return nil, err
+		}
+		cs, err := NewConsoleServer(b, port)
+		if err != nil {
+			l.Close()
+			for _, prev := range listeners {
+				prev.Close()
+			}
+			return nil, err
+		}
+		go cs.Serve(l) //nolint:errcheck // ends when the listener closes
+		listeners = append(listeners, l)
+	}
+	return listeners, nil
+}

@@ -1,0 +1,156 @@
+package icebox
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+)
+
+func TestConsoleServerHistoryThenLive(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second) // boot banner lands in the buffer
+
+	cs, err := NewConsoleServer(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go cs.Serve(l) //nolint:errcheck // ends with listener
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+
+	// History phase: banner + buffered boot output up to "-- live --".
+	got := readUntil(t, conn, "-- live --")
+	if !strings.Contains(got, "port 0 console (node000)") {
+		t.Fatalf("missing banner:\n%s", got)
+	}
+	if !strings.Contains(got, "LinuxBIOS") {
+		t.Fatalf("missing buffered boot output:\n%s", got)
+	}
+
+	// Live phase: new serial output streams through.
+	nodes[0].Serial().WriteString("live kernel message\n")
+	live := readUntil(t, conn, "live kernel message")
+	if live == "" {
+		t.Fatal("live output not streamed")
+	}
+}
+
+func TestConsoleServerRejectsEmptyPort(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 1)
+	if _, err := NewConsoleServer(b, 5); err == nil {
+		t.Fatal("console server on empty port")
+	}
+	if _, err := NewConsoleServer(b, -1); err == nil {
+		t.Fatal("console server on invalid port")
+	}
+}
+
+func TestConsoleServerDeadClientDoesNotBlockSerial(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	cs, err := NewConsoleServer(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go cs.Serve(l) //nolint:errcheck // ends with listener
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	readUntil(t, conn, "-- live --")
+	conn.Close() // client vanishes
+
+	// The node keeps writing; nothing blocks, buffer keeps collecting.
+	for i := 0; i < 1000; i++ {
+		nodes[0].Serial().WriteString("chatter after client death\n")
+	}
+	dump, err := b.Console(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "chatter after client death") {
+		t.Fatal("serial path broke after client death")
+	}
+}
+
+func TestServeConsolesPortScheme(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 3)
+	base := freeBasePort(t)
+	listeners, err := ServeConsoles(b, "127.0.0.1", base)
+	if err != nil {
+		t.Skipf("port range busy: %v", err)
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	if len(listeners) != 3 {
+		t.Fatalf("listeners = %d", len(listeners))
+	}
+	// Port base+1 must serve node001's console.
+	nodes[1].Serial().WriteString("I am node001\n")
+	conn, err := net.Dial("tcp", listeners[1].Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := readUntil(t, conn, "-- live --")
+	if !strings.Contains(got, "node001") || !strings.Contains(got, "I am node001") {
+		t.Fatalf("wrong console on port %d:\n%s", base+1, got)
+	}
+}
+
+// readUntil accumulates from conn until the marker appears.
+func readUntil(t *testing.T, conn net.Conn, marker string) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 1024)
+	for !strings.Contains(b.String(), marker) {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			b.Write(buf[:n])
+		}
+		if err != nil {
+			t.Fatalf("read (have %q): %v", b.String(), err)
+		}
+	}
+	return b.String()
+}
+
+// freeBasePort finds a base with three consecutive free ports.
+func freeBasePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := l.Addr().(*net.TCPAddr).Port + 10
+	l.Close()
+	return base
+}

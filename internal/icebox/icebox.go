@@ -1,0 +1,508 @@
+// Package icebox models the ICE Box management device (paper §3): a 1U
+// box powering ten compute nodes and two auxiliary devices from two 15 A
+// inlets, with per-node temperature and power probes, a per-node reset
+// line, serial-console concentration with 16 KiB post-mortem buffers, and
+// a text command protocol (SIMP over serial, NIMP over ethernet — the same
+// commands either way) plus telnet-style TCP access and an SNMP-ish OID
+// table.
+//
+// Power behavior follows §3.1: node outlets can be cycled on demand, the
+// two auxiliary outlets power on with the box and stay on ("to ensure that
+// host nodes, switches and other devices are not powered off by mistake"),
+// and power-up is automatically sequenced "reducing the risk of power
+// spikes" — modeled here as real inrush current against a 15 A breaker per
+// inlet.
+package icebox
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/console"
+)
+
+// Physical layout constants.
+const (
+	NodePorts = 10
+	AuxPorts  = 2
+
+	// Per-inlet electrical model.
+	BreakerAmps    = 15.0
+	nodeSteadyAmps = 1.5
+	nodeInrushAmps = 5.0 // total draw during the inrush window
+	inrushWindow   = 200 * time.Millisecond
+
+	// DefaultSequenceDelay is the stagger between outlets during a
+	// sequenced power-up.
+	DefaultSequenceDelay = 300 * time.Millisecond
+)
+
+// Device is the hardware an ICE Box node port controls and probes. It is
+// satisfied by *node.Node.
+type Device interface {
+	Name() string
+	PowerOn()
+	PowerOff()
+	Reset()
+	Temperature() float64
+	PowerProbe() bool
+	FanOK() bool
+	Serial() *console.Console
+}
+
+// PortStatus is one node port's view for "status" queries.
+type PortStatus struct {
+	Port     int
+	Device   string // "" when nothing connected
+	OutletOn bool
+	PowerOK  bool // node PSU delivering power
+	TempC    float64
+	FanOK    bool
+}
+
+// Box is one ICE Box.
+type Box struct {
+	mu  sync.Mutex
+	clk *clock.Clock
+	id  string
+
+	ports [NodePorts]struct {
+		dev       Device
+		outletOn  bool
+		con       *console.Console // ICE Box-side capture buffer
+		poweredAt time.Duration    // outlet-on time, for inrush accounting
+	}
+	aux [AuxPorts]struct {
+		name string
+		on   bool
+	}
+	seqDelay time.Duration
+	tripped  [2]bool    // breaker state per inlet
+	peakAmps [2]float64 // highest observed inlet current
+
+	pendingSeq []*clock.Timer
+}
+
+// New returns a powered ICE Box with auxiliary outlets already on.
+func New(clk *clock.Clock, id string) *Box {
+	b := &Box{clk: clk, id: id, seqDelay: DefaultSequenceDelay}
+	for i := range b.ports {
+		b.ports[i].con = console.New(console.DefaultRingSize)
+		b.ports[i].poweredAt = -1
+	}
+	for i := range b.aux {
+		b.aux[i].name = fmt.Sprintf("aux%d", i)
+		b.aux[i].on = true // latched on with box power
+	}
+	return b
+}
+
+// ID returns the box identifier.
+func (b *Box) ID() string { return b.id }
+
+// SetSequenceDelay changes the power-up stagger; zero disables sequencing
+// (the experiment control for E12).
+func (b *Box) SetSequenceDelay(d time.Duration) {
+	b.mu.Lock()
+	b.seqDelay = d
+	b.mu.Unlock()
+}
+
+// Connect attaches dev to port. The device's serial output starts flowing
+// into the port's 16 KiB post-mortem buffer.
+func (b *Box) Connect(port int, dev Device) error {
+	if port < 0 || port >= NodePorts {
+		return fmt.Errorf("icebox %s: port %d out of range", b.id, port)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ports[port].dev != nil {
+		return fmt.Errorf("icebox %s: port %d already connected", b.id, port)
+	}
+	b.ports[port].dev = dev
+	dev.Serial().Attach(b.ports[port].con)
+	return nil
+}
+
+// Device returns the device on port, or nil.
+func (b *Box) Device(port int) Device {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if port < 0 || port >= NodePorts {
+		return nil
+	}
+	return b.ports[port].dev
+}
+
+// inlet returns the inlet index feeding a node port: A feeds 0-4, B 5-9.
+func inlet(port int) int {
+	if port < NodePorts/2 {
+		return 0
+	}
+	return 1
+}
+
+// --- power control ---------------------------------------------------------------
+
+// PowerOn energizes a node outlet immediately (no sequencing: single-port
+// commands are presumed deliberate). Returns an error for empty ports,
+// range errors, or a tripped breaker.
+func (b *Box) PowerOn(port int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.powerOnLocked(port)
+}
+
+func (b *Box) powerOnLocked(port int) error {
+	if err := b.checkPortLocked(port); err != nil {
+		return err
+	}
+	in := inlet(port)
+	if b.tripped[in] {
+		return fmt.Errorf("icebox %s: inlet %c breaker tripped", b.id, 'A'+in)
+	}
+	p := &b.ports[port]
+	if p.outletOn {
+		return nil
+	}
+	p.outletOn = true
+	p.poweredAt = b.clk.Now()
+	if b.inletAmpsLocked(in) > BreakerAmps {
+		b.tripLocked(in)
+		return fmt.Errorf("icebox %s: inrush tripped inlet %c breaker", b.id, 'A'+in)
+	}
+	dev := p.dev
+	b.mu.Unlock()
+	dev.PowerOn()
+	b.mu.Lock()
+	return nil
+}
+
+// PowerOff de-energizes a node outlet.
+func (b *Box) PowerOff(port int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkPortLocked(port); err != nil {
+		return err
+	}
+	p := &b.ports[port]
+	if !p.outletOn {
+		return nil
+	}
+	p.outletOn = false
+	p.poweredAt = -1
+	dev := p.dev
+	b.mu.Unlock()
+	dev.PowerOff()
+	b.mu.Lock()
+	return nil
+}
+
+// PowerCycle power-cycles a node outlet: off, one second, on.
+func (b *Box) PowerCycle(port int) error {
+	if err := b.PowerOff(port); err != nil {
+		return err
+	}
+	b.clk.AfterFunc(time.Second, func() {
+		b.PowerOn(port) //nolint:errcheck // breaker trips surface via status
+	})
+	return nil
+}
+
+// Reset pulses the node's motherboard reset line without touching power.
+func (b *Box) Reset(port int) error {
+	b.mu.Lock()
+	if err := b.checkPortLocked(port); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	dev := b.ports[port].dev
+	b.mu.Unlock()
+	dev.Reset()
+	return nil
+}
+
+// PowerOnAll powers every connected node outlet using the sequencing
+// stagger. With sequencing disabled every outlet energizes in the same
+// instant — which is how you trip a breaker.
+func (b *Box) PowerOnAll() {
+	b.mu.Lock()
+	delay := b.seqDelay
+	b.mu.Unlock()
+	slot := 0
+	for i := 0; i < NodePorts; i++ {
+		if b.Device(i) == nil {
+			continue
+		}
+		port := i
+		d := delay * time.Duration(slot)
+		slot++
+		if d == 0 {
+			b.PowerOn(port) //nolint:errcheck // breaker trips surface via status
+			continue
+		}
+		b.mu.Lock()
+		b.pendingSeq = append(b.pendingSeq, b.clk.AfterFunc(d, func() {
+			b.PowerOn(port) //nolint:errcheck // breaker trips surface via status
+		}))
+		b.mu.Unlock()
+	}
+}
+
+// PowerOffAll de-energizes all node outlets (aux outlets stay on).
+func (b *Box) PowerOffAll() {
+	b.mu.Lock()
+	for _, t := range b.pendingSeq {
+		t.Stop()
+	}
+	b.pendingSeq = nil
+	b.mu.Unlock()
+	for i := 0; i < NodePorts; i++ {
+		if b.Device(i) != nil {
+			b.PowerOff(i) //nolint:errcheck // connected ports cannot fail here
+		}
+	}
+}
+
+// AuxOn reports an auxiliary outlet's state. Aux outlets cannot be cycled.
+func (b *Box) AuxOn(i int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return i >= 0 && i < AuxPorts && b.aux[i].on
+}
+
+// inletAmpsLocked estimates the instantaneous current on an inlet,
+// counting inrush for outlets energized within the inrush window.
+func (b *Box) inletAmpsLocked(in int) float64 {
+	now := b.clk.Now()
+	amps := 0.5 // aux device share
+	for i := range b.ports {
+		if inlet(i) != in || !b.ports[i].outletOn {
+			continue
+		}
+		if now-b.ports[i].poweredAt < inrushWindow {
+			amps += nodeInrushAmps
+		} else {
+			amps += nodeSteadyAmps
+		}
+	}
+	if amps > b.peakAmps[in] {
+		b.peakAmps[in] = amps
+	}
+	return amps
+}
+
+// PeakAmps reports the highest current ever observed on an inlet,
+// including the instant that tripped its breaker.
+func (b *Box) PeakAmps(in int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in < 0 || in > 1 {
+		return 0
+	}
+	return b.peakAmps[in]
+}
+
+// InletAmps reports the modeled current on inlet 0 (A) or 1 (B).
+func (b *Box) InletAmps(in int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inletAmpsLocked(in)
+}
+
+// BreakerTripped reports whether an inlet's breaker has opened.
+func (b *Box) BreakerTripped(in int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return in >= 0 && in < 2 && b.tripped[in]
+}
+
+// ResetBreaker closes a tripped breaker (a human walked to the rack).
+func (b *Box) ResetBreaker(in int) {
+	b.mu.Lock()
+	if in >= 0 && in < 2 {
+		b.tripped[in] = false
+	}
+	b.mu.Unlock()
+}
+
+// tripLocked opens an inlet breaker: every outlet on the inlet loses
+// power, including the latched aux outlet.
+func (b *Box) tripLocked(in int) {
+	b.tripped[in] = true
+	b.aux[in].on = false
+	var victims []Device
+	for i := range b.ports {
+		if inlet(i) == in && b.ports[i].outletOn {
+			b.ports[i].outletOn = false
+			b.ports[i].poweredAt = -1
+			if b.ports[i].dev != nil {
+				victims = append(victims, b.ports[i].dev)
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, d := range victims {
+		d.PowerOff()
+	}
+	b.mu.Lock()
+}
+
+// --- probes and consoles -----------------------------------------------------------
+
+// Status returns every node port's probe readings.
+func (b *Box) Status() []PortStatus {
+	out := make([]PortStatus, NodePorts)
+	for i := range out {
+		out[i] = b.PortStatus(i)
+	}
+	return out
+}
+
+// PortStatus returns one port's probe readings. Probes work regardless of
+// node state: they are ICE Box hardware.
+func (b *Box) PortStatus(port int) PortStatus {
+	b.mu.Lock()
+	dev := b.ports[port].dev
+	on := b.ports[port].outletOn
+	b.mu.Unlock()
+	st := PortStatus{Port: port, OutletOn: on}
+	if dev != nil {
+		st.Device = dev.Name()
+		st.PowerOK = dev.PowerProbe()
+		st.TempC = dev.Temperature()
+		st.FanOK = dev.FanOK()
+	}
+	return st
+}
+
+// Console returns the port's post-mortem buffer contents (§3.3: "up to
+// 16k ... allows even post-mortem analysis").
+func (b *Box) Console(port int) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkPortLocked(port); err != nil {
+		return nil, err
+	}
+	return b.ports[port].con.PostMortem(), nil
+}
+
+// AttachConsole streams a port's live serial output to w (a telnet
+// session).
+func (b *Box) AttachConsole(port int, w interface{ Write([]byte) (int, error) }) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkPortLocked(port); err != nil {
+		return err
+	}
+	b.ports[port].con.Attach(w)
+	return nil
+}
+
+func (b *Box) checkPortLocked(port int) error {
+	if port < 0 || port >= NodePorts {
+		return fmt.Errorf("icebox %s: port %d out of range", b.id, port)
+	}
+	if b.ports[port].dev == nil {
+		return fmt.Errorf("icebox %s: port %d not connected", b.id, port)
+	}
+	return nil
+}
+
+// ConnectedPorts returns the indexes with devices attached.
+func (b *Box) ConnectedPorts() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []int
+	for i := range b.ports {
+		if b.ports[i].dev != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FindPort returns the port a named device is connected to.
+func (b *Box) FindPort(name string) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.ports {
+		if b.ports[i].dev != nil && b.ports[i].dev.Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// --- SNMP-ish access ------------------------------------------------------------------
+
+// snmpBase is the enterprise OID prefix for ICE Box objects.
+const snmpBase = "1.3.6.1.4.1.24779"
+
+// SNMPGet resolves an OID: <base>.1.<port>.<column> with columns
+// 1=device, 2=outlet, 3=power, 4=temp, 5=fan.
+func (b *Box) SNMPGet(oid string) (string, error) {
+	rest, ok := strings.CutPrefix(oid, snmpBase+".1.")
+	if !ok {
+		return "", fmt.Errorf("icebox %s: no such OID %s", b.id, oid)
+	}
+	var port, col int
+	if _, err := fmt.Sscanf(rest, "%d.%d", &port, &col); err != nil {
+		return "", fmt.Errorf("icebox %s: bad OID %s", b.id, oid)
+	}
+	if port < 0 || port >= NodePorts {
+		return "", fmt.Errorf("icebox %s: no such port %d", b.id, port)
+	}
+	st := b.PortStatus(port)
+	switch col {
+	case 1:
+		return st.Device, nil
+	case 2:
+		return boolStr(st.OutletOn), nil
+	case 3:
+		return boolStr(st.PowerOK), nil
+	case 4:
+		return fmt.Sprintf("%.1f", st.TempC), nil
+	case 5:
+		return boolStr(st.FanOK), nil
+	default:
+		return "", fmt.Errorf("icebox %s: no such column %d", b.id, col)
+	}
+}
+
+// SNMPWalk returns every OID/value pair under the given prefix in OID
+// order — what an SNMP manager's walk operation sees. An empty prefix
+// walks the whole ICE Box subtree.
+func (b *Box) SNMPWalk(prefix string) []SNMPVar {
+	var out []SNMPVar
+	for _, port := range b.ConnectedPorts() {
+		for col := 1; col <= 5; col++ {
+			oid := fmt.Sprintf("%s.1.%d.%d", snmpBase, port, col)
+			if prefix != "" && !strings.HasPrefix(oid, prefix) {
+				continue
+			}
+			v, err := b.SNMPGet(oid)
+			if err != nil {
+				continue
+			}
+			out = append(out, SNMPVar{OID: oid, Value: v})
+		}
+	}
+	return out
+}
+
+// SNMPVar is one OID binding from a walk.
+type SNMPVar struct {
+	OID   string
+	Value string
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,480 @@
+package icebox
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/node"
+)
+
+// rig builds a box with n nodes connected to ports 0..n-1.
+func rig(t *testing.T, clk *clock.Clock, n int) (*Box, []*node.Node) {
+	t.Helper()
+	b := New(clk, "ice0")
+	nodes := make([]*node.Node, n)
+	for i := range nodes {
+		nodes[i] = node.New(clk, node.Config{Name: fmt.Sprintf("node%03d", i), Seed: int64(i)})
+		if err := b.Connect(i, nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, nodes
+}
+
+func TestConnectErrors(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	if err := b.Connect(0, nodes[0]); err == nil {
+		t.Fatal("double connect succeeded")
+	}
+	if err := b.Connect(99, nodes[0]); err == nil {
+		t.Fatal("out-of-range connect succeeded")
+	}
+	if b.Device(0) == nil || b.Device(5) != nil || b.Device(-1) != nil {
+		t.Fatal("Device lookup wrong")
+	}
+}
+
+func TestPowerOnOffCycle(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 2)
+	if err := b.PowerOn(0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if nodes[0].State() != node.Up {
+		t.Fatalf("node0 = %v", nodes[0].State())
+	}
+	if nodes[1].State() != node.PowerOff {
+		t.Fatal("node1 powered without command")
+	}
+	if err := b.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].State() != node.PowerOff {
+		t.Fatal("outlet off but node still on")
+	}
+	// Cycle: off now, on after 1 s.
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	if err := b.PowerCycle(0); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].State() != node.PowerOff {
+		t.Fatal("cycle did not cut power")
+	}
+	clk.Advance(15 * time.Second)
+	if nodes[0].State() != node.Up {
+		t.Fatalf("node after cycle = %v", nodes[0].State())
+	}
+}
+
+func TestPowerErrorsOnEmptyPort(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 1)
+	for _, err := range []error{b.PowerOn(5), b.PowerOff(5), b.Reset(5), b.PowerOn(-1)} {
+		if err == nil {
+			t.Fatal("operation on empty/invalid port succeeded")
+		}
+	}
+}
+
+func TestResetLine(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	nodes[0].Crash("wedged")
+	if err := b.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if nodes[0].State() != node.Up {
+		t.Fatalf("node after remote reset = %v", nodes[0].State())
+	}
+}
+
+func TestSequencedPowerUpAvoidsTrip(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 10)
+	b.PowerOnAll()
+	clk.Advance(time.Minute)
+	if b.BreakerTripped(0) || b.BreakerTripped(1) {
+		t.Fatal("sequenced power-up tripped a breaker")
+	}
+	for i, n := range nodes {
+		if n.State() != node.Up {
+			t.Fatalf("node %d = %v", i, n.State())
+		}
+	}
+}
+
+func TestUnsequencedPowerUpTripsBreaker(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 10)
+	b.SetSequenceDelay(0)
+	b.PowerOnAll()
+	clk.Advance(time.Minute)
+	if !b.BreakerTripped(0) || !b.BreakerTripped(1) {
+		t.Fatalf("simultaneous inrush did not trip: A=%v B=%v",
+			b.BreakerTripped(0), b.BreakerTripped(1))
+	}
+	up := 0
+	for _, n := range nodes {
+		if n.State() == node.Up {
+			up++
+		}
+	}
+	if up > 4 {
+		t.Fatalf("%d nodes up after breaker trip", up)
+	}
+	// Breaker reset + sequenced retry recovers.
+	b.ResetBreaker(0)
+	b.ResetBreaker(1)
+	b.SetSequenceDelay(DefaultSequenceDelay)
+	b.PowerOnAll()
+	clk.Advance(time.Minute)
+	for i, n := range nodes {
+		if n.State() != node.Up {
+			t.Fatalf("node %d = %v after recovery", i, n.State())
+		}
+	}
+}
+
+func TestInletAmpsSteadyState(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 10)
+	b.PowerOnAll()
+	clk.Advance(time.Minute)
+	// 5 nodes x 1.5 A + 0.5 A aux = 8 A per inlet.
+	for in := 0; in < 2; in++ {
+		amps := b.InletAmps(in)
+		if amps < 7.9 || amps > 8.1 {
+			t.Fatalf("inlet %d steady amps = %.1f, want 8", in, amps)
+		}
+	}
+}
+
+func TestAuxOutletsLatched(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 2)
+	if !b.AuxOn(0) || !b.AuxOn(1) {
+		t.Fatal("aux outlets not on at power-up")
+	}
+	if b.AuxOn(5) {
+		t.Fatal("out-of-range aux reported on")
+	}
+	// The protocol offers no way to switch aux off.
+	resp := b.HandleCommand("power off all")
+	if !strings.HasPrefix(resp, "OK") {
+		t.Fatal(resp)
+	}
+	if !b.AuxOn(0) {
+		t.Fatal("power off all switched an aux outlet off")
+	}
+}
+
+func TestProbesWorkWhileNodeDead(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(5 * time.Minute) // warm up to idle steady state
+	nodes[0].FailFan()
+	nodes[0].Crash("dead")
+	st := b.PortStatus(0)
+	if st.FanOK {
+		t.Fatal("fan probe did not see failure")
+	}
+	if !st.PowerOK {
+		t.Fatal("power probe wrong: crashed node still draws power")
+	}
+	if st.TempC < 30 {
+		t.Fatalf("temp probe = %.1f", st.TempC)
+	}
+}
+
+func TestPostMortemConsole(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	nodes[0].Crash("the bug")
+	b.PowerOff(0) // node is gone entirely
+	data, err := b.Console(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "kernel panic: the bug") {
+		t.Fatalf("post-mortem missing panic:\n%s", data)
+	}
+}
+
+func TestConsoleRetainsOnlyTail(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	// Write 64 KiB of numbered lines; only the last 16 KiB fit.
+	for i := 0; i < 4096; i++ {
+		nodes[0].Serial().WriteString(fmt.Sprintf("line %04d padddddddd\n", i))
+	}
+	data, _ := b.Console(0)
+	if len(data) > 16<<10 {
+		t.Fatalf("console buffer %d bytes exceeds 16k", len(data))
+	}
+	text := string(data)
+	if !strings.Contains(text, "line 4095") {
+		t.Fatal("newest line evicted")
+	}
+	if strings.Contains(text, "line 0000") {
+		t.Fatal("oldest line retained past capacity")
+	}
+}
+
+func TestLiveConsoleAttach(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	var live bytes.Buffer
+	if err := b.AttachConsole(0, &live); err != nil {
+		t.Fatal(err)
+	}
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	if !strings.Contains(live.String(), "LinuxBIOS") {
+		t.Fatalf("live console missed boot output: %q", live.String())
+	}
+	nodes[0].Serial().WriteString("hello admin\n")
+	if !strings.Contains(live.String(), "hello admin") {
+		t.Fatal("live console not streaming")
+	}
+}
+
+func TestFindPortAndConnected(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 3)
+	if p, ok := b.FindPort("node001"); !ok || p != 1 {
+		t.Fatalf("FindPort = %d,%v", p, ok)
+	}
+	if _, ok := b.FindPort("ghost"); ok {
+		t.Fatal("found ghost")
+	}
+	ports := b.ConnectedPorts()
+	if len(ports) != 3 || ports[0] != 0 || ports[2] != 2 {
+		t.Fatalf("connected = %v", ports)
+	}
+}
+
+func TestProtocolCommands(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 2)
+	cases := []struct {
+		cmd      string
+		wantPfx  string
+		contains string
+	}{
+		{"version", "OK", "ICE Box"},
+		{"status", "OK", "dev=node000"},
+		{"power on 0", "OK", "power on"},
+		{"power off 0", "OK", "power off"},
+		{"power on all", "OK", "sequenced"},
+		{"power off all", "OK", ""},
+		{"temp 1", "OK", ""},
+		{"probe 1", "OK", "power="},
+		{"amps a", "OK", ""},
+		{"breaker a", "OK", "closed"},
+		{"breaker b reset", "OK", "reset"},
+		{"aux", "OK", "latched"},
+		{"reset 9", "ERR", "not connected"},
+		{"power on 77", "ERR", "range"},
+		{"power fry 0", "ERR", ""},
+		{"power on", "ERR", "usage"},
+		{"power cycle all", "ERR", ""},
+		{"temp xyz", "ERR", ""},
+		{"amps q", "ERR", "inlet"},
+		{"bogus", "ERR", "unknown"},
+		{"", "ERR", "empty"},
+	}
+	for _, tc := range cases {
+		resp := b.HandleCommand(tc.cmd)
+		if !strings.HasPrefix(resp, tc.wantPfx) {
+			t.Errorf("%q -> %q, want prefix %q", tc.cmd, resp, tc.wantPfx)
+		}
+		if tc.contains != "" && !strings.Contains(resp, tc.contains) {
+			t.Errorf("%q -> %q, want substring %q", tc.cmd, resp, tc.contains)
+		}
+		clk.RunUntilIdle() // drain any power sequencing
+	}
+}
+
+func TestProtocolConsoleDump(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 1)
+	nodes[0].Serial().WriteString("interesting\n.leading dot\n")
+	resp := b.HandleCommand("console 0")
+	if !strings.HasPrefix(resp, "OK console dump follows\n") {
+		t.Fatalf("resp = %q", resp)
+	}
+	if !strings.HasSuffix(resp, "\n.") {
+		t.Fatal("dump not dot-terminated")
+	}
+	if !strings.Contains(resp, "\n..leading dot") {
+		t.Fatal("dot-stuffing missing")
+	}
+}
+
+func TestSNMP(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 1)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	if v, err := b.SNMPGet(snmpBase + ".1.0.1"); err != nil || v != "node000" {
+		t.Fatalf("device OID = %q, %v", v, err)
+	}
+	if v, err := b.SNMPGet(snmpBase + ".1.0.2"); err != nil || v != "1" {
+		t.Fatalf("outlet OID = %q, %v", v, err)
+	}
+	if v, err := b.SNMPGet(snmpBase + ".1.0.5"); err != nil || v != "1" {
+		t.Fatalf("fan OID = %q, %v", v, err)
+	}
+	if _, err := b.SNMPGet(snmpBase + ".1.0.9"); err == nil {
+		t.Fatal("bad column accepted")
+	}
+	if _, err := b.SNMPGet(snmpBase + ".1.55.1"); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if _, err := b.SNMPGet("1.2.3.4"); err == nil {
+		t.Fatal("foreign OID accepted")
+	}
+	if _, err := b.SNMPGet(snmpBase + ".1.x.y"); err == nil {
+		t.Fatal("malformed OID accepted")
+	}
+}
+
+func TestNIMPOverTCP(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 1)
+	srv := NewServer(b)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l) //nolint:errcheck // returns when listener closes
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := newLineReader(conn)
+	if banner := rd.line(t); !strings.Contains(banner, "ready") {
+		t.Fatalf("banner = %q", banner)
+	}
+	fmt.Fprintf(conn, "version\n")
+	if resp := rd.line(t); !strings.Contains(resp, "ICE Box") {
+		t.Fatalf("version = %q", resp)
+	}
+	fmt.Fprintf(conn, "quit\n")
+	if resp := rd.line(t); !strings.Contains(resp, "bye") {
+		t.Fatalf("quit = %q", resp)
+	}
+}
+
+func TestNIMPIPFilter(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 1)
+	srv := NewServer(b)
+	srv.SetIPFilter(func(addr string) bool { return false })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l) //nolint:errcheck // returns when listener closes
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if resp := newLineReader(conn).line(t); !strings.Contains(resp, "denied") {
+		t.Fatalf("filtered response = %q", resp)
+	}
+}
+
+// lineReader reads newline-terminated strings with a test deadline.
+type lineReader struct {
+	buf *bytes.Buffer
+	rd  interface{ Read([]byte) (int, error) }
+}
+
+func newLineReader(r interface{ Read([]byte) (int, error) }) *lineReader {
+	return &lineReader{buf: &bytes.Buffer{}, rd: r}
+}
+
+func (lr *lineReader) line(t *testing.T) string {
+	t.Helper()
+	for {
+		if i := bytes.IndexByte(lr.buf.Bytes(), '\n'); i >= 0 {
+			line := string(lr.buf.Next(i + 1))
+			return strings.TrimRight(line, "\n")
+		}
+		var tmp [512]byte
+		n, err := lr.rd.Read(tmp[:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		lr.buf.Write(tmp[:n])
+	}
+}
+
+// Property: HandleCommand never panics on arbitrary input — the NIMP port
+// faces the management network.
+func TestPropertyProtocolNeverPanics(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 3)
+	f := func(line string) bool {
+		resp := b.HandleCommand(line)
+		return strings.HasPrefix(resp, "OK") || strings.HasPrefix(resp, "ERR")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// And structured-but-hostile variants.
+	for _, line := range []string{
+		"power on -1", "power on 999999999999999999999",
+		"console 0\x00", "temp \xff", "breaker a reset reset reset",
+		strings.Repeat("a ", 5000),
+	} {
+		resp := b.HandleCommand(line)
+		if !strings.HasPrefix(resp, "OK") && !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", line, resp)
+		}
+		clk.RunUntilIdle()
+	}
+}
+
+func TestSNMPWalk(t *testing.T) {
+	clk := clock.New()
+	b, _ := rig(t, clk, 2)
+	all := b.SNMPWalk("")
+	if len(all) != 10 { // 2 ports x 5 columns
+		t.Fatalf("walk returned %d vars", len(all))
+	}
+	if all[0].OID != snmpBase+".1.0.1" || all[0].Value != "node000" {
+		t.Fatalf("first var = %+v", all[0])
+	}
+	sub := b.SNMPWalk(snmpBase + ".1.1")
+	if len(sub) != 5 {
+		t.Fatalf("subtree walk = %d vars", len(sub))
+	}
+	if none := b.SNMPWalk("9.9.9"); len(none) != 0 {
+		t.Fatalf("foreign prefix walk = %d vars", len(none))
+	}
+}

@@ -1,0 +1,287 @@
+package icebox
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements the ICE management protocols (paper §3.4): the same
+// line-oriented command set is served over a serial link (SIMP) and over
+// ethernet (NIMP); telnet access is NIMP with a prompt. Native IP
+// filtering can restrict network access.
+//
+// Commands:
+//
+//	version                     firmware banner
+//	status                      one line per node port
+//	power on|off|cycle <port>   outlet control
+//	power on all                sequenced power-up
+//	power off all               node outlets off (aux stays on)
+//	reset <port>                motherboard reset line
+//	temp <port>                 temperature probe, °C
+//	probe <port>                power/fan probe state
+//	console <port>              post-mortem buffer dump
+//	amps a|b                    inlet current
+//	breaker a|b [reset]         breaker state / reset
+//	aux                         auxiliary outlet states
+//
+// Responses are "OK[ <data>]" or "ERR <reason>"; console dumps are
+// terminated by a lone "." line, like SMTP DATA.
+
+// Version is the modeled ICE Box firmware version string.
+const Version = "ICE Box v2.0 (SIMP/NIMP 1.1)"
+
+// HandleCommand executes one protocol line and returns the full response
+// (without trailing newline). This is the shared SIMP/NIMP core.
+func (b *Box) HandleCommand(line string) string {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	switch strings.ToLower(fields[0]) {
+	case "version":
+		return "OK " + Version + " id=" + b.id
+
+	case "status":
+		var sb strings.Builder
+		sb.WriteString("OK")
+		for _, st := range b.Status() {
+			if st.Device == "" {
+				continue
+			}
+			fmt.Fprintf(&sb, "\nport %d dev=%s outlet=%s power=%s temp=%.1f fan=%s",
+				st.Port, st.Device, onOff(st.OutletOn), okFail(st.PowerOK), st.TempC, okFail(st.FanOK))
+		}
+		return sb.String()
+
+	case "power":
+		if len(fields) != 3 {
+			return "ERR usage: power on|off|cycle <port>|all"
+		}
+		verb := strings.ToLower(fields[1])
+		if strings.ToLower(fields[2]) == "all" {
+			switch verb {
+			case "on":
+				b.PowerOnAll()
+				return "OK sequenced power-up started"
+			case "off":
+				b.PowerOffAll()
+				return "OK all node outlets off"
+			default:
+				return "ERR cannot " + verb + " all"
+			}
+		}
+		port, err := parsePort(fields[2])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		switch verb {
+		case "on":
+			err = b.PowerOn(port)
+		case "off":
+			err = b.PowerOff(port)
+		case "cycle":
+			err = b.PowerCycle(port)
+		default:
+			return "ERR unknown power verb " + verb
+		}
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK port %d power %s", port, verb)
+
+	case "reset":
+		port, err := parsePort(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if err := b.Reset(port); err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK port %d reset", port)
+
+	case "temp":
+		port, err := parsePort(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		st := b.PortStatus(port)
+		if st.Device == "" {
+			return fmt.Sprintf("ERR port %d not connected", port)
+		}
+		return fmt.Sprintf("OK %.1f", st.TempC)
+
+	case "probe":
+		port, err := parsePort(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		st := b.PortStatus(port)
+		if st.Device == "" {
+			return fmt.Sprintf("ERR port %d not connected", port)
+		}
+		return fmt.Sprintf("OK power=%s fan=%s", okFail(st.PowerOK), okFail(st.FanOK))
+
+	case "console":
+		port, err := parsePort(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		data, err := b.Console(port)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		text := strings.ReplaceAll(string(data), "\n.", "\n..") // dot-stuff
+		return "OK console dump follows\n" + text + "\n."
+
+	case "amps":
+		in, err := parseInlet(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %.1f", b.InletAmps(in))
+
+	case "breaker":
+		in, err := parseInlet(arg(fields, 1))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if len(fields) >= 3 && strings.ToLower(fields[2]) == "reset" {
+			b.ResetBreaker(in)
+			return fmt.Sprintf("OK inlet %c breaker reset", 'A'+in)
+		}
+		state := "closed"
+		if b.BreakerTripped(in) {
+			state = "TRIPPED"
+		}
+		return fmt.Sprintf("OK inlet %c breaker %s", 'A'+in, state)
+
+	case "aux":
+		var sb strings.Builder
+		sb.WriteString("OK")
+		for i := 0; i < AuxPorts; i++ {
+			fmt.Fprintf(&sb, "\naux %d outlet=%s (latched)", i, onOff(b.AuxOn(i)))
+		}
+		return sb.String()
+
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+func arg(fields []string, i int) string {
+	if i >= len(fields) {
+		return ""
+	}
+	return fields[i]
+}
+
+func parsePort(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing port number")
+	}
+	p, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad port %q", s)
+	}
+	if p < 0 || p >= NodePorts {
+		return 0, fmt.Errorf("port %d out of range 0-%d", p, NodePorts-1)
+	}
+	return p, nil
+}
+
+func parseInlet(s string) (int, error) {
+	switch strings.ToLower(s) {
+	case "a":
+		return 0, nil
+	case "b":
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("bad inlet %q (want a or b)", s)
+	}
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+func okFail(v bool) string {
+	if v {
+		return "ok"
+	}
+	return "FAIL"
+}
+
+// Server serves NIMP over TCP with optional IP filtering (§3.4: "native IP
+// filtering can be used for higher security").
+type Server struct {
+	box    *Box
+	mu     sync.Mutex
+	filter func(remoteAddr string) bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a box for network access.
+func NewServer(b *Box) *Server { return &Server{box: b} }
+
+// SetIPFilter installs the access predicate; nil allows everyone.
+func (s *Server) SetIPFilter(allow func(remoteAddr string) bool) {
+	s.mu.Lock()
+	s.filter = allow
+	s.mu.Unlock()
+}
+
+// Serve accepts NIMP connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	defer s.wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		filter := s.filter
+		s.mu.Unlock()
+		if filter != nil && !filter(conn.RemoteAddr().String()) {
+			fmt.Fprintf(conn, "ERR access denied\n")
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.box.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs the line protocol on one connection (NIMP over TCP, or
+// SIMP when rw is a serial link). It returns when the peer disconnects or
+// sends "quit".
+func (b *Box) ServeConn(rw io.ReadWriter) {
+	if c, ok := rw.(io.Closer); ok {
+		defer c.Close()
+	}
+	fmt.Fprintf(rw, "%s id=%s ready\n", Version, b.id)
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(strings.ToLower(line)) == "quit" {
+			fmt.Fprintf(rw, "OK bye\n")
+			return
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fmt.Fprintf(rw, "%s\n", b.HandleCommand(line))
+	}
+}

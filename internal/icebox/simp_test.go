@@ -1,0 +1,79 @@
+package icebox
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+)
+
+// SIMP is the same command set over a serial link; ServeConn on an
+// in-process duplex pipe models the RS-232 path exactly.
+func TestSIMPOverSerialPipe(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 2)
+	host, dev := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.ServeConn(dev)
+	}()
+
+	rd := newLineReader(host)
+	host.SetDeadline(time.Now().Add(2 * time.Second))
+	if banner := rd.line(t); !strings.Contains(banner, "SIMP/NIMP") {
+		t.Fatalf("banner = %q", banner)
+	}
+
+	send := func(cmd string) string {
+		t.Helper()
+		if _, err := host.Write([]byte(cmd + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		return rd.line(t)
+	}
+	if resp := send("power on 1"); !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("power on: %q", resp)
+	}
+	clkAdvanceAsync(t, clk, 10*time.Second)
+	if nodes[1].State().String() != "up" {
+		t.Fatalf("node1 = %v", nodes[1].State())
+	}
+	if resp := send("temp 1"); !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("temp: %q", resp)
+	}
+	if resp := send("quit"); !strings.Contains(resp, "bye") {
+		t.Fatalf("quit: %q", resp)
+	}
+	host.Close()
+	<-done
+}
+
+// clkAdvanceAsync advances the virtual clock from the test goroutine while
+// protocol goroutines run; the clock is mutex-safe.
+func clkAdvanceAsync(t *testing.T, clk *clock.Clock, d time.Duration) {
+	t.Helper()
+	clk.Advance(d)
+}
+
+func TestSNMPAgainstDeadAndLivePorts(t *testing.T) {
+	clk := clock.New()
+	b, nodes := rig(t, clk, 2)
+	b.PowerOn(0)
+	clk.Advance(10 * time.Second)
+	nodes[0].FailFan()
+
+	// Fan column flips on the live node.
+	if v, err := b.SNMPGet(snmpBase + ".1.0.5"); err != nil || v != "0" {
+		t.Fatalf("fan OID after failure = %q, %v", v, err)
+	}
+	// Power column on the never-powered node reads 0; probes still answer.
+	if v, err := b.SNMPGet(snmpBase + ".1.1.3"); err != nil || v != "0" {
+		t.Fatalf("power OID on off node = %q, %v", v, err)
+	}
+	if v, err := b.SNMPGet(snmpBase + ".1.1.4"); err != nil || v == "" {
+		t.Fatalf("temp OID on off node = %q, %v", v, err)
+	}
+}

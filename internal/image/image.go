@@ -1,0 +1,356 @@
+// Package image implements the Image Manager side of ClusterWorX's disk
+// cloning (paper §4): building system images, chunking them for the
+// multicast cloner, and verifying integrity with per-chunk checksums.
+//
+// Image payload bytes are synthesized deterministically from the image
+// identity (we have no 2 GB golden disk images to ship), so a chunk's
+// content — and therefore its checksum — is a pure function of
+// (name, version, index). That preserves the property the cloner needs:
+// every node can prove bit-identity with the master without the simulator
+// materializing gigabytes.
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultChunkSize is the cloning transfer unit. 64 KiB matches a
+// reasonable multicast burst on Fast Ethernet.
+const DefaultChunkSize = 64 << 10
+
+// BootMode says how nodes run the image after cloning.
+type BootMode uint8
+
+// Boot modes; the paper offers prebuilt images for both.
+const (
+	BootDisk BootMode = iota // image flashed to local disk
+	BootNFS                  // image served over NFS, minimal local write
+)
+
+// String names the boot mode.
+func (m BootMode) String() string {
+	if m == BootNFS {
+		return "nfs"
+	}
+	return "disk"
+}
+
+// Image is an immutable, chunked system image.
+//
+// Content is organized in segments — the base OS followed by one segment
+// per installed package — and a chunk's bytes are a pure function of the
+// segment it falls in and its offset there. Two image versions that share
+// the base and most packages therefore share most chunk checksums, which
+// is what makes the §4 incremental update ("update files or packages on
+// the nodes in parallel") transfer only what changed. The version string
+// is administrative identity; it does not perturb content.
+type Image struct {
+	Name      string
+	Version   string
+	Mode      BootMode
+	Size      int64
+	ChunkSize int
+
+	segments []segment
+
+	sumOnce sync.Once
+	sums    [][32]byte
+}
+
+// segment is one contiguous content region.
+type segment struct {
+	label string // "base" or the package name
+	size  int64
+	start int64 // offset of the segment in the image
+}
+
+// New builds an image of the given size. Size must be positive; the final
+// chunk may be short.
+func New(name, version string, mode BootMode, size int64) *Image {
+	return newWithChunk(name, version, mode, size, DefaultChunkSize)
+}
+
+// NewWithChunkSize builds an image with an explicit transfer chunk size,
+// for experiments that trade packet count against event volume.
+func NewWithChunkSize(name, version string, mode BootMode, size int64, chunkSize int) *Image {
+	return newWithChunk(name, version, mode, size, chunkSize)
+}
+
+func newWithChunk(name, version string, mode BootMode, size int64, chunkSize int) *Image {
+	if size <= 0 {
+		panic(fmt.Sprintf("image: non-positive size %d", size))
+	}
+	if chunkSize <= 0 {
+		panic(fmt.Sprintf("image: non-positive chunk size %d", chunkSize))
+	}
+	return &Image{
+		Name: name, Version: version, Mode: mode, Size: size, ChunkSize: chunkSize,
+		segments: []segment{{label: "base", size: size}},
+	}
+}
+
+// ID returns the unique identity string "name@version".
+func (im *Image) ID() string { return im.Name + "@" + im.Version }
+
+// NumChunks returns the chunk count.
+func (im *Image) NumChunks() int {
+	return int((im.Size + int64(im.ChunkSize) - 1) / int64(im.ChunkSize))
+}
+
+// ChunkLen returns the payload length of chunk i.
+func (im *Image) ChunkLen(i int) int {
+	if i < 0 || i >= im.NumChunks() {
+		panic(fmt.Sprintf("image: chunk %d out of range [0,%d)", i, im.NumChunks()))
+	}
+	if i == im.NumChunks()-1 {
+		if rem := int(im.Size % int64(im.ChunkSize)); rem != 0 {
+			return rem
+		}
+	}
+	return im.ChunkSize
+}
+
+// Chunk synthesizes the payload of chunk i: a deterministic keystream per
+// content segment. Chunks covering unchanged segments are byte-identical
+// across versions; a chunk straddling a changed segment differs.
+func (im *Image) Chunk(i int) []byte {
+	n := im.ChunkLen(i)
+	out := make([]byte, n)
+	imgOff := int64(i) * int64(im.ChunkSize)
+	filled := 0
+	for _, seg := range im.segments {
+		if filled >= n {
+			break
+		}
+		segEnd := seg.start + seg.size
+		cur := imgOff + int64(filled)
+		if cur >= segEnd || segEnd <= seg.start {
+			continue
+		}
+		if cur < seg.start {
+			continue
+		}
+		// Fill from this segment's keystream at the in-segment offset.
+		want := n - filled
+		if avail := segEnd - cur; int64(want) > avail {
+			want = int(avail)
+		}
+		fillKeystream(out[filled:filled+want], im.Name, seg.label, seg.size, cur-seg.start)
+		filled += want
+	}
+	return out
+}
+
+// fillKeystream writes the segment keystream for [off, off+len(dst)).
+func fillKeystream(dst []byte, imgName, label string, segSize, off int64) {
+	seed := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d", imgName, label, segSize)))
+	var ctr [40]byte
+	copy(ctr[:32], seed[:])
+	// Generate block-aligned and copy the needed window.
+	blockStart := off / sha256.Size * sha256.Size
+	var block [32]byte
+	for pos := 0; pos < len(dst); {
+		binary.BigEndian.PutUint64(ctr[32:], uint64(blockStart))
+		block = sha256.Sum256(ctr[:])
+		skip := int(off+int64(pos)) - int(blockStart)
+		nCopy := copy(dst[pos:], block[skip:])
+		pos += nCopy
+		blockStart += sha256.Size
+	}
+}
+
+// ChunkSum returns the checksum of chunk i, computing the manifest lazily
+// on first use.
+func (im *Image) ChunkSum(i int) [32]byte {
+	im.sumOnce.Do(func() {
+		im.sums = make([][32]byte, im.NumChunks())
+		for c := range im.sums {
+			im.sums[c] = sha256.Sum256(im.Chunk(c))
+		}
+	})
+	return im.sums[i]
+}
+
+// Packages returns the installed package list.
+func (im *Image) Packages() []string {
+	var out []string
+	for _, seg := range im.segments {
+		if seg.label != "base" {
+			out = append(out, seg.label)
+		}
+	}
+	return out
+}
+
+// Diff returns the chunk indexes of im whose checksum does not occur
+// anywhere in old — the transfer set for an incremental update. A nil old
+// means everything.
+func (im *Image) Diff(old *Image) []int {
+	if old == nil {
+		out := make([]int, im.NumChunks())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	have := make(map[[32]byte]struct{}, old.NumChunks())
+	for i := 0; i < old.NumChunks(); i++ {
+		have[old.ChunkSum(i)] = struct{}{}
+	}
+	var out []int
+	for i := 0; i < im.NumChunks(); i++ {
+		if _, ok := have[im.ChunkSum(i)]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Builder assembles a new image version the way the ClusterWorX GUI does:
+// start from a base, load OS and applications, then freeze.
+type Builder struct {
+	name     string
+	version  string
+	mode     BootMode
+	size     int64
+	packages []string
+	pkgSizes []int64
+	built    bool
+}
+
+// NewBuilder starts an image build from a base OS footprint.
+func NewBuilder(name, version string, mode BootMode, baseSize int64) *Builder {
+	return &Builder{name: name, version: version, mode: mode, size: baseSize}
+}
+
+// AddPackage installs a package of the given size into the build.
+func (b *Builder) AddPackage(name string, size int64) *Builder {
+	if b.built {
+		panic("image: build already frozen")
+	}
+	if size < 0 {
+		panic("image: negative package size")
+	}
+	b.packages = append(b.packages, name)
+	b.pkgSizes = append(b.pkgSizes, size)
+	b.size += size
+	return b
+}
+
+// Build freezes the image. Packages are laid out in sorted order so that
+// install order does not change the image content.
+func (b *Builder) Build() *Image {
+	return b.BuildWithChunkSize(DefaultChunkSize)
+}
+
+// BuildWithChunkSize freezes the image with an explicit chunk size.
+func (b *Builder) BuildWithChunkSize(chunkSize int) *Image {
+	b.built = true
+	im := newWithChunk(b.name, b.version, b.mode, b.size, chunkSize)
+	type pkg struct {
+		name string
+		size int64
+	}
+	pkgs := make([]pkg, len(b.packages))
+	for i, name := range b.packages {
+		pkgs[i] = pkg{name: name, size: b.pkgSizes[i]}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].name < pkgs[j].name })
+	baseSize := b.size
+	for _, p := range pkgs {
+		baseSize -= p.size
+	}
+	im.segments = im.segments[:0]
+	off := int64(0)
+	im.segments = append(im.segments, segment{label: "base", size: baseSize, start: off})
+	off += baseSize
+	for _, p := range pkgs {
+		im.segments = append(im.segments, segment{label: p.name, size: p.size, start: off})
+		off += p.size
+	}
+	return im
+}
+
+// Prebuilt returns one of the stock images the paper ships "for
+// convenience": a hard-disk boot image and an NFS boot image.
+func Prebuilt(kind string) (*Image, error) {
+	switch kind {
+	case "harddisk":
+		return NewBuilder("lnxi-node", "2.1", BootDisk, 640<<20).
+			AddPackage("kernel-2.4.18", 24<<20).
+			AddPackage("glibc", 80<<20).
+			AddPackage("mpich", 48<<20).
+			AddPackage("cwx-agent", 8<<20).
+			Build(), nil
+	case "nfsboot":
+		return NewBuilder("lnxi-nfs", "2.1", BootNFS, 48<<20).
+			AddPackage("kernel-2.4.18", 24<<20).
+			AddPackage("cwx-agent", 8<<20).
+			Build(), nil
+	default:
+		return nil, fmt.Errorf("image: unknown prebuilt kind %q (want harddisk or nfsboot)", kind)
+	}
+}
+
+// Store is a versioned image library on the management host.
+type Store struct {
+	mu     sync.Mutex
+	images map[string]*Image
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{images: make(map[string]*Image)}
+}
+
+// Put registers an image. Re-registering the same ID is an error: images
+// are immutable once published.
+func (s *Store) Put(im *Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.images[im.ID()]; dup {
+		return fmt.Errorf("image: %s already published", im.ID())
+	}
+	s.images[im.ID()] = im
+	return nil
+}
+
+// Get fetches an image by ID.
+func (s *Store) Get(id string) (*Image, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	im, ok := s.images[id]
+	return im, ok
+}
+
+// List returns all image IDs, sorted.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.images))
+	for id := range s.images {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Latest returns the image with the lexically greatest version for name.
+func (s *Store) Latest(name string) (*Image, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Image
+	for _, im := range s.images {
+		if im.Name != name {
+			continue
+		}
+		if best == nil || im.Version > best.Version {
+			best = im
+		}
+	}
+	return best, best != nil
+}

@@ -1,0 +1,272 @@
+package image
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumChunksAndLens(t *testing.T) {
+	im := newWithChunk("t", "1", BootDisk, 1000, 256)
+	if im.NumChunks() != 4 {
+		t.Fatalf("NumChunks = %d, want 4", im.NumChunks())
+	}
+	for i := 0; i < 3; i++ {
+		if im.ChunkLen(i) != 256 {
+			t.Fatalf("chunk %d len %d", i, im.ChunkLen(i))
+		}
+	}
+	if im.ChunkLen(3) != 232 {
+		t.Fatalf("tail chunk len %d, want 232", im.ChunkLen(3))
+	}
+}
+
+func TestExactMultipleChunks(t *testing.T) {
+	im := newWithChunk("t", "1", BootDisk, 1024, 256)
+	if im.NumChunks() != 4 || im.ChunkLen(3) != 256 {
+		t.Fatalf("exact multiple: chunks %d, tail %d", im.NumChunks(), im.ChunkLen(3))
+	}
+}
+
+func TestChunkDeterministicAndDistinct(t *testing.T) {
+	im := newWithChunk("t", "1", BootDisk, 4096, 1024)
+	a1, a2 := im.Chunk(0), im.Chunk(0)
+	if string(a1) != string(a2) {
+		t.Fatal("chunk content not deterministic")
+	}
+	if string(im.Chunk(0)) == string(im.Chunk(1)) {
+		t.Fatal("distinct chunks have identical content")
+	}
+	// Version is administrative identity: rebuilding the same content
+	// under a new version shares chunks (that is what enables incremental
+	// updates). A different image name is different content.
+	rebuild := newWithChunk("t", "2", BootDisk, 4096, 1024)
+	if string(im.Chunk(0)) != string(rebuild.Chunk(0)) {
+		t.Fatal("identical content differs across versions")
+	}
+	other := newWithChunk("other", "1", BootDisk, 4096, 1024)
+	if string(im.Chunk(0)) == string(other.Chunk(0)) {
+		t.Fatal("different images share chunk content")
+	}
+}
+
+func TestChunkSumMatchesContent(t *testing.T) {
+	im := newWithChunk("t", "1", BootNFS, 5000, 512)
+	for i := 0; i < im.NumChunks(); i++ {
+		if got, want := len(im.Chunk(i)), im.ChunkLen(i); got != want {
+			t.Fatalf("chunk %d content len %d, want %d", i, got, want)
+		}
+	}
+	// Sums are stable across calls (lazy manifest).
+	if im.ChunkSum(2) != im.ChunkSum(2) {
+		t.Fatal("sum not stable")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	im := newWithChunk("t", "1", BootDisk, 100, 50)
+	for _, bad := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChunkLen(%d) did not panic", bad)
+				}
+			}()
+			im.ChunkLen(bad)
+		}()
+	}
+}
+
+func TestInvalidSizesPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New("x", "1", BootDisk, 0) },
+		func() { New("x", "1", BootDisk, -5) },
+		func() { newWithChunk("x", "1", BootDisk, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid size did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	im := NewBuilder("compute", "3.0", BootDisk, 100<<20).
+		AddPackage("mpich", 50<<20).
+		AddPackage("atlas", 30<<20).
+		Build()
+	if im.Size != 180<<20 {
+		t.Fatalf("built size %d", im.Size)
+	}
+	if im.ID() != "compute@3.0" {
+		t.Fatalf("ID = %q", im.ID())
+	}
+	pkgs := im.Packages()
+	if len(pkgs) != 2 || pkgs[0] != "atlas" || pkgs[1] != "mpich" {
+		t.Fatalf("packages = %v (must be sorted)", pkgs)
+	}
+}
+
+func TestBuildOrderIndependentIdentity(t *testing.T) {
+	a := NewBuilder("n", "1", BootDisk, 1<<20).AddPackage("x", 0).AddPackage("y", 0).Build()
+	b := NewBuilder("n", "1", BootDisk, 1<<20).AddPackage("y", 0).AddPackage("x", 0).Build()
+	if a.ChunkSum(0) != b.ChunkSum(0) {
+		t.Fatal("package install order changed image content")
+	}
+}
+
+func TestBuilderMisuse(t *testing.T) {
+	b := NewBuilder("n", "1", BootDisk, 10)
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddPackage after Build did not panic")
+		}
+	}()
+	b.AddPackage("late", 1)
+}
+
+func TestPackageContentChangesImage(t *testing.T) {
+	plain := NewBuilder("n", "1", BootDisk, 1<<20).Build()
+	withPkg := NewBuilder("n", "2", BootDisk, 1<<20).AddPackage("extra", 256<<10).Build()
+	diff := withPkg.Diff(plain)
+	if len(diff) == 0 {
+		t.Fatal("adding a package left image content unchanged")
+	}
+	// The base is shared: the delta is about the package size, not the
+	// whole image.
+	if len(diff) >= withPkg.NumChunks()/2 {
+		t.Fatalf("delta %d of %d chunks; base not shared", len(diff), withPkg.NumChunks())
+	}
+}
+
+func TestDiffSemantics(t *testing.T) {
+	v1 := NewBuilder("os", "1.0", BootDisk, 64<<20).
+		AddPackage("kernel-2.4.18", 4<<20).
+		AddPackage("mpich", 8<<20).
+		Build()
+	// v1.1: kernel upgraded (same size, different label), mpich kept.
+	v2 := NewBuilder("os", "1.1", BootDisk, 64<<20).
+		AddPackage("kernel-2.4.19", 4<<20).
+		AddPackage("mpich", 8<<20).
+		Build()
+	full := v2.Diff(nil)
+	if len(full) != v2.NumChunks() {
+		t.Fatalf("Diff(nil) = %d chunks", len(full))
+	}
+	delta := v2.Diff(v1)
+	if len(delta) == 0 {
+		t.Fatal("kernel upgrade produced empty delta")
+	}
+	// Only the kernel segment (~4 MB of 76 MB) plus boundary chunks move.
+	kernelChunks := int(4<<20)/v2.ChunkSize + 2
+	if len(delta) > kernelChunks+2 {
+		t.Fatalf("delta = %d chunks, want about the kernel's %d", len(delta), kernelChunks)
+	}
+	// Identical rebuild: empty delta.
+	v2again := NewBuilder("os", "1.1-rebuild", BootDisk, 64<<20).
+		AddPackage("kernel-2.4.19", 4<<20).
+		AddPackage("mpich", 8<<20).
+		Build()
+	if d := v2again.Diff(v2); len(d) != 0 {
+		t.Fatalf("identical rebuild delta = %d chunks", len(d))
+	}
+}
+
+func TestChunkContentMatchesSumsAcrossSegments(t *testing.T) {
+	im := NewBuilder("seg", "1", BootDisk, 10000).
+		AddPackage("a", 3000).
+		AddPackage("b", 500).
+		BuildWithChunkSize(640)
+	var total int64
+	for i := 0; i < im.NumChunks(); i++ {
+		c := im.Chunk(i)
+		if len(c) != im.ChunkLen(i) {
+			t.Fatalf("chunk %d len %d want %d", i, len(c), im.ChunkLen(i))
+		}
+		total += int64(len(c))
+		// Determinism across calls even when a chunk straddles segments.
+		if string(c) != string(im.Chunk(i)) {
+			t.Fatalf("chunk %d unstable", i)
+		}
+	}
+	if total != im.Size {
+		t.Fatalf("chunks cover %d of %d bytes", total, im.Size)
+	}
+}
+
+func TestPrebuilt(t *testing.T) {
+	hd, err := Prebuilt("harddisk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Mode != BootDisk || hd.Size <= 640<<20 {
+		t.Fatalf("harddisk image %+v", hd)
+	}
+	nfs, err := Prebuilt("nfsboot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nfs.Mode != BootNFS || nfs.Size >= hd.Size {
+		t.Fatalf("nfs image should be smaller: %d vs %d", nfs.Size, hd.Size)
+	}
+	if _, err := Prebuilt("floppy"); err == nil || !strings.Contains(err.Error(), "unknown prebuilt") {
+		t.Fatalf("unknown prebuilt err = %v", err)
+	}
+	if BootDisk.String() != "disk" || BootNFS.String() != "nfs" {
+		t.Fatal("BootMode.String wrong")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	a := New("n", "1.0", BootDisk, 100)
+	b := New("n", "1.1", BootDisk, 100)
+	c := New("other", "9.9", BootDisk, 100)
+	for _, im := range []*Image{a, b, c} {
+		if err := s.Put(im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(a); err == nil {
+		t.Fatal("duplicate Put succeeded")
+	}
+	if got, ok := s.Get("n@1.0"); !ok || got != a {
+		t.Fatal("Get failed")
+	}
+	if _, ok := s.Get("missing@0"); ok {
+		t.Fatal("Get missing succeeded")
+	}
+	ids := s.List()
+	if len(ids) != 3 || ids[0] != "n@1.0" || ids[1] != "n@1.1" || ids[2] != "other@9.9" {
+		t.Fatalf("List = %v", ids)
+	}
+	latest, ok := s.Latest("n")
+	if !ok || latest != b {
+		t.Fatalf("Latest = %+v", latest)
+	}
+	if _, ok := s.Latest("nope"); ok {
+		t.Fatal("Latest for unknown name succeeded")
+	}
+}
+
+// Property: chunk lengths always sum to the image size.
+func TestPropertyChunkLensSum(t *testing.T) {
+	f := func(size uint32, chunk uint16) bool {
+		sz := int64(size%(8<<20)) + 1
+		cs := int(chunk%8192) + 1
+		im := newWithChunk("p", "1", BootDisk, sz, cs)
+		var sum int64
+		for i := 0; i < im.NumChunks(); i++ {
+			sum += int64(im.ChunkLen(i))
+		}
+		return sum == sz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,475 @@
+// Package monitor turns gathered /proc statistics, hardware probes, and
+// administrator plug-ins into named monitor values (paper §5.1).
+// ClusterWorX "can virtually monitor any system function ... It comes
+// standard with over 40 monitors built in"; this set provides the standard
+// ones (CPU, memory, load, uptime, network, system identity, connectivity,
+// hardware probes) and the plug-in mechanism for the rest.
+//
+// Rate monitors (context switches/s, network bytes/s, ...) are derived on
+// the node from successive counter samples, so only ready-to-display
+// values cross the network.
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/gather"
+	"clusterworx/internal/procfs"
+)
+
+// Probes is the optional hardware-probe surface (ICE Box sensors or
+// lm_sensors). Satisfied by *node.Node.
+type Probes interface {
+	Temperature() float64
+	FanOK() bool
+	PowerProbe() bool
+}
+
+// Config wires a monitor set to one node.
+type Config struct {
+	FS       *procfs.FS           // required: the node's /proc
+	Hostname string               // required
+	Now      func() time.Duration // required: time source for rates
+	Probes   Probes               // optional hardware probes
+	Echo     func() bool          // optional UDP-echo connectivity check
+	Plugins  *PluginSet           // optional administrator plug-ins
+}
+
+// Set is the full collection of monitor sources for one node.
+type Set struct {
+	cfg     Config
+	closers []interface{ Close() error }
+	count   int
+}
+
+// Standard collection intervals, in consolidation ticks. A tick is the
+// agent's base sampling period (20 ms at the paper's 50 samples/s).
+const (
+	RateCPU     = 1
+	RateMem     = 1
+	RateNet     = 1
+	RateLoad    = 5
+	RateUptime  = 10
+	RateProbes  = 5
+	RateEcho    = 10
+	RateSysinfo = 600
+	RatePlugins = 50
+)
+
+// NewSet opens the gatherers for a node. Close releases the kept-open
+// /proc files.
+func NewSet(cfg Config) (*Set, error) {
+	if cfg.FS == nil || cfg.Hostname == "" || cfg.Now == nil {
+		return nil, fmt.Errorf("monitor: FS, Hostname and Now are required")
+	}
+	return &Set{cfg: cfg}, nil
+}
+
+// Install adds every monitor source to the consolidator at its standard
+// rate and returns the number of distinct monitor values installed.
+func (s *Set) Install(c *consolidate.Consolidator) error {
+	fs := s.cfg.FS
+
+	cpu, err := newCPUSource(fs, s.cfg.Now)
+	if err != nil {
+		return err
+	}
+	s.closers = append(s.closers, cpu.g)
+	c.AddSource(cpu, RateCPU)
+	s.count += 15
+
+	mem, err := newMemSource(fs)
+	if err != nil {
+		return err
+	}
+	s.closers = append(s.closers, mem.g)
+	c.AddSource(mem, RateMem)
+	s.count += 10
+
+	load, err := newLoadSource(fs)
+	if err != nil {
+		return err
+	}
+	s.closers = append(s.closers, load.g)
+	c.AddSource(load, RateLoad)
+	s.count += 6
+
+	up, err := newUptimeSource(fs)
+	if err != nil {
+		return err
+	}
+	s.closers = append(s.closers, up.g)
+	c.AddSource(up, RateUptime)
+	s.count += 3
+
+	net, err := newNetSource(fs, s.cfg.Now)
+	if err != nil {
+		return err
+	}
+	s.closers = append(s.closers, net.g)
+	c.AddSource(net, RateNet)
+	s.count += 12
+
+	c.AddSource(newSysinfoSource(fs, s.cfg.Hostname), RateSysinfo)
+	s.count += 5
+
+	if s.cfg.Probes != nil {
+		c.AddSource(probeSource{p: s.cfg.Probes}, RateProbes)
+		s.count += 3
+	}
+	if s.cfg.Echo != nil {
+		c.AddSource(echoSource{fn: s.cfg.Echo}, RateEcho)
+		s.count++
+	}
+	if s.cfg.Plugins != nil {
+		c.AddSource(s.cfg.Plugins, RatePlugins)
+	}
+	return nil
+}
+
+// Count returns the number of built-in monitor values installed.
+func (s *Set) Count() int { return s.count }
+
+// Close releases kept-open /proc files.
+func (s *Set) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}
+
+// --- CPU ------------------------------------------------------------------------
+
+type cpuSource struct {
+	g    *gather.StatGatherer
+	now  func() time.Duration
+	last gather.CPUStats
+	at   time.Duration
+	has  bool
+	cur  gather.CPUStats
+}
+
+func newCPUSource(fs *procfs.FS, now func() time.Duration) (*cpuSource, error) {
+	g, err := gather.NewStatGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &cpuSource{g: g, now: now}, nil
+}
+
+func (s *cpuSource) Name() string { return "cpu" }
+
+func (s *cpuSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	if err := s.g.Gather(&s.cur); err != nil {
+		return dst, err
+	}
+	now := s.now()
+	var userPct, nicePct, sysPct, idlePct float64
+	var intrRate, ctxtRate, forkRate, pageInRate, pageOutRate, swapInRate, swapOutRate float64
+	var diskRIOPS, diskWIOPS, diskRSect, diskWSect float64
+	if s.has {
+		dJ := float64(s.cur.Total.Total() - s.last.Total.Total())
+		if dJ > 0 {
+			userPct = 100 * float64(s.cur.Total.User-s.last.Total.User) / dJ
+			nicePct = 100 * float64(s.cur.Total.Nice-s.last.Total.Nice) / dJ
+			sysPct = 100 * float64(s.cur.Total.System-s.last.Total.System) / dJ
+			idlePct = 100 * float64(s.cur.Total.Idle-s.last.Total.Idle) / dJ
+		}
+		if dt := (now - s.at).Seconds(); dt > 0 {
+			intrRate = float64(s.cur.Interrupts-s.last.Interrupts) / dt
+			ctxtRate = float64(s.cur.ContextSwitches-s.last.ContextSwitches) / dt
+			forkRate = float64(s.cur.Processes-s.last.Processes) / dt
+			pageInRate = float64(s.cur.PageIn-s.last.PageIn) / dt
+			pageOutRate = float64(s.cur.PageOut-s.last.PageOut) / dt
+			swapInRate = float64(s.cur.SwapIn-s.last.SwapIn) / dt
+			swapOutRate = float64(s.cur.SwapOut-s.last.SwapOut) / dt
+			// Disk I/O summed over devices, matched by position (the
+			// device set of a node does not change at runtime).
+			for i, d := range s.cur.Disks {
+				if i >= len(s.last.Disks) {
+					break
+				}
+				p := s.last.Disks[i]
+				diskRIOPS += float64(d.ReadIO-p.ReadIO) / dt
+				diskWIOPS += float64(d.WriteIO-p.WriteIO) / dt
+				diskRSect += float64(d.ReadSectors-p.ReadSectors) / dt
+				diskWSect += float64(d.WriteSectors-p.WriteSectors) / dt
+			}
+		}
+	}
+	s.last, s.at, s.has = s.cur, now, true
+	s.last.Disks = append([]gather.DiskCounters(nil), s.cur.Disks...)
+	s.last.PerCPU = append([]procfs.CPUJiffies(nil), s.cur.PerCPU...)
+	d := consolidate.Dynamic
+	return append(dst,
+		consolidate.NumValue("cpu.user.pct", d, round2(userPct)),
+		consolidate.NumValue("cpu.nice.pct", d, round2(nicePct)),
+		consolidate.NumValue("cpu.system.pct", d, round2(sysPct)),
+		consolidate.NumValue("cpu.idle.pct", d, round2(idlePct)),
+		consolidate.NumValue("cpu.intr.rate", d, round2(intrRate)),
+		consolidate.NumValue("cpu.ctxt.rate", d, round2(ctxtRate)),
+		consolidate.NumValue("proc.fork.rate", d, round2(forkRate)),
+		consolidate.NumValue("page.in.rate", d, round2(pageInRate)),
+		consolidate.NumValue("page.out.rate", d, round2(pageOutRate)),
+		consolidate.NumValue("swap.in.rate", d, round2(swapInRate)),
+		consolidate.NumValue("swap.out.rate", d, round2(swapOutRate)),
+		consolidate.NumValue("disk.read.iops", d, round2(diskRIOPS)),
+		consolidate.NumValue("disk.write.iops", d, round2(diskWIOPS)),
+		consolidate.NumValue("disk.read.sectors.rate", d, round2(diskRSect)),
+		consolidate.NumValue("disk.write.sectors.rate", d, round2(diskWSect)),
+	), nil
+}
+
+// --- memory ----------------------------------------------------------------------
+
+type memSource struct {
+	g   *gather.KeepOpenMeminfo
+	cur gather.MemStats
+}
+
+func newMemSource(fs *procfs.FS) (*memSource, error) {
+	g, err := gather.NewKeepOpenMeminfo(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &memSource{g: g}, nil
+}
+
+func (s *memSource) Name() string { return "mem" }
+
+func (s *memSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	if err := s.g.Gather(&s.cur); err != nil {
+		return dst, err
+	}
+	m := &s.cur
+	usedPct := 0.0
+	if m.MemTotal > 0 {
+		usedPct = 100 * float64(m.Used()) / float64(m.MemTotal)
+	}
+	swapUsedPct := 0.0
+	if m.SwapTotal > 0 {
+		swapUsedPct = 100 * float64(m.SwapTotal-m.SwapFree) / float64(m.SwapTotal)
+	}
+	d := consolidate.Dynamic
+	return append(dst,
+		consolidate.NumValue("mem.total.kb", consolidate.Static, float64(m.MemTotal)),
+		consolidate.NumValue("mem.free.kb", d, float64(m.MemFree)),
+		consolidate.NumValue("mem.used.kb", d, float64(m.Used())),
+		consolidate.NumValue("mem.used.pct", d, round2(usedPct)),
+		consolidate.NumValue("mem.shared.kb", d, float64(m.MemShared)),
+		consolidate.NumValue("mem.buffers.kb", d, float64(m.Buffers)),
+		consolidate.NumValue("mem.cached.kb", d, float64(m.Cached)),
+		consolidate.NumValue("swap.total.kb", consolidate.Static, float64(m.SwapTotal)),
+		consolidate.NumValue("swap.free.kb", d, float64(m.SwapFree)),
+		consolidate.NumValue("swap.used.pct", d, round2(swapUsedPct)),
+	), nil
+}
+
+// --- load ------------------------------------------------------------------------
+
+type loadSource struct {
+	g   *gather.LoadavgGatherer
+	cur gather.LoadStats
+}
+
+func newLoadSource(fs *procfs.FS) (*loadSource, error) {
+	g, err := gather.NewLoadavgGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &loadSource{g: g}, nil
+}
+
+func (s *loadSource) Name() string { return "load" }
+
+func (s *loadSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	if err := s.g.Gather(&s.cur); err != nil {
+		return dst, err
+	}
+	l := &s.cur
+	d := consolidate.Dynamic
+	return append(dst,
+		consolidate.NumValue("load.1", d, l.Load1),
+		consolidate.NumValue("load.5", d, l.Load5),
+		consolidate.NumValue("load.15", d, l.Load15),
+		consolidate.NumValue("proc.running", d, float64(l.Running)),
+		consolidate.NumValue("proc.total", d, float64(l.Total)),
+		consolidate.NumValue("proc.lastpid", d, float64(l.LastPID)),
+	), nil
+}
+
+// --- uptime ----------------------------------------------------------------------
+
+type uptimeSource struct {
+	g   *gather.UptimeGatherer
+	cur gather.UptimeStats
+}
+
+func newUptimeSource(fs *procfs.FS) (*uptimeSource, error) {
+	g, err := gather.NewUptimeGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &uptimeSource{g: g}, nil
+}
+
+func (s *uptimeSource) Name() string { return "uptime" }
+
+func (s *uptimeSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	if err := s.g.Gather(&s.cur); err != nil {
+		return dst, err
+	}
+	idlePct := 0.0
+	if s.cur.Uptime > 0 {
+		idlePct = 100 * s.cur.Idle / s.cur.Uptime
+	}
+	d := consolidate.Dynamic
+	return append(dst,
+		consolidate.NumValue("uptime.sec", d, s.cur.Uptime),
+		consolidate.NumValue("uptime.idle.sec", d, s.cur.Idle),
+		consolidate.NumValue("uptime.idle.pct", d, round2(idlePct)),
+	), nil
+}
+
+// --- network ----------------------------------------------------------------------
+
+type netSource struct {
+	g    *gather.NetDevGatherer
+	now  func() time.Duration
+	last gather.NetDevStats
+	at   time.Duration
+	has  bool
+	cur  gather.NetDevStats
+}
+
+func newNetSource(fs *procfs.FS, now func() time.Duration) (*netSource, error) {
+	g, err := gather.NewNetDevGatherer(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &netSource{g: g, now: now}, nil
+}
+
+func (s *netSource) Name() string { return "net" }
+
+func (s *netSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	if err := s.g.Gather(&s.cur); err != nil {
+		return dst, err
+	}
+	now := s.now()
+	dt := (now - s.at).Seconds()
+	d := consolidate.Dynamic
+	for _, ifc := range s.cur.Ifaces {
+		var rxB, txB, rxP, txP float64
+		if s.has && dt > 0 {
+			if prev, ok := findIface(s.last.Ifaces, ifc.Name); ok {
+				rxB = float64(ifc.RxBytes-prev.RxBytes) / dt
+				txB = float64(ifc.TxBytes-prev.TxBytes) / dt
+				rxP = float64(ifc.RxPackets-prev.RxPackets) / dt
+				txP = float64(ifc.TxPackets-prev.TxPackets) / dt
+			}
+		}
+		pfx := "net." + ifc.Name + "."
+		dst = append(dst,
+			consolidate.NumValue(pfx+"rx.bytes.rate", d, round2(rxB)),
+			consolidate.NumValue(pfx+"tx.bytes.rate", d, round2(txB)),
+			consolidate.NumValue(pfx+"rx.pkts.rate", d, round2(rxP)),
+			consolidate.NumValue(pfx+"tx.pkts.rate", d, round2(txP)),
+			consolidate.NumValue(pfx+"rx.errs", d, float64(ifc.RxErrs)),
+			consolidate.NumValue(pfx+"tx.errs", d, float64(ifc.TxErrs)),
+		)
+	}
+	// Deep-copy the interface slice: gatherers reuse their buffers.
+	s.last.Ifaces = append(s.last.Ifaces[:0], s.cur.Ifaces...)
+	s.at, s.has = now, true
+	return dst, nil
+}
+
+func findIface(ifaces []gather.IfaceCounters, name string) (gather.IfaceCounters, bool) {
+	for _, i := range ifaces {
+		if i.Name == name {
+			return i, true
+		}
+	}
+	return gather.IfaceCounters{}, false
+}
+
+// --- system identity ----------------------------------------------------------------
+
+type sysinfoSource struct {
+	fs       *procfs.FS
+	hostname string
+}
+
+func newSysinfoSource(fs *procfs.FS, hostname string) sysinfoSource {
+	return sysinfoSource{fs: fs, hostname: hostname}
+}
+
+func (s sysinfoSource) Name() string { return "sysinfo" }
+
+func (s sysinfoSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	ci, err := s.fs.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return dst, err
+	}
+	model, mhz, ncpu := parseCPUInfo(ci)
+	ver, err := s.fs.ReadFile("/proc/version")
+	if err != nil {
+		return dst, err
+	}
+	st := consolidate.Static
+	return append(dst,
+		consolidate.TextValue("host.name", st, s.hostname),
+		consolidate.TextValue("cpu.type", st, model),
+		consolidate.NumValue("cpu.mhz", st, mhz),
+		consolidate.NumValue("cpu.count", st, float64(ncpu)),
+		consolidate.TextValue("kernel.version", st, kernelVersion(ver)),
+	), nil
+}
+
+// --- probes and connectivity -----------------------------------------------------------
+
+type probeSource struct{ p Probes }
+
+func (probeSource) Name() string { return "hw" }
+
+func (s probeSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	d := consolidate.Dynamic
+	return append(dst,
+		consolidate.NumValue("hw.temp.cpu", d, round2(s.p.Temperature())),
+		consolidate.NumValue("hw.fan.ok", d, boolNum(s.p.FanOK())),
+		consolidate.NumValue("hw.power.ok", d, boolNum(s.p.PowerProbe())),
+	), nil
+}
+
+type echoSource struct{ fn func() bool }
+
+func (echoSource) Name() string { return "echo" }
+
+func (s echoSource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	return append(dst, consolidate.NumValue("net.echo.ok", consolidate.Dynamic, boolNum(s.fn()))), nil
+}
+
+// --- helpers -----------------------------------------------------------------------------
+
+func boolNum(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// round2 quantizes to two decimals so jitter below display resolution does
+// not defeat the consolidation stage's change suppression.
+func round2(v float64) float64 {
+	if v < 0 {
+		return float64(int64(v*100-0.5)) / 100
+	}
+	return float64(int64(v*100+0.5)) / 100
+}

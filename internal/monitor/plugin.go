@@ -1,0 +1,172 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clusterworx/internal/consolidate"
+)
+
+// PluginSet implements the paper's plug-in mechanism (§5.1): "a plugin
+// itself can be any program, script (shell, perl, etc.) or any combination
+// thereof - as long as it resides in the ClusterWorX plug-in directory it
+// will be recognized by the system automatically."
+//
+// Two flavors are supported:
+//
+//   - Go functions registered with RegisterFunc (the in-process form the
+//     examples and the SDK use);
+//   - executables in a plug-in directory, discovered on every collection,
+//     run with /bin/sh, and expected to print "name value" lines — value is
+//     a number or arbitrary text.
+//
+// Plug-in values are namespaced "plugin.<plugin>.<name>". A failing
+// plug-in is isolated: its values go stale but other plug-ins and built-in
+// monitors are unaffected.
+type PluginSet struct {
+	mu    sync.Mutex
+	dir   string
+	funcs map[string]PluginFunc
+	errs  []string // most recent failures, for diagnostics
+}
+
+// PluginFunc is an in-process plug-in returning name/value pairs.
+type PluginFunc func() (map[string]float64, error)
+
+// NewPluginSet returns an empty plug-in set; dir may be "" for
+// function-only use.
+func NewPluginSet(dir string) *PluginSet {
+	return &PluginSet{dir: dir, funcs: make(map[string]PluginFunc)}
+}
+
+// RegisterFunc installs (or replaces) an in-process plug-in.
+func (p *PluginSet) RegisterFunc(name string, fn PluginFunc) {
+	p.mu.Lock()
+	p.funcs[name] = fn
+	p.mu.Unlock()
+}
+
+// Unregister removes an in-process plug-in.
+func (p *PluginSet) Unregister(name string) {
+	p.mu.Lock()
+	delete(p.funcs, name)
+	p.mu.Unlock()
+}
+
+// Errors returns the failures from the most recent collection.
+func (p *PluginSet) Errors() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.errs...)
+}
+
+// Name implements consolidate.Source.
+func (p *PluginSet) Name() string { return "plugins" }
+
+// Collect runs every plug-in. Individual failures are recorded, not
+// returned: one bad script must not poison the whole source.
+func (p *PluginSet) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	p.mu.Lock()
+	dir := p.dir
+	names := make([]string, 0, len(p.funcs))
+	for name := range p.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]PluginFunc, len(names))
+	for i, name := range names {
+		fns[i] = p.funcs[name]
+	}
+	p.mu.Unlock()
+
+	var errs []string
+	for i, name := range names {
+		vals, err := fns[i]()
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dst = append(dst, consolidate.NumValue("plugin."+name+"."+k, consolidate.Dynamic, vals[k]))
+		}
+	}
+	if dir != "" {
+		var derrs []string
+		dst, derrs = p.collectDir(dir, dst)
+		errs = append(errs, derrs...)
+	}
+
+	p.mu.Lock()
+	p.errs = errs
+	p.mu.Unlock()
+	return dst, nil
+}
+
+// collectDir discovers and runs executable plug-ins in dir.
+func (p *PluginSet) collectDir(dir string, dst []consolidate.Value) ([]consolidate.Value, []string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return dst, []string{fmt.Sprintf("plugin dir: %v", err)}
+	}
+	var errs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.Mode()&0o111 == 0 {
+			continue // not executable: not a plug-in
+		}
+		name := pluginName(e.Name())
+		out, err := exec.Command("/bin/sh", filepath.Join(dir, e.Name())).Output()
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		vals, perrs := parsePluginOutput(name, out)
+		dst = append(dst, vals...)
+		errs = append(errs, perrs...)
+	}
+	return dst, errs
+}
+
+// parsePluginOutput decodes "name value" lines.
+func parsePluginOutput(plugin string, out []byte) ([]consolidate.Value, []string) {
+	var vals []consolidate.Value
+	var errs []string
+	for lineNo, line := range bytes.Split(out, []byte{'\n'}) {
+		text := strings.TrimSpace(string(line))
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(text, " ")
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: line %d: no value", plugin, lineNo+1))
+			continue
+		}
+		val = strings.TrimSpace(val)
+		full := "plugin." + plugin + "." + key
+		if num, err := strconv.ParseFloat(val, 64); err == nil {
+			vals = append(vals, consolidate.NumValue(full, consolidate.Dynamic, num))
+		} else {
+			vals = append(vals, consolidate.TextValue(full, consolidate.Dynamic, val))
+		}
+	}
+	return vals, errs
+}
+
+func pluginName(file string) string {
+	return strings.TrimSuffix(file, filepath.Ext(file))
+}

@@ -1,0 +1,41 @@
+package monitor
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseCPUInfo extracts model name, clock and processor count from
+// /proc/cpuinfo text.
+func parseCPUInfo(data []byte) (model string, mhz float64, ncpu int) {
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "processor":
+			ncpu++
+		case "model name":
+			if model == "" {
+				model = val
+			}
+		case "cpu MHz":
+			if mhz == 0 {
+				mhz, _ = strconv.ParseFloat(val, 64)
+			}
+		}
+	}
+	return model, mhz, ncpu
+}
+
+// kernelVersion extracts "2.4.18" from a /proc/version line.
+func kernelVersion(data []byte) string {
+	fields := strings.Fields(string(data))
+	if len(fields) >= 3 && fields[0] == "Linux" && fields[1] == "version" {
+		return fields[2]
+	}
+	return strings.TrimSpace(string(data))
+}

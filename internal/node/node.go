@@ -1,0 +1,647 @@
+// Package node models one cluster node as the rest of the system observes
+// it: a power/boot state machine (driven by firmware), CPU/memory/network/
+// disk activity rendered through a simulated /proc, thermal dynamics with
+// a failable fan, hardware probes for the ICE Box (temperature, PSU
+// state, reset line), and a serial port.
+//
+// The paper's experiments never look inside a node — they read its /proc
+// files, its probes, and its serial console, and they cut or cycle its
+// power. Those surfaces are what this model makes faithful.
+package node
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/console"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/procfs"
+)
+
+// State is the node lifecycle state.
+type State uint8
+
+// Node states.
+const (
+	PowerOff State = iota
+	Booting
+	Up
+	Halted  // OS shut down, power still applied
+	Crashed // kernel panic or hardware fault; power still applied
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case PowerOff:
+		return "off"
+	case Booting:
+		return "booting"
+	case Up:
+		return "up"
+	case Halted:
+		return "halted"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Thermal constants (°C).
+const (
+	ambientTemp   = 22.0
+	idleRise      = 18.0 // above ambient at zero load
+	loadRise      = 30.0 // additional at full load
+	fanFailRise   = 35.0 // additional with a dead fan
+	DamageTemp    = 95.0 // silicon dies past this
+	thermalTauSec = 60.0
+	loadTauSec    = 20.0
+)
+
+// Config describes the node hardware.
+type Config struct {
+	Name        string
+	MemBytes    uint64
+	NumCPUs     int
+	CPUMHz      float64
+	Model       string
+	KernelVer   string
+	DiskBytes   int64
+	DiskBW      float64 // bytes/s
+	Firmware    firmware.Firmware
+	BootSource  firmware.BootSource
+	KernelBytes int64
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemBytes == 0 {
+		c.MemBytes = 1 << 30
+	}
+	if c.NumCPUs == 0 {
+		c.NumCPUs = 1
+	}
+	if c.CPUMHz == 0 {
+		c.CPUMHz = 999.541
+	}
+	if c.Model == "" {
+		c.Model = "Pentium III (Coppermine)"
+	}
+	if c.KernelVer == "" {
+		c.KernelVer = "2.4.18"
+	}
+	if c.DiskBytes == 0 {
+		c.DiskBytes = 40 << 30
+	}
+	if c.DiskBW == 0 {
+		c.DiskBW = 20e6
+	}
+	if c.Firmware == nil {
+		c.Firmware = firmware.NewLinuxBIOS("1.0.1")
+	}
+	if c.KernelBytes == 0 {
+		c.KernelBytes = 4 << 20
+	}
+	return c
+}
+
+// Node is one simulated cluster node. All methods are safe for concurrent
+// use; time-dependent quantities are integrated lazily against the virtual
+// clock.
+type Node struct {
+	mu  sync.Mutex
+	clk *clock.Clock
+	cfg Config
+	rng *rand.Rand
+
+	state    State
+	bootRun  *firmware.Run
+	memFault bool
+	damaged  bool
+
+	serial *console.Console
+	fs     *procfs.FS
+	stat   procfs.NodeStat
+
+	lastAt   time.Duration
+	bootedAt time.Duration
+
+	// dynamics
+	load       float64 // current run-queue depth
+	targetLoad float64
+	temp       float64
+	fanOK      bool
+	psuOK      bool
+	netRate    float64 // offered network bytes/s
+	netErrRate float64 // injected eth0 rx errors per second
+	idleAccum  float64
+
+	onState []func(State)
+}
+
+// New constructs a powered-off node.
+func New(clk *clock.Clock, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		clk:    clk,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 7)),
+		serial: console.New(console.DefaultRingSize),
+		fs:     procfs.NewFS(),
+		temp:   ambientTemp,
+		fanOK:  true,
+		psuOK:  true,
+		state:  PowerOff,
+	}
+	n.initStat()
+	procfs.RegisterStd(n.fs, n.procStat)
+	return n
+}
+
+func (n *Node) initStat() {
+	s := &n.stat
+	s.MemTotal = n.cfg.MemBytes
+	s.MemFree = n.cfg.MemBytes * 7 / 10
+	s.HighTotal = 0
+	s.HighFree = 0
+	s.SwapTotal = 2 << 30
+	s.SwapFree = s.SwapTotal
+	s.CPUs = make([]procfs.CPUJiffies, n.cfg.NumCPUs)
+	s.IRQ = make([]uint64, 16)
+	s.BootTime = 1_041_379_200 // 2003-01-01
+	s.Processes = 60
+	s.TotalProcs = 60
+	s.RunningProcs = 1
+	s.LastPID = 300
+	s.Disks = []procfs.DiskIO{{Major: 3, Minor: 0}}
+	s.Ifaces = []procfs.IfaceStat{{Name: "lo"}, {Name: "eth0"}}
+	s.ModelName = n.cfg.Model
+	s.MHz = n.cfg.CPUMHz
+	s.BogoMIPS = n.cfg.CPUMHz * 1.99
+	s.KernelVersion = n.cfg.KernelVer
+}
+
+// Name returns the node's hostname.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Serial returns the node's serial port (attach it to an ICE Box port).
+func (n *Node) Serial() *console.Console { return n.serial }
+
+// FS returns the node's /proc filesystem; the gathering stage reads it.
+func (n *Node) FS() *procfs.FS { return n.fs }
+
+// Firmware returns the installed firmware.
+func (n *Node) Firmware() firmware.Firmware { return n.cfg.Firmware }
+
+// BootTime returns this node's firmware cold-start duration (fault-free).
+func (n *Node) BootTime() time.Duration {
+	return firmware.BootTime(n.cfg.Firmware, firmware.Env{
+		MemBytes:      n.cfg.MemBytes,
+		Source:        n.cfg.BootSource,
+		KernelBytes:   n.cfg.KernelBytes,
+		DiskBandwidth: n.cfg.DiskBW,
+		NetBandwidth:  100e6 / 8,
+	})
+}
+
+// DiskBandwidth returns the node's local disk write rate in bytes/s.
+func (n *Node) DiskBandwidth() float64 { return n.cfg.DiskBW }
+
+// State returns the lifecycle state.
+func (n *Node) State() State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	return n.state
+}
+
+// Reachable reports whether the node answers on the network (the UDP echo
+// connectivity check ClusterWorX uses).
+func (n *Node) Reachable() bool { return n.State() == Up }
+
+// OnStateChange registers a hook invoked (with the node unlocked) after
+// every state transition.
+func (n *Node) OnStateChange(fn func(State)) {
+	n.mu.Lock()
+	n.onState = append(n.onState, fn)
+	n.mu.Unlock()
+}
+
+// --- power and boot ------------------------------------------------------------
+
+// PowerOn applies power and starts the firmware boot. No-op unless the
+// node is off or the PSU is dead.
+func (n *Node) PowerOn() {
+	n.mu.Lock()
+	if n.state != PowerOff || !n.psuOK {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked()
+	n.startBootLocked()
+	n.notify()
+}
+
+// PowerOff cuts power immediately: a boot in progress dies, the OS gets no
+// shutdown, the serial port goes quiet mid-line.
+func (n *Node) PowerOff() {
+	n.mu.Lock()
+	if n.state == PowerOff {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked()
+	if n.bootRun != nil {
+		n.bootRun.Cancel()
+		n.bootRun = nil
+	}
+	n.state = PowerOff
+	n.load = 0
+	n.notify()
+}
+
+// Reset pulses the motherboard reset line (the ICE Box per-node reset
+// switch): the node reboots without a power cycle, recovering even a
+// crashed kernel. No effect when powered off.
+func (n *Node) Reset() {
+	n.mu.Lock()
+	if n.state == PowerOff {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked()
+	if n.bootRun != nil {
+		n.bootRun.Cancel()
+		n.bootRun = nil
+	}
+	n.serial.WriteString("\n-- hardware reset --\n")
+	n.startBootLocked()
+	n.notify()
+}
+
+// startBootLocked begins the firmware sequence; callers hold n.mu and the
+// notify call afterwards unlocks.
+func (n *Node) startBootLocked() {
+	if n.damaged {
+		// Fried silicon does not POST.
+		n.state = Crashed
+		return
+	}
+	n.state = Booting
+	env := firmware.Env{
+		MemBytes:      n.cfg.MemBytes,
+		Source:        n.cfg.BootSource,
+		KernelBytes:   n.cfg.KernelBytes,
+		DiskBandwidth: n.cfg.DiskBW,
+		NetBandwidth:  100e6 / 8,
+		MemoryFault:   n.memFault,
+	}
+	n.bootRun = firmware.Boot(n.clk, n.cfg.Firmware, env, n.serial, func(out firmware.Outcome) {
+		n.mu.Lock()
+		n.bootRun = nil
+		if n.state != Booting {
+			n.mu.Unlock()
+			return
+		}
+		if out == firmware.BootOK {
+			n.advanceLocked()
+			n.state = Up
+			n.bootedAt = n.clk.Now()
+			n.idleAccum = 0
+			n.serial.WriteString(fmt.Sprintf("init: %s entering runlevel 3\n", n.cfg.Name))
+		} else {
+			n.state = Crashed
+		}
+		n.notify()
+	})
+}
+
+// notify releases n.mu and fires state hooks with the state at call time.
+func (n *Node) notify() {
+	s := n.state
+	hooks := append(make([]func(State), 0, len(n.onState)), n.onState...)
+	n.mu.Unlock()
+	for _, h := range hooks {
+		h(s)
+	}
+}
+
+// Halt performs a clean OS shutdown; power stays applied.
+func (n *Node) Halt() {
+	n.mu.Lock()
+	if n.state != Up {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked()
+	n.serial.WriteString("The system is going down NOW.\nSystem halted.\n")
+	n.state = Halted
+	n.load = 0
+	n.notify()
+}
+
+// Crash simulates a kernel panic, emitting an oops on the serial console.
+func (n *Node) Crash(reason string) {
+	n.mu.Lock()
+	if n.state != Up && n.state != Booting {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked()
+	if n.bootRun != nil {
+		n.bootRun.Cancel()
+		n.bootRun = nil
+	}
+	n.serial.WriteString(fmt.Sprintf(
+		"Oops: 0000\nkernel panic: %s\nEIP: 0010:[<c01234ab>]\n<0> Kernel panic: not syncing\n", reason))
+	n.state = Crashed
+	n.notify()
+}
+
+// --- faults ---------------------------------------------------------------------
+
+// FailFan kills the CPU fan; temperature climbs toward damage.
+func (n *Node) FailFan() {
+	n.mu.Lock()
+	n.advanceLocked()
+	n.fanOK = false
+	n.mu.Unlock()
+}
+
+// RepairFan restores the fan.
+func (n *Node) RepairFan() {
+	n.mu.Lock()
+	n.advanceLocked()
+	n.fanOK = true
+	n.mu.Unlock()
+}
+
+// FailPSU kills the power supply: the node loses power and cannot be
+// powered on until RepairPSU.
+func (n *Node) FailPSU() {
+	n.mu.Lock()
+	n.psuOK = false
+	n.mu.Unlock()
+	n.PowerOff()
+}
+
+// RepairPSU replaces the power supply.
+func (n *Node) RepairPSU() {
+	n.mu.Lock()
+	n.psuOK = true
+	n.mu.Unlock()
+}
+
+// SetMemoryFault arms or clears a bad-DIMM fault for subsequent boots.
+func (n *Node) SetMemoryFault(bad bool) {
+	n.mu.Lock()
+	n.memFault = bad
+	n.mu.Unlock()
+}
+
+// Damaged reports whether the node has suffered permanent thermal damage.
+func (n *Node) Damaged() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	return n.damaged
+}
+
+// --- workload --------------------------------------------------------------------
+
+// SetLoad sets the offered run-queue depth the node drifts toward.
+func (n *Node) SetLoad(l float64) {
+	if l < 0 {
+		l = 0
+	}
+	n.mu.Lock()
+	n.advanceLocked()
+	n.targetLoad = l
+	n.mu.Unlock()
+}
+
+// SetNetRate sets offered network traffic in bytes/s (rx+tx combined).
+func (n *Node) SetNetRate(bytesPerSec float64) {
+	n.mu.Lock()
+	n.advanceLocked()
+	n.netRate = bytesPerSec
+	n.mu.Unlock()
+}
+
+// InjectNetErrors makes eth0 accumulate receive errors at the given rate
+// per second — a failing NIC, bad cable, or duplex mismatch. Zero stops
+// the fault.
+func (n *Node) InjectNetErrors(perSec float64) {
+	if perSec < 0 {
+		perSec = 0
+	}
+	n.mu.Lock()
+	n.advanceLocked()
+	n.netErrRate = perSec
+	n.mu.Unlock()
+}
+
+// --- probes (ICE Box hardware) ----------------------------------------------------
+//
+// Probes are powered by the ICE Box, not the node: they answer even when
+// the node is off or dead.
+
+// Temperature returns the CPU temperature probe reading in °C.
+func (n *Node) Temperature() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	return n.temp
+}
+
+// FanOK reports the CPU fan tach signal.
+func (n *Node) FanOK() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fanOK
+}
+
+// PowerProbe reports whether the node's power supply is delivering power.
+func (n *Node) PowerProbe() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.psuOK && n.state != PowerOff
+}
+
+// --- dynamics ----------------------------------------------------------------------
+
+// advanceLocked integrates the node physics from lastAt to now.
+func (n *Node) advanceLocked() {
+	now := n.clk.Now()
+	dt := (now - n.lastAt).Seconds()
+	n.lastAt = now
+	if dt <= 0 {
+		return
+	}
+
+	powered := n.state != PowerOff
+	running := n.state == Up
+
+	// Load relaxes toward target while the OS runs.
+	if running {
+		k := 1 - math.Exp(-dt/loadTauSec)
+		n.load += (n.targetLoad - n.load) * k
+	} else {
+		n.load = 0
+	}
+
+	// Thermals: heat with power and load, extra when the fan is dead.
+	steady := ambientTemp
+	if powered {
+		loadFrac := n.loadFrac()
+		steady = ambientTemp + idleRise + loadRise*loadFrac
+		if !n.fanOK {
+			steady += fanFailRise
+		}
+	}
+	kT := 1 - math.Exp(-dt/thermalTauSec)
+	n.temp += (steady - n.temp) * kT
+	if n.temp >= DamageTemp && powered && !n.damaged {
+		n.damaged = true
+		if n.state == Up || n.state == Booting {
+			if n.bootRun != nil {
+				n.bootRun.Cancel()
+				n.bootRun = nil
+			}
+			n.serial.WriteString("CPU0: Temperature above threshold\nCPU0: Running in modulated clock mode\nkernel panic: CPU overheat\n")
+			n.state = Crashed
+		}
+	}
+
+	if running {
+		n.advanceCountersLocked(dt)
+	}
+}
+
+// advanceCountersLocked rolls the /proc counters forward by dt seconds.
+func (n *Node) advanceCountersLocked(dt float64) {
+	s := &n.stat
+	loadFrac := n.loadFrac()
+
+	// Jiffies at 100 Hz per CPU, split by utilization.
+	totalJiffies := dt * 100
+	for i := range s.CPUs {
+		c := &s.CPUs[i]
+		busy := totalJiffies * loadFrac
+		c.User += uint64(busy * 0.85)
+		c.System += uint64(busy * 0.12)
+		c.Nice += uint64(busy * 0.03)
+		c.Idle += uint64(totalJiffies * (1 - loadFrac))
+	}
+
+	// Load averages: exponentially-damped averages of the run queue.
+	for _, la := range []struct {
+		v   *float64
+		tau float64
+	}{{&s.Load1, 60}, {&s.Load5, 300}, {&s.Load15, 900}} {
+		k := 1 - math.Exp(-dt/la.tau)
+		*la.v += (n.load - *la.v) * k
+	}
+	s.RunningProcs = int(math.Ceil(n.load))
+	if s.RunningProcs < 1 {
+		s.RunningProcs = 1
+	}
+
+	// Kernel activity scales with load.
+	s.ContextSwitches += uint64(dt * (500 + 8000*loadFrac))
+	intr := uint64(dt * (100 + 1200*loadFrac))
+	s.Interrupts += intr
+	s.IRQ[0] += uint64(dt * 100) // timer
+	s.IRQ[14] += intr / 4        // disk
+	forks := uint64(dt * (0.5 + 3*loadFrac))
+	s.Processes += forks
+	s.LastPID += int(forks)
+	s.TotalProcs = 60 + int(n.load*4)
+
+	// Memory tracks load with a little wander.
+	used := 0.28 + 0.5*loadFrac + 0.02*n.rng.Float64()
+	if used > 0.97 {
+		used = 0.97
+	}
+	free := uint64(float64(s.MemTotal) * (1 - used))
+	s.MemFree = free
+	s.Buffers = uint64(float64(s.MemTotal) * 0.05)
+	s.Cached = uint64(float64(s.MemTotal) * (0.15 + 0.05*loadFrac))
+	s.Active = s.MemTotal - free - s.Buffers
+	s.Inactive = s.Cached / 2
+
+	// Paging and disk activity.
+	s.PageIn += uint64(dt * (10 + 200*loadFrac))
+	s.PageOut += uint64(dt * (5 + 120*loadFrac))
+	d := &s.Disks[0]
+	rio := uint64(dt * (2 + 40*loadFrac))
+	wio := uint64(dt * (1 + 25*loadFrac))
+	d.ReadIO += rio
+	d.WriteIO += wio
+	d.IO += rio + wio
+	d.ReadSectors += rio * 16
+	d.WriteSectors += wio * 16
+
+	// Network counters at the offered rate.
+	rate := n.netRate
+	if rate == 0 {
+		rate = 2e4 + 1e5*loadFrac // background chatter
+	}
+	eth := &s.Ifaces[1]
+	bytes_ := uint64(dt * rate / 2)
+	pkts := bytes_ / 700
+	eth.RxBytes += bytes_
+	eth.TxBytes += bytes_
+	eth.RxPackets += pkts
+	eth.TxPackets += pkts
+	eth.RxErrs += uint64(dt * n.netErrRate)
+
+	// Uptime and idle.
+	s.UptimeSec = (n.clk.Now() - n.bootedAt).Seconds()
+	n.idleAccum += dt * (1 - loadFrac)
+	s.IdleSec = n.idleAccum
+}
+
+func (n *Node) loadFrac() float64 {
+	f := n.load / float64(n.cfg.NumCPUs)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// procStat is the procfs.StatFunc: integrate to now, then expose state.
+// Reads while the node is not Up return the last values the OS produced,
+// exactly like reading a frozen crash dump; the agent layer checks
+// liveness separately.
+func (n *Node) procStat() *procfs.NodeStat {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	return &n.stat
+}
+
+// LoadAvg returns the current 1-minute load average without going through
+// /proc (used by tests).
+func (n *Node) LoadAvg() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	return n.stat.Load1
+}
+
+// Uptime returns time since the OS came up; zero when not running.
+func (n *Node) Uptime() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceLocked()
+	if n.state != Up {
+		return 0
+	}
+	return n.clk.Now() - n.bootedAt
+}

@@ -1,0 +1,141 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/gather"
+)
+
+// Property: temperature stays within physical bounds for any sequence of
+// power/load/fan operations, and jiffy counters never decrease.
+func TestPropertyPhysicalBounds(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clk := clock.New()
+		n := New(clk, Config{Name: "p", Seed: 42})
+		sg, err := gather.NewStatGatherer(n.FS())
+		if err != nil {
+			return false
+		}
+		defer sg.Close()
+		var prev gather.CPUStats
+		sg.Gather(&prev) //nolint:errcheck // frozen initial state parses
+
+		for _, op := range ops {
+			switch op % 8 {
+			case 0:
+				n.PowerOn()
+			case 1:
+				n.PowerOff()
+			case 2:
+				n.Reset()
+			case 3:
+				n.SetLoad(float64(op%5) / 2)
+			case 4:
+				n.FailFan()
+			case 5:
+				n.RepairFan()
+			case 6:
+				n.Crash("prop")
+			case 7:
+				n.Halt()
+			}
+			clk.Advance(time.Duration(op%60+1) * time.Second)
+
+			temp := n.Temperature()
+			if temp < ambientTemp-1 || temp > ambientTemp+idleRise+loadRise+fanFailRise+1 {
+				return false
+			}
+			var cur gather.CPUStats
+			if err := sg.Gather(&cur); err != nil {
+				return false
+			}
+			if cur.Total.User < prev.Total.User || cur.Total.Idle < prev.Total.Idle ||
+				cur.ContextSwitches < prev.ContextSwitches {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: from any reachable state, power-off then power-on (with a
+// working PSU, undamaged silicon, good DIMMs) always yields Up.
+func TestPropertyPowerCycleRecovers(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clk := clock.New()
+		n := New(clk, Config{Name: "p", Seed: 7})
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				n.PowerOn()
+			case 1:
+				n.PowerOff()
+			case 2:
+				n.Crash("x")
+			case 3:
+				n.Halt()
+			case 4:
+				n.Reset()
+			case 5:
+				n.SetLoad(1)
+			}
+			clk.Advance(time.Duration(op%20) * time.Second)
+		}
+		if n.Damaged() {
+			return true // fried hardware is allowed to stay dead
+		}
+		n.PowerOff()
+		n.PowerOn()
+		clk.Advance(time.Minute)
+		return n.State() == Up
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The load average relaxation: load.1 converges to the offered load and
+// decays when the load is removed.
+func TestLoadAverageConvergence(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	n.SetLoad(4)
+	clk.Advance(15 * time.Minute)
+	if la := n.LoadAvg(); la < 3.5 || la > 4.5 {
+		t.Fatalf("load.1 = %.2f after 15m at load 4", la)
+	}
+	n.SetLoad(0)
+	clk.Advance(15 * time.Minute)
+	if la := n.LoadAvg(); la > 0.3 {
+		t.Fatalf("load.1 = %.2f after 15m idle", la)
+	}
+}
+
+// Uptime resets across a power cycle but not across a reset... actually a
+// reset reboots the kernel, so uptime restarts there too.
+func TestUptimeResetSemantics(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	clk.Advance(time.Hour)
+	before := n.Uptime()
+	if before < time.Hour {
+		t.Fatalf("uptime = %v", before)
+	}
+	n.Reset()
+	clk.Advance(10 * time.Second)
+	after := n.Uptime()
+	if after >= before {
+		t.Fatalf("uptime did not reset on reboot: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,397 @@
+package node
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/clock"
+	"clusterworx/internal/firmware"
+	"clusterworx/internal/gather"
+)
+
+func upNode(t *testing.T, clk *clock.Clock, cfg Config) *Node {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "n1"
+	}
+	n := New(clk, cfg)
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	if n.State() != Up {
+		t.Fatalf("node not up after 10s: %v", n.State())
+	}
+	return n
+}
+
+func TestLifecycle(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n1"})
+	if n.State() != PowerOff || n.Reachable() {
+		t.Fatal("fresh node not off")
+	}
+	n.PowerOn()
+	if n.State() != Booting {
+		t.Fatalf("state after PowerOn = %v", n.State())
+	}
+	clk.Advance(10 * time.Second)
+	if n.State() != Up || !n.Reachable() {
+		t.Fatalf("state after boot = %v", n.State())
+	}
+	n.PowerOff()
+	if n.State() != PowerOff {
+		t.Fatal("PowerOff failed")
+	}
+}
+
+func TestBootTimeDependsOnFirmware(t *testing.T) {
+	clk := clock.New()
+	fast := New(clk, Config{Name: "lb", Firmware: firmware.NewLinuxBIOS("1")})
+	slow := New(clk, Config{Name: "legacy", Firmware: firmware.NewLegacyBIOS()})
+	fast.PowerOn()
+	slow.PowerOn()
+	clk.Advance(5 * time.Second)
+	if fast.State() != Up {
+		t.Fatal("LinuxBIOS node not up after 5s")
+	}
+	if slow.State() != Booting {
+		t.Fatal("legacy node finished boot impossibly fast")
+	}
+	clk.Advance(60 * time.Second)
+	if slow.State() != Up {
+		t.Fatal("legacy node never booted")
+	}
+}
+
+func TestStateChangeHooks(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	var seen []State
+	n.OnStateChange(func(s State) { seen = append(seen, s) })
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	n.PowerOff()
+	want := []State{Booting, Up, PowerOff}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestPowerOffDuringBoot(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.PowerOn()
+	clk.Advance(500 * time.Millisecond)
+	n.PowerOff()
+	clk.Advance(time.Minute)
+	if n.State() != PowerOff {
+		t.Fatalf("state = %v after power cut mid-boot", n.State())
+	}
+}
+
+func TestResetRecoversCrash(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.Crash("test oops")
+	if n.State() != Crashed {
+		t.Fatal("crash failed")
+	}
+	if !strings.Contains(string(n.Serial().PostMortem()), "kernel panic: test oops") {
+		t.Fatal("oops not on serial console")
+	}
+	n.Reset()
+	clk.Advance(10 * time.Second)
+	if n.State() != Up {
+		t.Fatalf("state after reset = %v", n.State())
+	}
+	if !strings.Contains(string(n.Serial().PostMortem()), "-- hardware reset --") {
+		t.Fatal("reset marker missing from serial")
+	}
+}
+
+func TestResetWhileOffIsNoop(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.Reset()
+	if n.State() != PowerOff {
+		t.Fatal("reset powered on an off node")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.Halt()
+	if n.State() != Halted || n.Reachable() {
+		t.Fatalf("state = %v", n.State())
+	}
+	// Power probe still shows power applied.
+	if !n.PowerProbe() {
+		t.Fatal("halted node lost power probe")
+	}
+}
+
+func TestPSUFault(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.FailPSU()
+	if n.State() != PowerOff || n.PowerProbe() {
+		t.Fatal("PSU failure did not cut power")
+	}
+	n.PowerOn() // dead PSU: nothing happens
+	if n.State() != PowerOff {
+		t.Fatal("powered on with dead PSU")
+	}
+	n.RepairPSU()
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	if n.State() != Up {
+		t.Fatal("node did not boot after PSU repair")
+	}
+}
+
+func TestMemoryFaultBoot(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.SetMemoryFault(true)
+	n.PowerOn()
+	clk.Advance(time.Minute)
+	if n.State() != Crashed {
+		t.Fatalf("state with bad DIMM = %v", n.State())
+	}
+	if !strings.Contains(string(n.Serial().PostMortem()), "memory test failed") {
+		t.Fatal("LinuxBIOS memory fault not reported on serial")
+	}
+	n.SetMemoryFault(false)
+	n.PowerOff()
+	n.PowerOn()
+	clk.Advance(time.Minute)
+	if n.State() != Up {
+		t.Fatal("node did not recover after DIMM replaced")
+	}
+}
+
+func TestThermalSteadyStates(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	if got := n.Temperature(); got != ambientTemp {
+		t.Fatalf("off temp = %v", got)
+	}
+	n.PowerOn()
+	clk.Advance(10 * time.Minute) // idle steady state
+	idle := n.Temperature()
+	if idle < 35 || idle > 45 {
+		t.Fatalf("idle temp = %.1f, want ~40", idle)
+	}
+	n.SetLoad(1)
+	clk.Advance(10 * time.Minute)
+	loaded := n.Temperature()
+	if loaded < 65 || loaded > 75 {
+		t.Fatalf("loaded temp = %.1f, want ~70", loaded)
+	}
+	n.PowerOff()
+	clk.Advance(20 * time.Minute)
+	if cooled := n.Temperature(); cooled > ambientTemp+1 {
+		t.Fatalf("cooled temp = %.1f", cooled)
+	}
+}
+
+func TestFanFailureBurnsNode(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.SetLoad(1)
+	clk.Advance(5 * time.Minute)
+	n.FailFan()
+	if n.FanOK() {
+		t.Fatal("fan still ok")
+	}
+	// Steady state with dead fan at full load ≈ 22+18+30+35 = 105 > 95.
+	clk.Advance(10 * time.Minute)
+	if !n.Damaged() {
+		t.Fatalf("node survived dead fan at %.1f°C", n.Temperature())
+	}
+	if n.State() != Crashed {
+		t.Fatalf("state = %v", n.State())
+	}
+	// Damaged silicon never boots again.
+	n.PowerOff()
+	n.PowerOn()
+	clk.Advance(time.Minute)
+	if n.State() != Crashed {
+		t.Fatal("fried node booted")
+	}
+}
+
+func TestFanFailureSurvivableIfPoweredDown(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.SetLoad(1)
+	clk.Advance(5 * time.Minute)
+	n.FailFan()
+	clk.Advance(60 * time.Second) // temp climbing but below damage
+	if n.Damaged() {
+		t.Fatalf("damaged too quickly at %.1f°C", n.Temperature())
+	}
+	n.PowerOff() // the event engine's corrective action
+	clk.Advance(30 * time.Minute)
+	if n.Damaged() {
+		t.Fatal("node damaged despite power-down")
+	}
+	n.RepairFan()
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	if n.State() != Up {
+		t.Fatal("node did not recover")
+	}
+}
+
+func TestProcReflectsLoad(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	g, err := gather.NewLoadavgGatherer(n.FS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var l gather.LoadStats
+	if err := g.Gather(&l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Load1 > 0.2 {
+		t.Fatalf("idle load1 = %v", l.Load1)
+	}
+	n.SetLoad(2)
+	clk.Advance(10 * time.Minute)
+	if err := g.Gather(&l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Load1 < 1.5 {
+		t.Fatalf("loaded load1 = %v, want ~2", l.Load1)
+	}
+}
+
+func TestProcCPUJiffiesSplit(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.SetLoad(1)
+	clk.Advance(5 * time.Minute)
+	sg, err := gather.NewStatGatherer(n.FS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	var s1, s2 gather.CPUStats
+	if err := sg.Gather(&s1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	if err := sg.Gather(&s2); err != nil {
+		t.Fatal(err)
+	}
+	dUser := s2.Total.User - s1.Total.User
+	dIdle := s2.Total.Idle - s1.Total.Idle
+	total := s2.Total.Total() - s1.Total.Total()
+	if total < 5800 || total > 6200 {
+		t.Fatalf("jiffies over a minute = %d, want ~6000", total)
+	}
+	if dUser <= dIdle {
+		t.Fatalf("full load but user %d <= idle %d", dUser, dIdle)
+	}
+}
+
+func TestUptimeTracksBoot(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	u0 := n.Uptime()
+	clk.Advance(time.Hour)
+	up := n.Uptime()
+	if up != u0+time.Hour {
+		t.Fatalf("uptime = %v, want %v", up, u0+time.Hour)
+	}
+	ug, err := gather.NewUptimeGatherer(n.FS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ug.Close()
+	var u gather.UptimeStats
+	if err := ug.Gather(&u); err != nil {
+		t.Fatal(err)
+	}
+	if diff := u.Uptime - up.Seconds(); diff < -1 || diff > 1 {
+		t.Fatalf("/proc/uptime = %v, node uptime %v", u.Uptime, up.Seconds())
+	}
+	if u.Idle <= 0 || u.Idle > u.Uptime {
+		t.Fatalf("idle = %v", u.Idle)
+	}
+	n.PowerOff()
+	if n.Uptime() != 0 {
+		t.Fatal("uptime nonzero while off")
+	}
+}
+
+func TestNetCounters(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{})
+	n.SetNetRate(10e6)
+	g, err := gather.NewNetDevGatherer(n.FS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var a, b gather.NetDevStats
+	if err := g.Gather(&a); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if err := g.Gather(&b); err != nil {
+		t.Fatal(err)
+	}
+	dRx := b.Ifaces[1].RxBytes - a.Ifaces[1].RxBytes
+	if dRx < 45e6 || dRx > 55e6 {
+		t.Fatalf("rx over 10s at 10MB/s = %d, want ~50MB", dRx)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Name: "n"}.withDefaults()
+	if cfg.MemBytes != 1<<30 || cfg.NumCPUs != 1 || cfg.Firmware == nil {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+	for s, want := range map[State]string{PowerOff: "off", Booting: "booting", Up: "up", Halted: "halted", Crashed: "crashed"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestSerialBootBanner(t *testing.T) {
+	clk := clock.New()
+	n := upNode(t, clk, Config{Name: "node042"})
+	text := string(n.Serial().PostMortem())
+	for _, want := range []string{"LinuxBIOS", "entering runlevel 3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("serial missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDoublePowerOnHarmless(t *testing.T) {
+	clk := clock.New()
+	n := New(clk, Config{Name: "n"})
+	n.PowerOn()
+	n.PowerOn()
+	clk.Advance(10 * time.Second)
+	if n.State() != Up {
+		t.Fatal("double PowerOn broke boot")
+	}
+	n.PowerOff()
+	n.PowerOff()
+}

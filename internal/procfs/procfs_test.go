@@ -1,0 +1,367 @@
+package procfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func staticFS(t *testing.T) *FS {
+	t.Helper()
+	fs := NewFS()
+	RegisterStd(fs, Frozen())
+	return fs
+}
+
+func TestRegisterAndOpen(t *testing.T) {
+	fs := NewFS()
+	fs.Register("/proc/meminfo", func(w *bytes.Buffer) { w.WriteString("hello\n") })
+	f, err := fs.Open("/proc/meminfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\n" {
+		t.Fatalf("content %q", data)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := NewFS()
+	_, err := fs.Open("/proc/nothing")
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestOpenDirectoryFails(t *testing.T) {
+	fs := staticFS(t)
+	_, err := fs.Open("/proc/net")
+	if !errors.Is(err, ErrIsDirectory) {
+		t.Fatalf("err = %v, want ErrIsDirectory", err)
+	}
+	_, err = fs.Open("/")
+	if !errors.Is(err, ErrIsDirectory) {
+		t.Fatalf("root open err = %v, want ErrIsDirectory", err)
+	}
+}
+
+func TestPathCrossingFile(t *testing.T) {
+	fs := staticFS(t)
+	_, err := fs.Open("/proc/meminfo/deeper")
+	if !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("err = %v, want ErrNotDirectory", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	fs := staticFS(t)
+	names, err := fs.ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cpuinfo", "loadavg", "meminfo", "net", "stat", "uptime", "version"}
+	if len(names) != len(want) {
+		t.Fatalf("ReadDir = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ReadDir = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	fs := staticFS(t)
+	if !fs.Unregister("/proc/meminfo") {
+		t.Fatal("Unregister existing = false")
+	}
+	if fs.Unregister("/proc/meminfo") {
+		t.Fatal("Unregister twice = true")
+	}
+	if fs.Exists("/proc/meminfo") {
+		t.Fatal("file still exists after Unregister")
+	}
+}
+
+// Every Read regenerates the whole file: a generator counting invocations
+// must be called once per Read call, not once per open.
+func TestRegenerationPerRead(t *testing.T) {
+	fs := NewFS()
+	calls := 0
+	fs.Register("/f", func(w *bytes.Buffer) {
+		calls++
+		w.WriteString("0123456789")
+	})
+	f, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := make([]byte, 3)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Read(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("generator called %d times for 4 reads, want 4", calls)
+	}
+}
+
+func TestSeekRewindRereads(t *testing.T) {
+	fs := NewFS()
+	n := 0
+	fs.Register("/ctr", func(w *bytes.Buffer) {
+		n++
+		w.WriteString(strings.Repeat("x", n))
+	})
+	f, err := fs.Open("/ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	k1, _ := f.Read(buf)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := f.Read(buf)
+	if k2 != k1+1 {
+		t.Fatalf("rewound read returned %d bytes, want %d (fresh content)", k2, k1+1)
+	}
+}
+
+func TestSeekVariants(t *testing.T) {
+	fs := staticFS(t)
+	f, err := fs.Open("/proc/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if pos, err := f.Seek(5, io.SeekStart); err != nil || pos != 5 {
+		t.Fatalf("SeekStart = %d,%v", pos, err)
+	}
+	if pos, err := f.Seek(-2, io.SeekCurrent); err != nil || pos != 3 {
+		t.Fatalf("SeekCurrent = %d,%v", pos, err)
+	}
+	if _, err := f.Seek(-100, io.SeekCurrent); err == nil {
+		t.Fatal("negative absolute seek did not fail")
+	}
+	if pos, err := f.Seek(0, io.SeekEnd); err != nil || pos == 0 {
+		t.Fatalf("SeekEnd = %d,%v, want file size", pos, err)
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence did not fail")
+	}
+}
+
+func TestClosedFileFails(t *testing.T) {
+	fs := staticFS(t)
+	f, err := fs.Open("/proc/uptime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); !errors.Is(err, ErrClosed) {
+		t.Fatalf("seek after close: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReadFileMatchesStreaming(t *testing.T) {
+	fs := staticFS(t)
+	whole, err := fs.ReadFile("/proc/meminfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/proc/meminfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	streamed, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole, streamed) {
+		t.Fatal("ReadFile and streamed content differ for frozen stats")
+	}
+}
+
+func TestMeminfoFormat(t *testing.T) {
+	fs := staticFS(t)
+	data, err := fs.ReadFile("/proc/meminfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"        total:    used:    free:", "Mem:  ", "Swap: ",
+		"MemTotal:", "MemFree:", "Buffers:", "Cached:", "SwapTotal:", "SwapFree:", " kB\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("meminfo missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "MemTotal:      1048576 kB") {
+		t.Errorf("MemTotal line malformed:\n%s", text)
+	}
+}
+
+func TestStatFormat(t *testing.T) {
+	fs := staticFS(t)
+	data, err := fs.ReadFile("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"cpu ", "cpu0 ", "page ", "swap ", "intr ", "disk_io:", "ctxt ", "btime ", "processes "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stat missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasPrefix(text, "cpu 10000 200 4000 300000\n") {
+		t.Errorf("aggregate cpu line wrong:\n%s", text)
+	}
+}
+
+func TestLoadavgFormat(t *testing.T) {
+	fs := staticFS(t)
+	data, _ := fs.ReadFile("/proc/loadavg")
+	if got := string(data); got != "0.20 0.18 0.12 1/80 11206\n" {
+		t.Fatalf("loadavg = %q", got)
+	}
+}
+
+func TestUptimeFormat(t *testing.T) {
+	fs := staticFS(t)
+	data, _ := fs.ReadFile("/proc/uptime")
+	if got := string(data); got != "3017.41 2572.23\n" {
+		t.Fatalf("uptime = %q", got)
+	}
+}
+
+func TestNetDevFormat(t *testing.T) {
+	fs := staticFS(t)
+	data, _ := fs.ReadFile("/proc/net/dev")
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("net/dev has %d lines, want 4:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "Receive") || !strings.Contains(lines[0], "Transmit") {
+		t.Errorf("header line 1 wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "lo:") || !strings.Contains(lines[3], "eth0:") {
+		t.Errorf("interface lines wrong: %q %q", lines[2], lines[3])
+	}
+}
+
+func TestCPUInfoAndVersion(t *testing.T) {
+	fs := staticFS(t)
+	ci, _ := fs.ReadFile("/proc/cpuinfo")
+	if !strings.Contains(string(ci), "Pentium III") || !strings.Contains(string(ci), "cpu MHz\t\t: 999.541") {
+		t.Errorf("cpuinfo wrong:\n%s", ci)
+	}
+	v, _ := fs.ReadFile("/proc/version")
+	if !strings.Contains(string(v), "Linux version 2.4.18") {
+		t.Errorf("version wrong: %q", v)
+	}
+}
+
+func TestSyntheticEvolves(t *testing.T) {
+	g := NewSynthetic(1)
+	a := g.Stat().ContextSwitches
+	b := g.Stat().ContextSwitches
+	if b <= a {
+		t.Fatalf("ctxt did not advance: %d then %d", a, b)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, b := NewSynthetic(42), NewSynthetic(42)
+	for i := 0; i < 100; i++ {
+		sa, sb := a.Stat(), b.Stat()
+		if sa.ContextSwitches != sb.ContextSwitches || sa.MemFree != sb.MemFree || sa.Load1 != sb.Load1 {
+			t.Fatalf("synthetic diverged at step %d", i)
+		}
+	}
+}
+
+// Property: counters rendered into /proc/stat are monotone non-decreasing
+// over synthetic evolution.
+func TestPropertySyntheticMonotone(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		g := NewSynthetic(seed)
+		prev := *g.Stat()
+		prevCPU := prev.CPUs[0]
+		for i := 0; i < int(steps%64)+1; i++ {
+			s := g.Stat()
+			c := s.CPUs[0]
+			if c.User < prevCPU.User || c.Idle < prevCPU.Idle ||
+				s.ContextSwitches < prev.ContextSwitches ||
+				s.Interrupts < prev.Interrupts ||
+				s.UptimeSec < prev.UptimeSec {
+				return false
+			}
+			prev = *s
+			prevCPU = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random valid uint fields render and pad without panic and the
+// rendered meminfo always parses back its MemTotal as total/1024.
+func TestPropertyMeminfoRoundTrip(t *testing.T) {
+	f := func(total, free uint32) bool {
+		s := BaselineStat()
+		s.MemTotal = uint64(total) + s.HighTotal // keep LowTotal non-negative
+		if uint64(free) > s.MemTotal {
+			s.MemFree = s.MemTotal
+		} else {
+			s.MemFree = uint64(free)
+		}
+		if s.MemFree < s.HighFree {
+			s.HighFree = s.MemFree
+		}
+		var buf bytes.Buffer
+		RenderMeminfo(&buf, &s)
+		text := buf.String()
+		want := "MemTotal:"
+		i := strings.Index(text, want)
+		if i < 0 {
+			return false
+		}
+		line := text[i:]
+		line = line[:strings.IndexByte(line, '\n')]
+		fields := strings.Fields(line)
+		return len(fields) == 3 && fields[1] == u64str(s.MemTotal/1024) && fields[2] == "kB"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func u64str(v uint64) string {
+	var b bytes.Buffer
+	writeUint(&b, v)
+	return b.String()
+}

@@ -1,0 +1,372 @@
+package procfs
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// NodeStat is the instantaneous system state rendered into the standard
+// /proc files. The node hardware model (internal/node) produces these from
+// its simulation; the synthetic source in this package produces them for
+// the standalone gathering benchmarks.
+//
+// All memory quantities are bytes; CPU counters are jiffies (100 Hz).
+type NodeStat struct {
+	// /proc/meminfo
+	MemTotal   uint64
+	MemFree    uint64
+	MemShared  uint64
+	Buffers    uint64
+	Cached     uint64
+	SwapCached uint64
+	Active     uint64
+	Inactive   uint64
+	HighTotal  uint64
+	HighFree   uint64
+	SwapTotal  uint64
+	SwapFree   uint64
+
+	// /proc/stat
+	CPUs            []CPUJiffies
+	PageIn, PageOut uint64
+	SwapIn, SwapOut uint64
+	Interrupts      uint64
+	IRQ             []uint64
+	ContextSwitches uint64
+	BootTime        int64 // unix seconds
+	Processes       uint64
+	Disks           []DiskIO
+
+	// /proc/loadavg
+	Load1, Load5, Load15 float64
+	RunningProcs         int
+	TotalProcs           int
+	LastPID              int
+
+	// /proc/uptime, seconds
+	UptimeSec float64
+	IdleSec   float64
+
+	// /proc/net/dev
+	Ifaces []IfaceStat
+
+	// /proc/cpuinfo and /proc/version
+	ModelName     string
+	MHz           float64
+	BogoMIPS      float64
+	KernelVersion string
+}
+
+// CPUJiffies is one processor's cumulative jiffy counters.
+type CPUJiffies struct {
+	User, Nice, System, Idle uint64
+}
+
+// Total returns the sum of all jiffy counters.
+func (c CPUJiffies) Total() uint64 { return c.User + c.Nice + c.System + c.Idle }
+
+// DiskIO is one disk's cumulative I/O counters in the 2.4 disk_io format.
+type DiskIO struct {
+	Major, Minor            int
+	IO, ReadIO, ReadSectors uint64
+	WriteIO, WriteSectors   uint64
+}
+
+// IfaceStat is one network interface's cumulative counters.
+type IfaceStat struct {
+	Name                               string
+	RxBytes, RxPackets, RxErrs, RxDrop uint64
+	TxBytes, TxPackets, TxErrs, TxDrop uint64
+	Multicast, Collisions              uint64
+}
+
+// StatFunc supplies the current state each time a /proc file regenerates.
+type StatFunc func() *NodeStat
+
+// RegisterStd installs the standard monitored files on fs:
+// /proc/meminfo, /proc/stat, /proc/loadavg, /proc/uptime, /proc/net/dev,
+// /proc/cpuinfo and /proc/version.
+func RegisterStd(fs *FS, stat StatFunc) {
+	fs.Register("/proc/meminfo", func(w *bytes.Buffer) { RenderMeminfo(w, stat()) })
+	fs.Register("/proc/stat", func(w *bytes.Buffer) { RenderStat(w, stat()) })
+	fs.Register("/proc/loadavg", func(w *bytes.Buffer) { RenderLoadavg(w, stat()) })
+	fs.Register("/proc/uptime", func(w *bytes.Buffer) { RenderUptime(w, stat()) })
+	fs.Register("/proc/net/dev", func(w *bytes.Buffer) { RenderNetDev(w, stat()) })
+	fs.Register("/proc/cpuinfo", func(w *bytes.Buffer) { RenderCPUInfo(w, stat()) })
+	fs.Register("/proc/version", func(w *bytes.Buffer) { RenderVersion(w, stat()) })
+}
+
+// RenderMeminfo writes the Linux 2.4 /proc/meminfo format: a legacy
+// bytes-valued header table followed by the kB-valued field list.
+func RenderMeminfo(w *bytes.Buffer, s *NodeStat) {
+	memUsed := s.MemTotal - s.MemFree
+	swapUsed := s.SwapTotal - s.SwapFree
+	w.WriteString("        total:    used:    free:  shared: buffers:  cached:\n")
+	w.WriteString("Mem:  ")
+	writeUint(w, s.MemTotal)
+	w.WriteByte(' ')
+	writeUint(w, memUsed)
+	w.WriteByte(' ')
+	writeUint(w, s.MemFree)
+	w.WriteByte(' ')
+	writeUint(w, s.MemShared)
+	w.WriteByte(' ')
+	writeUint(w, s.Buffers)
+	w.WriteByte(' ')
+	writeUint(w, s.Cached)
+	w.WriteByte('\n')
+	w.WriteString("Swap: ")
+	writeUint(w, s.SwapTotal)
+	w.WriteByte(' ')
+	writeUint(w, swapUsed)
+	w.WriteByte(' ')
+	writeUint(w, s.SwapFree)
+	w.WriteByte('\n')
+
+	kbField(w, "MemTotal:", s.MemTotal)
+	kbField(w, "MemFree:", s.MemFree)
+	kbField(w, "MemShared:", s.MemShared)
+	kbField(w, "Buffers:", s.Buffers)
+	kbField(w, "Cached:", s.Cached)
+	kbField(w, "SwapCached:", s.SwapCached)
+	kbField(w, "Active:", s.Active)
+	kbField(w, "Inactive:", s.Inactive)
+	kbField(w, "HighTotal:", s.HighTotal)
+	kbField(w, "HighFree:", s.HighFree)
+	kbField(w, "LowTotal:", s.MemTotal-s.HighTotal)
+	kbField(w, "LowFree:", s.MemFree-min64(s.HighFree, s.MemFree))
+	kbField(w, "SwapTotal:", s.SwapTotal)
+	kbField(w, "SwapFree:", s.SwapFree)
+}
+
+// kbField writes "Name:   <bytes/1024> kB\n" padded like the kernel does.
+func kbField(w *bytes.Buffer, name string, bytes_ uint64) {
+	w.WriteString(name)
+	kb := bytes_ / 1024
+	digits := numDigits(kb)
+	for pad := 14 - len(name) + (8 - digits); pad > 0; pad-- {
+		w.WriteByte(' ')
+	}
+	writeUint(w, kb)
+	w.WriteString(" kB\n")
+}
+
+// RenderStat writes the Linux 2.4 /proc/stat format.
+func RenderStat(w *bytes.Buffer, s *NodeStat) {
+	var sum CPUJiffies
+	for _, c := range s.CPUs {
+		sum.User += c.User
+		sum.Nice += c.Nice
+		sum.System += c.System
+		sum.Idle += c.Idle
+	}
+	cpuLine(w, "cpu ", sum)
+	for i, c := range s.CPUs {
+		w.WriteString("cpu")
+		writeUint(w, uint64(i))
+		w.WriteByte(' ')
+		cpuLineBody(w, c)
+	}
+	w.WriteString("page ")
+	writeUint(w, s.PageIn)
+	w.WriteByte(' ')
+	writeUint(w, s.PageOut)
+	w.WriteByte('\n')
+	w.WriteString("swap ")
+	writeUint(w, s.SwapIn)
+	w.WriteByte(' ')
+	writeUint(w, s.SwapOut)
+	w.WriteByte('\n')
+	w.WriteString("intr ")
+	writeUint(w, s.Interrupts)
+	for _, v := range s.IRQ {
+		w.WriteByte(' ')
+		writeUint(w, v)
+	}
+	w.WriteByte('\n')
+	if len(s.Disks) > 0 {
+		w.WriteString("disk_io:")
+		for _, d := range s.Disks {
+			w.WriteString(" (")
+			writeUint(w, uint64(d.Major))
+			w.WriteByte(',')
+			writeUint(w, uint64(d.Minor))
+			w.WriteString("):(")
+			writeUint(w, d.IO)
+			w.WriteByte(',')
+			writeUint(w, d.ReadIO)
+			w.WriteByte(',')
+			writeUint(w, d.ReadSectors)
+			w.WriteByte(',')
+			writeUint(w, d.WriteIO)
+			w.WriteByte(',')
+			writeUint(w, d.WriteSectors)
+			w.WriteByte(')')
+		}
+		w.WriteByte('\n')
+	}
+	w.WriteString("ctxt ")
+	writeUint(w, s.ContextSwitches)
+	w.WriteByte('\n')
+	w.WriteString("btime ")
+	writeUint(w, uint64(s.BootTime))
+	w.WriteByte('\n')
+	w.WriteString("processes ")
+	writeUint(w, s.Processes)
+	w.WriteByte('\n')
+}
+
+func cpuLine(w *bytes.Buffer, prefix string, c CPUJiffies) {
+	w.WriteString(prefix)
+	cpuLineBody(w, c)
+}
+
+func cpuLineBody(w *bytes.Buffer, c CPUJiffies) {
+	writeUint(w, c.User)
+	w.WriteByte(' ')
+	writeUint(w, c.Nice)
+	w.WriteByte(' ')
+	writeUint(w, c.System)
+	w.WriteByte(' ')
+	writeUint(w, c.Idle)
+	w.WriteByte('\n')
+}
+
+// RenderLoadavg writes /proc/loadavg: "1.23 0.98 0.76 2/105 4562".
+func RenderLoadavg(w *bytes.Buffer, s *NodeStat) {
+	writeFixed2(w, s.Load1)
+	w.WriteByte(' ')
+	writeFixed2(w, s.Load5)
+	w.WriteByte(' ')
+	writeFixed2(w, s.Load15)
+	w.WriteByte(' ')
+	writeUint(w, uint64(s.RunningProcs))
+	w.WriteByte('/')
+	writeUint(w, uint64(s.TotalProcs))
+	w.WriteByte(' ')
+	writeUint(w, uint64(s.LastPID))
+	w.WriteByte('\n')
+}
+
+// RenderUptime writes /proc/uptime: "<uptime> <idle>" in seconds with
+// two decimals.
+func RenderUptime(w *bytes.Buffer, s *NodeStat) {
+	writeFixed2(w, s.UptimeSec)
+	w.WriteByte(' ')
+	writeFixed2(w, s.IdleSec)
+	w.WriteByte('\n')
+}
+
+// RenderNetDev writes the two header lines plus one line per interface in
+// the /proc/net/dev format.
+func RenderNetDev(w *bytes.Buffer, s *NodeStat) {
+	w.WriteString("Inter-|   Receive                                                |  Transmit\n")
+	w.WriteString(" face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n")
+	for _, ifc := range s.Ifaces {
+		for pad := 6 - len(ifc.Name); pad > 0; pad-- {
+			w.WriteByte(' ')
+		}
+		w.WriteString(ifc.Name)
+		w.WriteByte(':')
+		padUint(w, ifc.RxBytes, 8)
+		padUint(w, ifc.RxPackets, 8)
+		padUint(w, ifc.RxErrs, 5)
+		padUint(w, ifc.RxDrop, 5)
+		padUint(w, 0, 5)  // fifo
+		padUint(w, 0, 6)  // frame
+		padUint(w, 0, 11) // compressed
+		padUint(w, ifc.Multicast, 10)
+		padUint(w, ifc.TxBytes, 9)
+		padUint(w, ifc.TxPackets, 8)
+		padUint(w, ifc.TxErrs, 5)
+		padUint(w, ifc.TxDrop, 5)
+		padUint(w, 0, 5) // fifo
+		padUint(w, ifc.Collisions, 6)
+		padUint(w, 0, 8)  // carrier
+		padUint(w, 0, 11) // compressed
+		w.WriteByte('\n')
+	}
+}
+
+// RenderCPUInfo writes a Pentium-III-style /proc/cpuinfo stanza per CPU.
+func RenderCPUInfo(w *bytes.Buffer, s *NodeStat) {
+	for i := range s.CPUs {
+		w.WriteString("processor\t: ")
+		writeUint(w, uint64(i))
+		w.WriteByte('\n')
+		w.WriteString("vendor_id\t: GenuineIntel\n")
+		w.WriteString("model name\t: ")
+		w.WriteString(s.ModelName)
+		w.WriteByte('\n')
+		w.WriteString("cpu MHz\t\t: ")
+		writeFixed3(w, s.MHz)
+		w.WriteByte('\n')
+		w.WriteString("bogomips\t: ")
+		writeFixed2(w, s.BogoMIPS)
+		w.WriteString("\n\n")
+	}
+}
+
+// RenderVersion writes /proc/version.
+func RenderVersion(w *bytes.Buffer, s *NodeStat) {
+	w.WriteString("Linux version ")
+	w.WriteString(s.KernelVersion)
+	w.WriteString(" (root@buildhost) (gcc version 2.95.3) #1 SMP\n")
+}
+
+// writeUint appends the decimal form of v without heap allocation beyond
+// the buffer's own growth, mirroring the kernel's sprintf work.
+func writeUint(w *bytes.Buffer, v uint64) {
+	var tmp [20]byte
+	w.Write(strconv.AppendUint(tmp[:0], v, 10))
+}
+
+func padUint(w *bytes.Buffer, v uint64, width int) {
+	for pad := width - numDigits(v); pad > 0; pad-- {
+		w.WriteByte(' ')
+	}
+	writeUint(w, v)
+}
+
+func numDigits(v uint64) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+// writeFixed2 writes v with exactly two decimals, as the kernel formats
+// load averages and uptime.
+func writeFixed2(w *bytes.Buffer, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	cent := uint64(v*100 + 0.5)
+	writeUint(w, cent/100)
+	w.WriteByte('.')
+	frac := cent % 100
+	w.WriteByte(byte('0' + frac/10))
+	w.WriteByte(byte('0' + frac%10))
+}
+
+func writeFixed3(w *bytes.Buffer, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	mil := uint64(v*1000 + 0.5)
+	writeUint(w, mil/1000)
+	w.WriteByte('.')
+	frac := mil % 1000
+	w.WriteByte(byte('0' + frac/100))
+	w.WriteByte(byte('0' + frac/10%10))
+	w.WriteByte(byte('0' + frac%10))
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

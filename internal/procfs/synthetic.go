@@ -1,0 +1,175 @@
+package procfs
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Synthetic produces an evolving NodeStat stream resembling the paper's
+// test system (a 1 GHz Pentium III with 1 GB of memory running a 2.4.x
+// kernel). Every call to its Stat method advances counters by a plausible
+// random increment, so /proc files regenerate with fresh content exactly as
+// they would on a live node.
+type Synthetic struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	s   NodeStat
+}
+
+// NewSynthetic returns a generator seeded deterministically.
+func NewSynthetic(seed int64) *Synthetic {
+	g := &Synthetic{rng: rand.New(rand.NewSource(seed))}
+	g.s = BaselineStat()
+	return g
+}
+
+// BaselineStat returns a static NodeStat matching the paper's testbed.
+func BaselineStat() NodeStat {
+	const gib = 1 << 30
+	return NodeStat{
+		MemTotal:   1 * gib,
+		MemFree:    512 << 20,
+		MemShared:  0,
+		Buffers:    50 << 20,
+		Cached:     200 << 20,
+		SwapCached: 1 << 20,
+		Active:     300 << 20,
+		Inactive:   100 << 20,
+		HighTotal:  128 << 20,
+		HighFree:   64 << 20,
+		SwapTotal:  2 * gib,
+		SwapFree:   2 * gib,
+
+		CPUs:            []CPUJiffies{{User: 10000, Nice: 200, System: 4000, Idle: 300000}},
+		PageIn:          5000,
+		PageOut:         2000,
+		SwapIn:          1,
+		SwapOut:         0,
+		Interrupts:      1_400_000,
+		IRQ:             []uint64{1_200_000, 20000, 0, 0, 3, 4, 0, 0, 11000, 0, 0, 0, 90000, 0, 60000, 8000},
+		ContextSwitches: 3_000_000,
+		BootTime:        1_027_895_183,
+		Processes:       2738,
+		Disks: []DiskIO{
+			{Major: 3, Minor: 0, IO: 31000, ReadIO: 20000, ReadSectors: 570000, WriteIO: 11000, WriteSectors: 300000},
+		},
+
+		Load1:        0.20,
+		Load5:        0.18,
+		Load15:       0.12,
+		RunningProcs: 1,
+		TotalProcs:   80,
+		LastPID:      11206,
+
+		UptimeSec: 3017.41,
+		IdleSec:   2572.23,
+
+		Ifaces: []IfaceStat{
+			{Name: "lo", RxBytes: 1_908_775, RxPackets: 12_345, TxBytes: 1_908_775, TxPackets: 12_345},
+			{Name: "eth0", RxBytes: 814_558_563, RxPackets: 1_209_001, RxErrs: 0, RxDrop: 0,
+				TxBytes: 96_834_552, TxPackets: 702_454, Multicast: 310},
+		},
+
+		ModelName:     "Pentium III (Coppermine)",
+		MHz:           999.541,
+		BogoMIPS:      1992.29,
+		KernelVersion: "2.4.18",
+	}
+}
+
+// Stat returns a pointer to the current state after advancing it one tick.
+// The returned pointer aliases internal state and must be consumed before
+// the next call, which matches how generators use it (render immediately).
+func (g *Synthetic) Stat() *NodeStat {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.advance()
+	return &g.s
+}
+
+// Frozen returns a StatFunc that never changes, for tests needing
+// deterministic file content.
+func Frozen() StatFunc {
+	s := BaselineStat()
+	return func() *NodeStat { return &s }
+}
+
+func (g *Synthetic) advance() {
+	s := &g.s
+	r := g.rng
+
+	// A tick represents ~20 ms of machine time (50 Hz sampling).
+	jf := uint64(2) // jiffies per tick at 100 Hz
+	for i := range s.CPUs {
+		c := &s.CPUs[i]
+		busy := uint64(r.Intn(int(jf) + 1))
+		c.User += busy
+		c.Idle += jf - busy
+		if r.Intn(10) == 0 {
+			c.System++
+		}
+	}
+	s.Interrupts += uint64(2 + r.Intn(40))
+	for i := range s.IRQ {
+		if r.Intn(4) == 0 {
+			s.IRQ[i] += uint64(r.Intn(8))
+		}
+	}
+	s.ContextSwitches += uint64(10 + r.Intn(200))
+	if r.Intn(20) == 0 {
+		s.Processes++
+		s.LastPID++
+	}
+	s.PageIn += uint64(r.Intn(10))
+	s.PageOut += uint64(r.Intn(6))
+
+	// Memory wanders around half-used.
+	delta := int64(r.Intn(1<<20)) - 1<<19
+	free := int64(s.MemFree) + delta
+	if free < 64<<20 {
+		free = 64 << 20
+	}
+	if free > int64(s.MemTotal)-64<<20 {
+		free = int64(s.MemTotal) - 64<<20
+	}
+	s.MemFree = uint64(free)
+	s.Cached += uint64(r.Intn(4096))
+	if s.Cached > 400<<20 {
+		s.Cached = 200 << 20
+	}
+
+	// Load averages drift.
+	s.Load1 += (r.Float64() - 0.5) * 0.02
+	if s.Load1 < 0 {
+		s.Load1 = 0
+	}
+	s.Load5 = s.Load5*0.98 + s.Load1*0.02
+	s.Load15 = s.Load15*0.995 + s.Load1*0.005
+
+	s.UptimeSec += 0.02
+	s.IdleSec += 0.02 * float64(r.Intn(2))
+
+	for i := range s.Ifaces {
+		ifc := &s.Ifaces[i]
+		pkts := uint64(r.Intn(30))
+		ifc.RxPackets += pkts
+		ifc.RxBytes += pkts * uint64(64+r.Intn(1400))
+		tx := uint64(r.Intn(20))
+		ifc.TxPackets += tx
+		ifc.TxBytes += tx * uint64(64+r.Intn(1400))
+	}
+
+	for i := range s.Disks {
+		d := &s.Disks[i]
+		if r.Intn(3) == 0 {
+			d.ReadIO++
+			d.ReadSectors += uint64(2 + r.Intn(16))
+			d.IO++
+		}
+		if r.Intn(4) == 0 {
+			d.WriteIO++
+			d.WriteSectors += uint64(2 + r.Intn(16))
+			d.IO++
+		}
+	}
+}

@@ -1,0 +1,541 @@
+// Package slurm implements the resource manager the paper's §6 describes
+// (the LLNL / Linux NetworX collaboration): it "allocates exclusive and/or
+// non-exclusive access to resources (compute nodes) to users for some
+// duration of time", "provides a framework for starting, executing, and
+// monitoring work ... on a set of allocated nodes", and "arbitrates
+// conflicting requests for resources by managing a queue of pending
+// work" — while being "highly tolerant of system failures including
+// failure of the node executing its control functions".
+//
+// The model: a Cluster of compute nodes plus two controller replicas
+// (primary and backup) sharing replicated state. The active controller
+// owns the scheduling loop and the job-completion timers; killing it loses
+// those timers (they lived on the dead machine) until the backup detects
+// the failure via heartbeat timeout, promotes itself, re-arms timers from
+// the replicated state, and resumes scheduling. Jobs already running on
+// compute nodes keep running through the control gap, exactly as real
+// SLURM jobs do.
+//
+// An external-scheduler API (the paper names the Maui Scheduler) lets a
+// policy engine replace the built-in FIFO arbitration.
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clusterworx/internal/clock"
+)
+
+// JobState is a job's lifecycle state.
+type JobState uint8
+
+// Job states.
+const (
+	Pending JobState = iota
+	Running
+	Completed
+	Cancelled
+	NodeFailed
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "PENDING"
+	case Running:
+		return "RUNNING"
+	case Completed:
+		return "COMPLETED"
+	case Cancelled:
+		return "CANCELLED"
+	case NodeFailed:
+		return "NODE_FAIL"
+	default:
+		return "?"
+	}
+}
+
+// MaxShare is how many non-exclusive jobs may share one node.
+const MaxShare = 4
+
+// DefaultHeartbeat is the failover detection delay.
+const DefaultHeartbeat = 5 * time.Second
+
+// Spec describes a job submission.
+type Spec struct {
+	Name      string
+	User      string
+	Nodes     int // nodes required
+	Duration  time.Duration
+	Exclusive bool
+	Requeue   bool // requeue instead of failing on node death
+}
+
+// Job is the visible job record.
+type Job struct {
+	ID          int
+	Spec        Spec
+	State       JobState
+	SubmittedAt time.Duration
+	StartedAt   time.Duration
+	EndedAt     time.Duration
+	Allocated   []string
+}
+
+// NodeState is a compute node's allocation state.
+type NodeState struct {
+	Name      string
+	Up        bool
+	Exclusive bool // held by an exclusive job
+	Shares    int  // running non-exclusive jobs
+}
+
+// Idle reports whether the node can accept an exclusive job.
+func (n NodeState) Idle() bool { return n.Up && !n.Exclusive && n.Shares == 0 }
+
+// Scheduler arbitrates the pending queue: given the queue (FIFO order) and
+// the current node states, it returns the indexes of queue entries to try
+// to start, in order. The built-in policy is strict FIFO; the paper's
+// external-scheduler API (Maui) plugs in here.
+type Scheduler interface {
+	Pick(queue []Job, nodes []NodeState) []int
+}
+
+// FIFO is the built-in arbitration: start the queue head only (no
+// skipping), which preserves strict submission order.
+type FIFO struct{}
+
+// Pick implements Scheduler.
+func (FIFO) Pick(queue []Job, nodes []NodeState) []int {
+	if len(queue) == 0 {
+		return nil
+	}
+	return []int{0}
+}
+
+// Backfill is a simple external-scheduler example: walk the whole queue
+// and start anything that fits right now.
+type Backfill struct{}
+
+// Pick implements Scheduler.
+func (Backfill) Pick(queue []Job, nodes []NodeState) []int {
+	out := make([]int, len(queue))
+	for i := range queue {
+		out[i] = i
+	}
+	return out
+}
+
+// Cluster is the SLURM-managed cluster: compute node state, the job
+// store, and the two controller replicas.
+type Cluster struct {
+	clk   *clock.Clock
+	sched Scheduler
+
+	nodes map[string]*NodeState
+	order []string
+	jobs  map[int]*Job
+	queue []int // pending job IDs, FIFO
+	next  int
+
+	ctlAlive  [2]bool
+	active    int // -1 when no controller is active
+	heartbeat time.Duration
+	promote   *clock.Timer
+	timers    map[int]*clock.Timer // owned by the active controller
+
+	onComplete []func(Job)
+	onStart    []func(Job)
+	failovers  int
+}
+
+// ControllerName returns "slurmctld-primary" or "slurmctld-backup".
+func ControllerName(i int) string {
+	if i == 0 {
+		return "slurmctld-primary"
+	}
+	return "slurmctld-backup"
+}
+
+// New creates a cluster managing the named nodes, all up and idle, with
+// both controllers alive and the primary active.
+func New(clk *clock.Clock, nodeNames []string) *Cluster {
+	c := &Cluster{
+		clk:       clk,
+		sched:     FIFO{},
+		nodes:     make(map[string]*NodeState, len(nodeNames)),
+		jobs:      make(map[int]*Job),
+		next:      1,
+		heartbeat: DefaultHeartbeat,
+		timers:    make(map[int]*clock.Timer),
+		active:    0,
+	}
+	c.ctlAlive[0], c.ctlAlive[1] = true, true
+	for _, name := range nodeNames {
+		if _, dup := c.nodes[name]; dup {
+			panic("slurm: duplicate node " + name)
+		}
+		c.nodes[name] = &NodeState{Name: name, Up: true}
+		c.order = append(c.order, name)
+	}
+	return c
+}
+
+// SetScheduler installs an arbitration policy (the external-scheduler
+// API).
+func (c *Cluster) SetScheduler(s Scheduler) {
+	c.sched = s
+	c.schedule()
+}
+
+// SetHeartbeat changes the failover detection delay.
+func (c *Cluster) SetHeartbeat(d time.Duration) { c.heartbeat = d }
+
+// OnComplete registers a hook invoked when any job reaches a terminal
+// state.
+func (c *Cluster) OnComplete(fn func(Job)) { c.onComplete = append(c.onComplete, fn) }
+
+// OnStart registers a hook invoked when a job launches on its allocation —
+// the srun moment. Integrations use it to put the job's work onto the
+// allocated nodes.
+func (c *Cluster) OnStart(fn func(Job)) { c.onStart = append(c.onStart, fn) }
+
+// ErrNoController is returned while no controller replica is active.
+var ErrNoController = fmt.Errorf("slurm: no active controller")
+
+// Submit enqueues a job and kicks the scheduler. It fails while no
+// controller is active — exactly what sbatch sees during a failover gap.
+func (c *Cluster) Submit(spec Spec) (int, error) {
+	if c.active < 0 {
+		return 0, ErrNoController
+	}
+	if spec.Nodes <= 0 {
+		return 0, fmt.Errorf("slurm: job needs at least one node")
+	}
+	if spec.Nodes > len(c.nodes) {
+		return 0, fmt.Errorf("slurm: job wants %d nodes, cluster has %d", spec.Nodes, len(c.nodes))
+	}
+	if spec.Duration <= 0 {
+		return 0, fmt.Errorf("slurm: job needs a positive duration")
+	}
+	id := c.next
+	c.next++
+	c.jobs[id] = &Job{ID: id, Spec: spec, State: Pending, SubmittedAt: c.clk.Now()}
+	c.queue = append(c.queue, id)
+	c.schedule()
+	return id, nil
+}
+
+// Cancel cancels a pending or running job.
+func (c *Cluster) Cancel(id int) error {
+	if c.active < 0 {
+		return ErrNoController
+	}
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("slurm: no job %d", id)
+	}
+	switch j.State {
+	case Pending:
+		c.dequeue(id)
+		c.finish(j, Cancelled)
+	case Running:
+		c.release(j)
+		c.finish(j, Cancelled)
+		c.schedule()
+	default:
+		return fmt.Errorf("slurm: job %d already %s", id, j.State)
+	}
+	return nil
+}
+
+// Job returns a job snapshot.
+func (c *Cluster) Job(id int) (Job, bool) {
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	out := *j
+	out.Allocated = append([]string(nil), j.Allocated...)
+	return out, true
+}
+
+// Queue returns pending jobs in arbitration order.
+func (c *Cluster) Queue() []Job {
+	out := make([]Job, 0, len(c.queue))
+	for _, id := range c.queue {
+		out = append(out, *c.jobs[id])
+	}
+	return out
+}
+
+// Nodes returns node states in configuration order.
+func (c *Cluster) Nodes() []NodeState {
+	out := make([]NodeState, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, *c.nodes[name])
+	}
+	return out
+}
+
+// Jobs returns all job snapshots sorted by ID.
+func (c *Cluster) Jobs() []Job {
+	ids := make([]int, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Job, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *c.jobs[id])
+	}
+	return out
+}
+
+// --- controller failure tolerance ---------------------------------------------------
+
+// Active returns the active controller name, or "" during a gap.
+func (c *Cluster) Active() string {
+	if c.active < 0 {
+		return ""
+	}
+	return ControllerName(c.active)
+}
+
+// Failovers returns how many promotions have occurred.
+func (c *Cluster) Failovers() int { return c.failovers }
+
+// KillController kills a controller replica. Killing the active one loses
+// its timers and scheduling until the standby's heartbeat timeout promotes
+// it. Running jobs keep running on their compute nodes.
+func (c *Cluster) KillController(i int) {
+	if i < 0 || i > 1 || !c.ctlAlive[i] {
+		return
+	}
+	c.ctlAlive[i] = false
+	if c.active != i {
+		return
+	}
+	// The dead machine takes its timers with it.
+	for id, t := range c.timers {
+		t.Stop()
+		delete(c.timers, id)
+	}
+	c.active = -1
+	standby := 1 - i
+	if !c.ctlAlive[standby] {
+		return
+	}
+	c.promote = c.clk.AfterFunc(c.heartbeat, func() {
+		c.promoteLocked(standby)
+	})
+}
+
+// RestartController brings a dead replica back as standby; if no
+// controller is active it promotes immediately.
+func (c *Cluster) RestartController(i int) {
+	if i < 0 || i > 1 || c.ctlAlive[i] {
+		return
+	}
+	c.ctlAlive[i] = true
+	if c.active < 0 && c.promote == nil {
+		c.promoteLocked(i)
+	}
+}
+
+// promoteLocked makes replica i active: re-arm completion timers from
+// replicated state and resume scheduling.
+func (c *Cluster) promoteLocked(i int) {
+	c.promote = nil
+	if !c.ctlAlive[i] || c.active >= 0 {
+		return
+	}
+	c.active = i
+	c.failovers++
+	now := c.clk.Now()
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		end := j.StartedAt + j.Spec.Duration
+		j := j
+		if end <= now {
+			// Finished during the control gap; harvest immediately.
+			c.completeJob(j.ID)
+			continue
+		}
+		c.timers[j.ID] = c.clk.AfterFunc(end-now, func() { c.completeJob(j.ID) })
+	}
+	c.schedule()
+}
+
+// --- node failure -------------------------------------------------------------------
+
+// NodeDown marks a compute node dead. Jobs allocated on it fail (or
+// requeue when the spec asks for it).
+func (c *Cluster) NodeDown(name string) {
+	n, ok := c.nodes[name]
+	if !ok || !n.Up {
+		return
+	}
+	n.Up = false
+	n.Exclusive = false
+	n.Shares = 0
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		for _, alloc := range j.Allocated {
+			if alloc != name {
+				continue
+			}
+			c.release(j)
+			if t := c.timers[j.ID]; t != nil {
+				t.Stop()
+				delete(c.timers, j.ID)
+			}
+			if j.Spec.Requeue {
+				j.State = Pending
+				j.Allocated = nil
+				c.queue = append(c.queue, j.ID)
+			} else {
+				c.finish(j, NodeFailed)
+			}
+			break
+		}
+	}
+	c.schedule()
+}
+
+// NodeUp returns a node to service.
+func (c *Cluster) NodeUp(name string) {
+	n, ok := c.nodes[name]
+	if !ok || n.Up {
+		return
+	}
+	n.Up = true
+	c.schedule()
+}
+
+// --- scheduling core ------------------------------------------------------------------
+
+// schedule runs the arbitration policy; only an active controller
+// schedules.
+func (c *Cluster) schedule() {
+	if c.active < 0 || c.sched == nil {
+		return
+	}
+	for {
+		started := false
+		picks := c.sched.Pick(c.Queue(), c.Nodes())
+		for _, qi := range picks {
+			if qi < 0 || qi >= len(c.queue) {
+				continue
+			}
+			id := c.queue[qi]
+			j := c.jobs[id]
+			alloc := c.allocate(j.Spec)
+			if alloc == nil {
+				continue
+			}
+			c.dequeue(id)
+			c.start(j, alloc)
+			started = true
+			break // queue indexes shifted: re-pick
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// allocate finds nodes for a spec, or nil.
+func (c *Cluster) allocate(spec Spec) []string {
+	var fit []string
+	for _, name := range c.order {
+		n := c.nodes[name]
+		if spec.Exclusive {
+			if n.Idle() {
+				fit = append(fit, name)
+			}
+		} else if n.Up && !n.Exclusive && n.Shares < MaxShare {
+			fit = append(fit, name)
+		}
+		if len(fit) == spec.Nodes {
+			return fit
+		}
+	}
+	return nil
+}
+
+// start launches a job on its allocation and arms the completion timer.
+func (c *Cluster) start(j *Job, alloc []string) {
+	j.State = Running
+	j.StartedAt = c.clk.Now()
+	j.Allocated = alloc
+	for _, name := range alloc {
+		n := c.nodes[name]
+		if j.Spec.Exclusive {
+			n.Exclusive = true
+		} else {
+			n.Shares++
+		}
+	}
+	id := j.ID
+	c.timers[id] = c.clk.AfterFunc(j.Spec.Duration, func() { c.completeJob(id) })
+	snapshot := *j
+	snapshot.Allocated = append([]string(nil), j.Allocated...)
+	for _, fn := range c.onStart {
+		fn(snapshot)
+	}
+}
+
+// completeJob finishes a running job normally.
+func (c *Cluster) completeJob(id int) {
+	j, ok := c.jobs[id]
+	if !ok || j.State != Running {
+		return
+	}
+	delete(c.timers, id)
+	c.release(j)
+	c.finish(j, Completed)
+	c.schedule()
+}
+
+// release frees a job's allocation.
+func (c *Cluster) release(j *Job) {
+	for _, name := range j.Allocated {
+		n := c.nodes[name]
+		if !n.Up {
+			continue
+		}
+		if j.Spec.Exclusive {
+			n.Exclusive = false
+		} else if n.Shares > 0 {
+			n.Shares--
+		}
+	}
+}
+
+// finish records a terminal state and fires hooks.
+func (c *Cluster) finish(j *Job, st JobState) {
+	j.State = st
+	j.EndedAt = c.clk.Now()
+	snapshot := *j
+	for _, fn := range c.onComplete {
+		fn(snapshot)
+	}
+}
+
+// dequeue removes a job ID from the pending queue.
+func (c *Cluster) dequeue(id int) {
+	for i, qid := range c.queue {
+		if qid == id {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package slurm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clusterworx/internal/clock"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%03d", i)
+	}
+	return out
+}
+
+func TestSubmitValidation(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(4))
+	if _, err := c.Submit(Spec{Nodes: 0, Duration: time.Minute}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := c.Submit(Spec{Nodes: 5, Duration: time.Minute}); err == nil {
+		t.Fatal("oversize job accepted")
+	}
+	if _, err := c.Submit(Spec{Nodes: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(4))
+	var completed []Job
+	c.OnComplete(func(j Job) { completed = append(completed, j) })
+	id, err := c.Submit(Spec{Name: "mpi", User: "alice", Nodes: 2, Duration: time.Minute, Exclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := c.Job(id)
+	if j.State != Running || len(j.Allocated) != 2 {
+		t.Fatalf("job = %+v", j)
+	}
+	busy := 0
+	for _, n := range c.Nodes() {
+		if n.Exclusive {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Fatalf("exclusive nodes = %d", busy)
+	}
+	clk.Advance(time.Minute)
+	j, _ = c.Job(id)
+	if j.State != Completed || j.EndedAt != time.Minute {
+		t.Fatalf("job = %+v", j)
+	}
+	if len(completed) != 1 || completed[0].ID != id {
+		t.Fatalf("hooks = %v", completed)
+	}
+	for _, n := range c.Nodes() {
+		if !n.Idle() {
+			t.Fatalf("node %s not released", n.Name)
+		}
+	}
+}
+
+func TestFIFOQueueArbitration(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(4))
+	a, _ := c.Submit(Spec{Name: "a", Nodes: 4, Duration: time.Minute, Exclusive: true})
+	b, _ := c.Submit(Spec{Name: "b", Nodes: 1, Duration: time.Minute, Exclusive: true})
+	d, _ := c.Submit(Spec{Name: "d", Nodes: 4, Duration: time.Minute, Exclusive: true})
+	if j, _ := c.Job(a); j.State != Running {
+		t.Fatal("first job not started")
+	}
+	// Strict FIFO: b fits but must wait behind nothing? b is head now and
+	// needs 1 node; all 4 busy, so it pends.
+	if j, _ := c.Job(b); j.State != Pending {
+		t.Fatal("b should pend while a holds the cluster")
+	}
+	if got := len(c.Queue()); got != 2 {
+		t.Fatalf("queue = %d", got)
+	}
+	clk.Advance(time.Minute) // a done -> b starts
+	if j, _ := c.Job(b); j.State != Running {
+		t.Fatal("b not started after a")
+	}
+	// d (4 nodes) blocked by b holding one node: strict FIFO, no skip.
+	if j, _ := c.Job(d); j.State != Pending {
+		t.Fatal("d started early")
+	}
+	clk.Advance(time.Minute)
+	if j, _ := c.Job(d); j.State != Running {
+		t.Fatal("d never started")
+	}
+}
+
+func TestStrictFIFONoSkip(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(2))
+	c.Submit(Spec{Name: "big", Nodes: 2, Duration: time.Minute, Exclusive: true})
+	big2, _ := c.Submit(Spec{Name: "big2", Nodes: 2, Duration: time.Minute, Exclusive: true})
+	small, _ := c.Submit(Spec{Name: "small", Nodes: 1, Duration: time.Minute, Exclusive: true})
+	_ = big2
+	if j, _ := c.Job(small); j.State != Pending {
+		t.Fatal("FIFO skipped the queue head")
+	}
+}
+
+func TestBackfillScheduler(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(3))
+	c.Submit(Spec{Name: "run", Nodes: 2, Duration: 10 * time.Minute, Exclusive: true})
+	c.Submit(Spec{Name: "big", Nodes: 3, Duration: time.Minute, Exclusive: true})
+	small, _ := c.Submit(Spec{Name: "small", Nodes: 1, Duration: time.Minute, Exclusive: true})
+	if j, _ := c.Job(small); j.State != Pending {
+		t.Fatal("FIFO should block small")
+	}
+	c.SetScheduler(Backfill{})
+	if j, _ := c.Job(small); j.State != Running {
+		t.Fatal("backfill did not start the small job on the idle node")
+	}
+}
+
+func TestSharedAllocation(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	var ids []int
+	for i := 0; i < MaxShare; i++ {
+		id, err := c.Submit(Spec{Name: "shared", Nodes: 1, Duration: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if j, _ := c.Job(id); j.State != Running {
+			t.Fatalf("shared job %d not running", id)
+		}
+	}
+	over, _ := c.Submit(Spec{Name: "over", Nodes: 1, Duration: time.Hour})
+	if j, _ := c.Job(over); j.State != Pending {
+		t.Fatal("oversubscription beyond MaxShare allowed")
+	}
+	// An exclusive job cannot share.
+	excl, _ := c.Submit(Spec{Name: "x", Nodes: 1, Duration: time.Hour, Exclusive: true})
+	if j, _ := c.Job(excl); j.State != Pending {
+		t.Fatal("exclusive job ran on a shared node")
+	}
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	run, _ := c.Submit(Spec{Name: "r", Nodes: 1, Duration: time.Hour, Exclusive: true})
+	pend, _ := c.Submit(Spec{Name: "p", Nodes: 1, Duration: time.Hour, Exclusive: true})
+	if err := c.Cancel(pend); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := c.Job(pend); j.State != Cancelled {
+		t.Fatal("pending cancel failed")
+	}
+	if err := c.Cancel(run); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := c.Job(run); j.State != Cancelled {
+		t.Fatal("running cancel failed")
+	}
+	if !c.Nodes()[0].Idle() {
+		t.Fatal("node not released by cancel")
+	}
+	if err := c.Cancel(run); err == nil {
+		t.Fatal("double cancel succeeded")
+	}
+	if err := c.Cancel(999); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+	// Timer fires later; must not resurrect the cancelled job.
+	clk.Advance(2 * time.Hour)
+	if j, _ := c.Job(run); j.State != Cancelled {
+		t.Fatal("cancelled job changed state")
+	}
+}
+
+func TestNodeFailureFailsJob(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(2))
+	id, _ := c.Submit(Spec{Name: "frail", Nodes: 2, Duration: time.Hour, Exclusive: true})
+	clk.Advance(time.Minute)
+	c.NodeDown("node001")
+	j, _ := c.Job(id)
+	if j.State != NodeFailed {
+		t.Fatalf("job = %v", j.State)
+	}
+	if n := c.Nodes()[1]; n.Up {
+		t.Fatal("node still up")
+	}
+	// The survivor node is released.
+	if n := c.Nodes()[0]; !n.Idle() {
+		t.Fatal("surviving node not released")
+	}
+}
+
+func TestNodeFailureRequeues(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(2))
+	id, _ := c.Submit(Spec{Name: "tough", Nodes: 1, Duration: time.Hour, Requeue: true})
+	j, _ := c.Job(id)
+	victim := j.Allocated[0]
+	clk.Advance(time.Minute)
+	c.NodeDown(victim)
+	j, _ = c.Job(id)
+	if j.State != Running {
+		t.Fatalf("requeued job = %v, want restarted on the other node", j.State)
+	}
+	if j.Allocated[0] == victim {
+		t.Fatal("rescheduled onto the dead node")
+	}
+	c.NodeUp(victim)
+	if up := c.Nodes(); !up[0].Up || !up[1].Up {
+		t.Fatal("NodeUp failed")
+	}
+}
+
+func TestControllerFailover(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(4))
+	id, _ := c.Submit(Spec{Name: "longhaul", Nodes: 2, Duration: 10 * time.Minute, Exclusive: true})
+	clk.Advance(time.Minute)
+
+	c.KillController(0)
+	if c.Active() != "" {
+		t.Fatal("controller still active immediately after kill")
+	}
+	if _, err := c.Submit(Spec{Nodes: 1, Duration: time.Minute}); err != ErrNoController {
+		t.Fatalf("submit during gap err = %v", err)
+	}
+	// Job keeps running on its compute nodes through the gap.
+	if j, _ := c.Job(id); j.State != Running {
+		t.Fatal("running job lost during control gap")
+	}
+
+	clk.Advance(DefaultHeartbeat)
+	if c.Active() != "slurmctld-backup" {
+		t.Fatalf("active = %q after heartbeat", c.Active())
+	}
+	if c.Failovers() != 1 {
+		t.Fatalf("failovers = %d", c.Failovers())
+	}
+	// Backup re-armed the completion timer: the job still completes at
+	// its original end time.
+	clk.Advance(10 * time.Minute)
+	if j, _ := c.Job(id); j.State != Completed {
+		t.Fatalf("job after failover = %v", j.State)
+	}
+	if j, _ := c.Job(id); j.EndedAt != 10*time.Minute {
+		t.Fatalf("EndedAt = %v, want original 10m deadline", j.EndedAt)
+	}
+}
+
+func TestJobFinishingDuringGapHarvestedOnPromotion(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	c.SetHeartbeat(30 * time.Second)
+	id, _ := c.Submit(Spec{Name: "quick", Nodes: 1, Duration: 10 * time.Second, Exclusive: true})
+	c.KillController(0)
+	clk.Advance(30 * time.Second) // job ended at 10s, inside the gap
+	j, _ := c.Job(id)
+	if j.State != Completed {
+		t.Fatalf("job = %v after promotion", j.State)
+	}
+}
+
+func TestDoubleFailureThenRestart(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(2))
+	c.KillController(1) // backup dies first
+	c.KillController(0) // then primary: nobody left
+	clk.Advance(time.Minute)
+	if c.Active() != "" {
+		t.Fatal("a dead controller became active")
+	}
+	c.RestartController(0)
+	if c.Active() != "slurmctld-primary" {
+		t.Fatalf("active = %q after restart", c.Active())
+	}
+	if _, err := c.Submit(Spec{Nodes: 1, Duration: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingJobsSurviveFailover(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	c.Submit(Spec{Name: "hold", Nodes: 1, Duration: time.Minute, Exclusive: true})
+	waiting, _ := c.Submit(Spec{Name: "waiting", Nodes: 1, Duration: time.Minute, Exclusive: true})
+	c.KillController(0)
+	clk.Advance(DefaultHeartbeat + 2*time.Minute)
+	if j, _ := c.Job(waiting); j.State != Completed {
+		t.Fatalf("queued job after failover = %v", j.State)
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	for s, want := range map[JobState]string{
+		Pending: "PENDING", Running: "RUNNING", Completed: "COMPLETED",
+		Cancelled: "CANCELLED", NodeFailed: "NODE_FAIL", JobState(9): "?",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if ControllerName(0) == ControllerName(1) {
+		t.Fatal("controller names collide")
+	}
+}
+
+// Property: for any workload of exclusive 1-node jobs, every job
+// eventually completes exactly once and the cluster ends idle.
+func TestPropertyAllJobsComplete(t *testing.T) {
+	f := func(durs []uint8, nodeSel uint8) bool {
+		clk := clock.New()
+		nn := int(nodeSel)%4 + 1
+		c := New(clk, names(nn))
+		done := map[int]int{}
+		c.OnComplete(func(j Job) { done[j.ID]++ })
+		var ids []int
+		for _, d := range durs {
+			id, err := c.Submit(Spec{
+				Nodes: 1, Duration: time.Duration(int(d)%60+1) * time.Second, Exclusive: true,
+			})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		clk.RunUntilIdle()
+		for _, id := range ids {
+			j, _ := c.Job(id)
+			if j.State != Completed || done[id] != 1 {
+				return false
+			}
+		}
+		for _, n := range c.Nodes() {
+			if !n.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with strict FIFO and identical exclusive full-cluster jobs,
+// completion order equals submission order.
+func TestPropertyFIFOOrder(t *testing.T) {
+	f := func(k uint8) bool {
+		clk := clock.New()
+		c := New(clk, names(2))
+		var order []int
+		c.OnComplete(func(j Job) { order = append(order, j.ID) })
+		n := int(k)%10 + 2
+		for i := 0; i < n; i++ {
+			c.Submit(Spec{Nodes: 2, Duration: time.Minute, Exclusive: true})
+		}
+		clk.RunUntilIdle()
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				return false
+			}
+		}
+		return len(order) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelDuringControlGap(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(2))
+	id, _ := c.Submit(Spec{Nodes: 1, Duration: time.Hour, Exclusive: true})
+	c.KillController(0)
+	if err := c.Cancel(id); err != ErrNoController {
+		t.Fatalf("cancel during gap err = %v", err)
+	}
+	clk.Advance(DefaultHeartbeat)
+	if err := c.Cancel(id); err != nil {
+		t.Fatalf("cancel after promotion: %v", err)
+	}
+}
+
+func TestBackfillStarvationTradeoff(t *testing.T) {
+	// Naive backfill (no reservations) keeps starting small jobs past a
+	// big one as long as they fit — the documented trade-off of the
+	// example external scheduler versus strict FIFO.
+	clk := clock.New()
+	c := New(clk, names(2))
+	c.SetScheduler(Backfill{})
+	c.Submit(Spec{Name: "hold", Nodes: 1, Duration: 10 * time.Minute, Exclusive: true})
+	big, _ := c.Submit(Spec{Name: "big", Nodes: 2, Duration: time.Minute, Exclusive: true})
+	small, _ := c.Submit(Spec{Name: "small", Nodes: 1, Duration: 10 * time.Minute, Exclusive: true})
+	if j, _ := c.Job(small); j.State != Running {
+		t.Fatal("backfill did not start the small job")
+	}
+	if j, _ := c.Job(big); j.State != Pending {
+		t.Fatal("big job should still pend")
+	}
+	clk.RunUntilIdle()
+	if j, _ := c.Job(big); j.State != Completed {
+		t.Fatalf("big job = %v at drain", j.State)
+	}
+}
+
+func TestRequeueWaitsWhenNoSpareNode(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	id, _ := c.Submit(Spec{Nodes: 1, Duration: time.Hour, Requeue: true})
+	c.NodeDown("node000")
+	if j, _ := c.Job(id); j.State != Pending {
+		t.Fatalf("requeued job = %v with no nodes", j.State)
+	}
+	c.NodeUp("node000")
+	if j, _ := c.Job(id); j.State != Running {
+		t.Fatal("requeued job did not start when the node returned")
+	}
+}
+
+func TestNodeDownIdempotentAndUnknown(t *testing.T) {
+	clk := clock.New()
+	c := New(clk, names(1))
+	c.NodeDown("node000")
+	c.NodeDown("node000") // repeated
+	c.NodeDown("ghost")   // unknown
+	c.NodeUp("ghost")
+	c.NodeUp("node000")
+	c.NodeUp("node000")
+	if !c.Nodes()[0].Up {
+		t.Fatal("node not up")
+	}
+}
+
+// Property: shared jobs never exceed MaxShare on any node and exclusive
+// jobs never share, for random mixed workloads.
+func TestPropertySharingInvariant(t *testing.T) {
+	f := func(specs []uint8) bool {
+		clk := clock.New()
+		c := New(clk, names(3))
+		violated := false
+		check := func() {
+			for _, n := range c.Nodes() {
+				if n.Shares > MaxShare || (n.Exclusive && n.Shares > 0) {
+					violated = true
+				}
+			}
+		}
+		for _, b := range specs {
+			c.Submit(Spec{ //nolint:errcheck // invalid specs are rejected, fine
+				Nodes:     int(b%3) + 1,
+				Duration:  time.Duration(b%5+1) * time.Minute,
+				Exclusive: b%2 == 0,
+			})
+			check()
+			clk.Advance(time.Duration(b%4) * time.Minute)
+			check()
+		}
+		clk.RunUntilIdle()
+		check()
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package transmit implements the transmission stage of the monitoring
+// pipeline (paper §5.3.3): monitored data stays in human-readable text
+// form for platform independence, and is compressed on the wire because
+// "data compression techniques ... are known to be very effective on text
+// input".
+//
+// The wire unit is a frame: a 6-byte header (magic, flags, big-endian
+// length) followed by the payload, deflate-compressed when that helps.
+package transmit
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clusterworx/internal/consolidate"
+)
+
+// Frame layout constants.
+const (
+	frameMagic     = 0xC3 // "ClusterworX v3"
+	flagCompressed = 1 << 0
+
+	headerSize = 6
+
+	// MaxFrameSize bounds a frame payload; a monitoring update for even a
+	// very large node is a few tens of kB of text.
+	MaxFrameSize = 16 << 20
+)
+
+// Errors returned by frame decoding.
+var (
+	ErrBadMagic  = errors.New("transmit: bad frame magic")
+	ErrFrameSize = errors.New("transmit: frame exceeds size limit")
+)
+
+// Writer frames and optionally compresses payloads onto an io.Writer.
+// Not safe for concurrent use.
+type Writer struct {
+	w        io.Writer
+	compress bool
+	comp     *flate.Writer
+	cbuf     bytes.Buffer
+	hdr      [headerSize]byte
+
+	rawBytes  int64
+	wireBytes int64
+}
+
+// NewWriter returns a framing writer. With compress true, payloads that
+// shrink under deflate are sent compressed; incompressible payloads fall
+// back to raw so compression can never inflate the stream.
+func NewWriter(w io.Writer, compress bool) *Writer {
+	tw := &Writer{w: w, compress: compress}
+	if compress {
+		// BestSpeed: monitoring updates are latency-sensitive and highly
+		// redundant text; even the fastest level compresses them well.
+		tw.comp, _ = flate.NewWriter(&tw.cbuf, flate.BestSpeed)
+	}
+	return tw
+}
+
+// WriteFrame sends one payload.
+func (t *Writer) WriteFrame(p []byte) error {
+	if len(p) > MaxFrameSize {
+		return ErrFrameSize
+	}
+	t.rawBytes += int64(len(p))
+	body := p
+	flags := byte(0)
+	if t.compress {
+		t.cbuf.Reset()
+		t.comp.Reset(&t.cbuf)
+		if _, err := t.comp.Write(p); err != nil {
+			return fmt.Errorf("transmit: compress: %w", err)
+		}
+		if err := t.comp.Close(); err != nil {
+			return fmt.Errorf("transmit: compress: %w", err)
+		}
+		if t.cbuf.Len() < len(p) {
+			body = t.cbuf.Bytes()
+			flags |= flagCompressed
+		}
+	}
+	t.hdr[0] = frameMagic
+	t.hdr[1] = flags
+	binary.BigEndian.PutUint32(t.hdr[2:], uint32(len(body)))
+	if _, err := t.w.Write(t.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(body); err != nil {
+		return err
+	}
+	t.wireBytes += int64(headerSize + len(body))
+	return nil
+}
+
+// RawBytes returns the total payload bytes accepted so far.
+func (t *Writer) RawBytes() int64 { return t.rawBytes }
+
+// WireBytes returns the total bytes emitted, headers included.
+func (t *Writer) WireBytes() int64 { return t.wireBytes }
+
+// Reader decodes frames from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a framing reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadFrame returns the next payload, decompressed if needed. The returned
+// slice is valid until the next call.
+func (t *Reader) ReadFrame() ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != frameMagic {
+		return nil, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameSize
+	}
+	if cap(t.buf) < int(n) {
+		t.buf = make([]byte, n)
+	}
+	body := t.buf[:n]
+	if _, err := io.ReadFull(t.r, body); err != nil {
+		return nil, err
+	}
+	if hdr[1]&flagCompressed == 0 {
+		return body, nil
+	}
+	fr := flate.NewReader(bytes.NewReader(body))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("transmit: decompress: %w", err)
+	}
+	return out, nil
+}
+
+// --- value marshalling -------------------------------------------------------
+//
+// One line per value: "<name> <S|D> <n|t> <payload>\n". Text payloads are
+// quoted with strconv so embedded whitespace survives.
+
+// MarshalValues renders a value batch into the wire text form, appending
+// to dst.
+func MarshalValues(dst []byte, values []consolidate.Value) []byte {
+	for _, v := range values {
+		dst = append(dst, v.Name...)
+		dst = append(dst, ' ')
+		if v.Kind == consolidate.Static {
+			dst = append(dst, 'S')
+		} else {
+			dst = append(dst, 'D')
+		}
+		dst = append(dst, ' ')
+		if v.IsText {
+			dst = append(dst, 't', ' ')
+			dst = strconv.AppendQuote(dst, v.Text)
+		} else {
+			dst = append(dst, 'n', ' ')
+			dst = strconv.AppendFloat(dst, v.Num, 'g', -1, 64)
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// UnmarshalValues parses the wire text form.
+func UnmarshalValues(data []byte) ([]consolidate.Value, error) {
+	var out []consolidate.Value
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		line := data
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
+			continue
+		}
+		v, err := unmarshalLine(string(line))
+		if err != nil {
+			return nil, fmt.Errorf("transmit: line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func unmarshalLine(line string) (consolidate.Value, error) {
+	var v consolidate.Value
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) != 4 {
+		return v, fmt.Errorf("malformed value line %q", line)
+	}
+	v.Name = parts[0]
+	switch parts[1] {
+	case "S":
+		v.Kind = consolidate.Static
+	case "D":
+		v.Kind = consolidate.Dynamic
+	default:
+		return v, fmt.Errorf("bad kind %q", parts[1])
+	}
+	switch parts[2] {
+	case "t":
+		s, err := strconv.Unquote(parts[3])
+		if err != nil {
+			return v, fmt.Errorf("bad text payload %q: %v", parts[3], err)
+		}
+		v.IsText = true
+		v.Text = s
+	case "n":
+		n, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return v, fmt.Errorf("bad numeric payload %q: %v", parts[3], err)
+		}
+		v.Num = n
+	default:
+		return v, fmt.Errorf("bad payload tag %q", parts[2])
+	}
+	return v, nil
+}
+
+// CompressedSize reports how many bytes p deflates to, for the E6
+// compression-effectiveness experiment.
+func CompressedSize(p []byte) int {
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	w.Write(p)
+	w.Close()
+	return buf.Len()
+}
+
+// Pipe returns a connected in-process frame transport, for tests and the
+// in-process simulation: frames written to one end arrive at the other.
+func Pipe(compress bool) (*Writer, *Reader, func() error) {
+	pr, pw := io.Pipe()
+	w := NewWriter(&syncWriter{w: pw}, compress)
+	r := NewReader(pr)
+	return w, r, pw.Close
+}
+
+// syncWriter serializes writes; io.Pipe is already safe but the Writer's
+// two-write frame emission must not interleave with another writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

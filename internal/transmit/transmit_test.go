@@ -1,0 +1,292 @@
+package transmit
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/procfs"
+)
+
+func TestFrameRoundTripRaw(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, false)
+	payloads := []string{"", "x", "hello world", strings.Repeat("abc", 1000)}
+	for _, p := range payloads {
+		if err := w.WriteFrame([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for _, p := range payloads {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != p {
+			t.Fatalf("frame = %q, want %q", got, p)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want EOF", err)
+	}
+}
+
+func TestFrameRoundTripCompressed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, true)
+	payload := []byte(strings.Repeat("cpu.load1 D n 0.42\n", 500))
+	if err := w.WriteFrame(payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.WireBytes() >= w.RawBytes() {
+		t.Fatalf("compressed frame (%d) not smaller than raw (%d)", w.WireBytes(), w.RawBytes())
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("compressed round trip corrupted payload")
+	}
+}
+
+func TestIncompressiblePayloadFallsBackToRaw(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, true)
+	// Pseudo-random bytes do not deflate.
+	payload := make([]byte, 4096)
+	x := uint32(2463534242)
+	for i := range payload {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		payload[i] = byte(x)
+	}
+	if err := w.WriteFrame(payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.WireBytes() > int64(len(payload)+headerSize) {
+		t.Fatalf("wire bytes %d exceed raw+header %d", w.WireBytes(), len(payload)+headerSize)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fallback round trip corrupted payload")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0}))
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, false)
+	if err := w.WriteFrame(make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("writer err = %v, want ErrFrameSize", err)
+	}
+	// Forged oversize header must be rejected before allocation.
+	hdr := []byte{frameMagic, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	r := NewReader(bytes.NewReader(hdr))
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("reader err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, false)
+	if err := w.WriteFrame([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("truncated frame decoded without error")
+	}
+}
+
+func sampleValues() []consolidate.Value {
+	return []consolidate.Value{
+		consolidate.NumValue("cpu.load1", consolidate.Dynamic, 0.42),
+		consolidate.NumValue("mem.free", consolidate.Dynamic, 516272),
+		consolidate.TextValue("cpu.type", consolidate.Static, "Pentium III (Coppermine)"),
+		consolidate.TextValue("host.name", consolidate.Static, "node with spaces\nand newline"),
+		consolidate.NumValue("net.eth0.rxbytes", consolidate.Dynamic, 814558563),
+	}
+}
+
+func TestMarshalUnmarshalValues(t *testing.T) {
+	vals := sampleValues()
+	data := MarshalValues(nil, vals)
+	got, err := UnmarshalValues(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d = %+v, want %+v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"short line\n",
+		"name X n 5\n",          // bad kind
+		"name D x 5\n",          // bad tag
+		"name D n notanum\n",    // bad number
+		"name D t notquoted\n",  // bad quoting
+		"name D t \"unclosed\n", // bad quoting
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalValues([]byte(c)); err == nil {
+			t.Errorf("UnmarshalValues(%q) succeeded", c)
+		}
+	}
+	// Blank lines are tolerated.
+	if got, err := UnmarshalValues([]byte("\n\n")); err != nil || len(got) != 0 {
+		t.Errorf("blank-line input: %v %v", got, err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity on arbitrary values.
+func TestPropertyValueRoundTrip(t *testing.T) {
+	f := func(name string, num float64, text string, isText, static bool) bool {
+		if name == "" || strings.ContainsAny(name, " \n") {
+			return true // names are dotted identifiers by construction
+		}
+		if math.IsNaN(num) {
+			return true // NaN never compares equal; not a monitor value
+		}
+		v := consolidate.Value{Name: name, Num: num, Text: text, IsText: isText}
+		if isText {
+			v.Num = 0
+		} else {
+			v.Text = ""
+		}
+		if static {
+			v.Kind = consolidate.Static
+		} else {
+			v.Kind = consolidate.Dynamic
+		}
+		got, err := UnmarshalValues(MarshalValues(nil, []consolidate.Value{v}))
+		return err == nil && len(got) == 1 && got[0] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcTextCompressesWell(t *testing.T) {
+	// The E6 claim: /proc-style text compresses very effectively.
+	fs := procfs.NewFS()
+	procfs.RegisterStd(fs, procfs.Frozen())
+	var all []byte
+	for _, f := range []string{"/proc/meminfo", "/proc/stat", "/proc/net/dev", "/proc/cpuinfo"} {
+		data, err := fs.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	comp := CompressedSize(all)
+	if comp*2 > len(all) {
+		t.Fatalf("proc text compressed to %d of %d bytes; expected at least 2x", comp, len(all))
+	}
+}
+
+func TestPipe(t *testing.T) {
+	w, r, closeFn := Pipe(true)
+	go func() {
+		w.WriteFrame([]byte("one"))
+		w.WriteFrame([]byte("two"))
+		closeFn()
+	}()
+	a, err := r.ReadFrame()
+	if err != nil || string(a) != "one" {
+		t.Fatalf("first frame %q %v", a, err)
+	}
+	b, err := r.ReadFrame()
+	if err != nil || string(b) != "two" {
+		t.Fatalf("second frame %q %v", b, err)
+	}
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("read after close succeeded")
+	}
+}
+
+func TestManyFramesInterleavedSizes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, true)
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i%26)}, i*7%1024)
+		want = append(want, p)
+		if err := w.WriteFrame(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, p := range want {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+}
+
+// Property: the frame reader never panics and never over-allocates on
+// arbitrary garbage input — the server's agent port faces the network.
+func TestPropertyReaderRobustToGarbage(t *testing.T) {
+	f := func(junk []byte) bool {
+		r := NewReader(bytes.NewReader(junk))
+		for i := 0; i < 4; i++ {
+			if _, err := r.ReadFrame(); err != nil {
+				return true // any error is fine; panics are not
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames with a valid header but corrupted compressed body fail
+// cleanly.
+func TestCorruptCompressedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, true)
+	if err := w.WriteFrame([]byte(strings.Repeat("abc", 500))); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip bytes in the compressed body.
+	for i := headerSize + 2; i < len(data); i += 3 {
+		data[i] ^= 0xFF
+	}
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("corrupted deflate body decoded")
+	}
+}
