@@ -1,0 +1,30 @@
+# Standard pre-merge gate. `make check` is what CI (and humans) run
+# before merging: formatting, vet, a full build, and the test suite under
+# the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the benchmark tables behind EXPERIMENTS.md.
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -6,16 +6,21 @@
 //   - wire compression on/off: bytes on the management network
 //   - consolidation under load: change suppression on idle vs busy nodes
 //   - ICE Box sequencing stagger: time-to-all-up vs breaker margin
+//   - server ingest locking: sharded + per-node locks vs one global mutex
 package clusterworx
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"clusterworx/internal/clock"
 	"clusterworx/internal/cloning"
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/core"
+	"clusterworx/internal/events"
+	"clusterworx/internal/history"
 	"clusterworx/internal/icebox"
 	"clusterworx/internal/image"
 	"clusterworx/internal/monitor"
@@ -184,3 +189,79 @@ func BenchmarkAblationStagger0ms(b *testing.B)    { benchAblationStagger(b, 0) }
 func BenchmarkAblationStagger100ms(b *testing.B)  { benchAblationStagger(b, 100*time.Millisecond) }
 func BenchmarkAblationStagger300ms(b *testing.B)  { benchAblationStagger(b, 300*time.Millisecond) }
 func BenchmarkAblationStagger1000ms(b *testing.B) { benchAblationStagger(b, time.Second) }
+
+// --- server ingest locking: sharded vs global mutex ----------------------------------
+//
+// globalLockIngest replicates the pre-sharding server ingest design: one
+// mutex over the whole node table, and a fresh event-sample map rebuilt
+// from the node's full value set on every update while that mutex is held.
+// Benchmarked against the sharded core.Server on the identical workload
+// (same node population, same change sets — see runIngestBench), it
+// quantifies what the lock striping, per-node locks, and incremental
+// sample maintenance buy.
+
+type globalLockRec struct {
+	lastSeen time.Duration
+	seen     bool
+	values   map[string]consolidate.Value
+}
+
+type globalLockIngest struct {
+	mu     sync.Mutex
+	now    func() time.Duration
+	nodes  map[string]*globalLockRec
+	hist   *history.Store
+	engine *events.Engine
+}
+
+func newGlobalLockIngest() *globalLockIngest {
+	start := time.Now()
+	g := &globalLockIngest{
+		now:   func() time.Duration { return time.Since(start) },
+		nodes: make(map[string]*globalLockRec),
+		hist:  history.NewStore(0),
+	}
+	g.engine = events.New(nil, nil, g.now)
+	return g
+}
+
+func (g *globalLockIngest) HandleValues(nodeName string, values []consolidate.Value) {
+	now := g.now()
+	g.mu.Lock()
+	rec, ok := g.nodes[nodeName]
+	if !ok {
+		rec = &globalLockRec{values: make(map[string]consolidate.Value)}
+		g.nodes[nodeName] = rec
+	}
+	rec.lastSeen = now
+	rec.seen = true
+	for _, v := range values {
+		rec.values[v.Name] = v
+		if !v.IsText {
+			g.hist.Append(nodeName, v.Name, now, v.Num)
+		}
+	}
+	sample := make(map[string]float64, len(rec.values))
+	for name, v := range rec.values {
+		if !v.IsText {
+			sample[name] = v.Num
+		}
+	}
+	g.mu.Unlock()
+	g.engine.ObserveMap(nodeName, sample)
+}
+
+func benchAblationIngestGlobalLock(b *testing.B, parallelism int) {
+	g := newGlobalLockIngest()
+	runIngestBench(b, parallelism, g.HandleValues)
+}
+
+func benchAblationIngestSharded(b *testing.B, parallelism int) {
+	srv := core.NewServer(core.ServerConfig{Cluster: "abl"})
+	runIngestBench(b, parallelism, srv.HandleValues)
+}
+
+func BenchmarkAblationIngestGlobalLock1(b *testing.B)  { benchAblationIngestGlobalLock(b, 1) }
+func BenchmarkAblationIngestGlobalLock64(b *testing.B) { benchAblationIngestGlobalLock(b, 64) }
+func BenchmarkAblationIngestSharded1(b *testing.B)     { benchAblationIngestSharded(b, 1) }
+func BenchmarkAblationIngestSharded64(b *testing.B)    { benchAblationIngestSharded(b, 64) }

@@ -13,13 +13,16 @@
 package clusterworx
 
 import (
+	"bytes"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"clusterworx/internal/clock"
 	"clusterworx/internal/cloning"
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/core"
 	"clusterworx/internal/events"
 	"clusterworx/internal/experiments"
 	"clusterworx/internal/firmware"
@@ -277,6 +280,10 @@ func BenchmarkE5Consolidation(b *testing.B) {
 
 // --- E6: wire compression -------------------------------------------------------------
 
+// BenchmarkE6Compression measures the full wire path per update: frame +
+// deflate on the agent side, decode + inflate on the server side. With the
+// pooled compressors/decompressors and reusable scratch buffers the
+// steady-state path is allocation-free.
 func BenchmarkE6Compression(b *testing.B) {
 	fs := evolvingFS()
 	var sample []byte
@@ -288,7 +295,9 @@ func BenchmarkE6Compression(b *testing.B) {
 		sample = append(sample, data...)
 	}
 	var buf []byte
-	w := transmit.NewWriter(discard{}, true)
+	var wire bytes.Buffer
+	w := transmit.NewWriter(&wire, true)
+	r := transmit.NewReader(&wire)
 	b.SetBytes(int64(len(sample)))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -296,6 +305,13 @@ func BenchmarkE6Compression(b *testing.B) {
 		buf = append(buf[:0], sample...)
 		if err := w.WriteFrame(buf); err != nil {
 			b.Fatal(err)
+		}
+		out, err := r.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sample) {
+			b.Fatalf("roundtrip returned %d bytes, want %d", len(out), len(sample))
 		}
 	}
 	b.StopTimer()
@@ -486,3 +502,94 @@ func BenchmarkE15FullReclone(b *testing.B) {
 	}
 	b.ReportMetric(vt.Seconds()/float64(b.N), "vtime_s")
 }
+
+// --- E15 (ingest): concurrent server ingest scaling --------------------------------
+//
+// The paper's §5.3 overhead claim is per-node; at the roadmap's scale the
+// binding constraint moves to the management server, which must absorb
+// thousands of concurrent agent transmissions. This family hammers
+// Server.HandleValues from parallelism×GOMAXPROCS goroutines over a
+// pre-seeded node population and reports updates/s. The matching
+// global-lock ablation lives in ablation_bench_test.go.
+
+const (
+	ingestNodes      = 1024 // distinct reporting nodes
+	ingestFullValues = 96   // standing value set per node (§5.3.2 full state)
+	ingestDeltaSize  = 8    // values per update (§5.3.2 change set)
+)
+
+func ingestNodeNames() []string {
+	names := make([]string, ingestNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%04d", i)
+	}
+	return names
+}
+
+// ingestFullSet is the one-time registration payload: the node's full
+// monitored state, mostly numeric with a couple of static text values.
+func ingestFullSet() []consolidate.Value {
+	vals := make([]consolidate.Value, 0, ingestFullValues)
+	for i := 0; i < ingestFullValues-2; i++ {
+		vals = append(vals, consolidate.NumValue(fmt.Sprintf("metric.%02d", i), consolidate.Dynamic, float64(i)))
+	}
+	vals = append(vals,
+		consolidate.TextValue("os.kernel", consolidate.Static, "2.4.18"),
+		consolidate.TextValue("cpu.model", consolidate.Static, "Pentium III (Coppermine)"))
+	return vals
+}
+
+// ingestDeltaSets are the steady-state change sets: a few variants so
+// consecutive updates carry different numbers, each touching a small
+// subset of the standing values — the shape consolidation produces.
+func ingestDeltaSets() [][]consolidate.Value {
+	out := make([][]consolidate.Value, 4)
+	for v := range out {
+		d := make([]consolidate.Value, ingestDeltaSize)
+		for i := range d {
+			d[i] = consolidate.NumValue(fmt.Sprintf("metric.%02d", (i*7)%(ingestFullValues-2)),
+				consolidate.Dynamic, float64(v*100+i))
+		}
+		out[v] = d
+	}
+	return out
+}
+
+// runIngestBench seeds the node population through handle, then drives
+// steady-state deltas from parallelism×GOMAXPROCS goroutines.
+func runIngestBench(b *testing.B, parallelism int, handle func(string, []consolidate.Value)) {
+	b.Helper()
+	names := ingestNodeNames()
+	full := ingestFullSet()
+	for _, name := range names {
+		handle(name, full)
+	}
+	deltas := ingestDeltaSets()
+	var worker atomic.Int64
+	b.SetParallelism(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(worker.Add(1))
+		i := 0
+		for pb.Next() {
+			handle(names[(id*127+i)%ingestNodes], deltas[i%len(deltas)])
+			i++
+		}
+	})
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "updates/s")
+	}
+}
+
+func benchIngestParallel(b *testing.B, parallelism int) {
+	srv := core.NewServer(core.ServerConfig{Cluster: "bench"})
+	runIngestBench(b, parallelism, srv.HandleValues)
+}
+
+func BenchmarkE15IngestParallel1(b *testing.B)   { benchIngestParallel(b, 1) }
+func BenchmarkE15IngestParallel8(b *testing.B)   { benchIngestParallel(b, 8) }
+func BenchmarkE15IngestParallel64(b *testing.B)  { benchIngestParallel(b, 64) }
+func BenchmarkE15IngestParallel512(b *testing.B) { benchIngestParallel(b, 512) }

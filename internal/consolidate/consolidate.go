@@ -127,7 +127,9 @@ type Consolidator struct {
 	stats   Stats
 	onError func(source string, err error)
 
-	scratch []Value
+	scratch    []Value  // Collect scratch
+	deltaNames []string // Delta scratch: sorted dirty names
+	deltaBuf   []Value  // Delta scratch: returned slice, reused per call
 }
 
 type sourceState struct {
@@ -229,6 +231,11 @@ func (c *Consolidator) Snapshot() []Value {
 	}
 	c.stats.CacheBuilds++
 	c.sortOrderLocked()
+	// Rebuilds allocate fresh rather than reusing the previous cache's
+	// backing array: earlier callers may still be reading the old snapshot
+	// (that sharing is the whole point of the cache), so overwriting it in
+	// place would be a data race. The cache already makes rebuilds rare —
+	// one per tick that actually changed data.
 	snap := make([]Value, 0, len(c.order))
 	for _, name := range c.order {
 		snap = append(snap, c.current[name])
@@ -243,22 +250,29 @@ func (c *Consolidator) Snapshot() []Value {
 // stable name order, and clears the change set. This is what the
 // transmission stage ships: "only data that has changed since the last
 // transmission".
+//
+// The returned slice reuses an internal scratch buffer and is only valid
+// until the next Delta call; the transmission stage marshals it
+// immediately, which keeps the once-per-period hot path allocation-free.
+// Callers that retain a delta must copy it.
 func (c *Consolidator) Delta() []Value {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.dirty) == 0 {
 		return nil
 	}
-	names := make([]string, 0, len(c.dirty))
+	names := c.deltaNames[:0]
 	for name := range c.dirty {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	out := make([]Value, 0, len(names))
+	out := c.deltaBuf[:0]
 	for _, name := range names {
 		out = append(out, c.current[name])
 	}
-	c.dirty = make(map[string]struct{}, len(c.dirty))
+	c.deltaNames = names
+	c.deltaBuf = out
+	clear(c.dirty)
 	return out
 }
 

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/events"
+)
+
+// ingestUpdate builds a small agent-style change set.
+func ingestUpdate(load float64) []consolidate.Value {
+	return []consolidate.Value{
+		consolidate.NumValue("load.1", consolidate.Dynamic, load),
+		consolidate.NumValue("hw.temp.cpu", consolidate.Dynamic, 40+load),
+		consolidate.NumValue("mem.used.pct", consolidate.Dynamic, 10*load),
+		consolidate.TextValue("os.kernel", consolidate.Static, "2.4.18"),
+	}
+}
+
+// TestIngestUnregisteredNode verifies HandleValues auto-registers nodes it
+// has never seen: the update must land in the registry, history, and the
+// event engine without RegisterNode having been called.
+func TestIngestUnregisteredNode(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	if err := srv.Engine().AddRule(events.Rule{
+		Name: "hot", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 90,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.HandleValues("fresh-node", ingestUpdate(55)) // temp = 95 > 90
+
+	if v, ok := srv.NodeValue("fresh-node", "load.1"); !ok || v.Num != 55 {
+		t.Fatalf("NodeValue(fresh-node, load.1) = %v, %v", v, ok)
+	}
+	names := srv.NodeNames()
+	if len(names) != 1 || names[0] != "fresh-node" {
+		t.Fatalf("NodeNames = %v", names)
+	}
+	rows := srv.Status()
+	if len(rows) != 1 || rows[0].Name != "fresh-node" || !rows[0].Alive {
+		t.Fatalf("Status = %+v", rows)
+	}
+	if s := srv.History().Series("fresh-node", "load.1"); s == nil || s.Len() != 1 {
+		t.Fatalf("history series missing for auto-registered node")
+	}
+	if !srv.Engine().Triggered("hot", "fresh-node") {
+		t.Fatal("event rule did not fire for auto-registered node")
+	}
+}
+
+// TestIngestSampleTracksTextTransition verifies the incrementally
+// maintained event sample forgets a metric that switches from numeric to
+// text (the rule must stop matching on the stale number).
+func TestIngestSampleTracksTextTransition(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	if err := srv.Engine().AddRule(events.Rule{
+		Name: "hi", Metric: "m", Op: events.GT, Threshold: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.HandleValues("n0", []consolidate.Value{consolidate.NumValue("m", consolidate.Dynamic, 5)})
+	if !srv.Engine().Triggered("hi", "n0") {
+		t.Fatal("rule should trigger on numeric value")
+	}
+	// The metric turns textual; later updates must not keep re-evaluating
+	// the stale numeric reading. The rule stays triggered (absence of a
+	// metric is not a violation) but a clear must be possible via a fresh
+	// numeric value.
+	srv.HandleValues("n0", []consolidate.Value{consolidate.TextValue("m", consolidate.Dynamic, "n/a")})
+	srv.HandleValues("n0", []consolidate.Value{consolidate.NumValue("m", consolidate.Dynamic, 0)})
+	if srv.Engine().Triggered("hi", "n0") {
+		t.Fatal("rule should have cleared after numeric value returned below threshold")
+	}
+}
+
+// TestIngestPluginReadsServerState pins the locking contract for event
+// plugins: a rule plugin fired from the ingest path may read server state
+// — including the very node being ingested — without deadlocking. (The
+// per-node observation lock is separate from the record lock the read
+// APIs take.)
+func TestIngestPluginReadsServerState(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	var sawLoad float64
+	var sawRows int
+	if err := srv.Engine().AddRule(events.Rule{
+		Name: "probe", Metric: "load.1", Op: events.GT, Threshold: 10,
+		Action: events.ActPlugin,
+		Plugin: func(node string) error {
+			if v, ok := srv.NodeValue(node, "load.1"); ok {
+				sawLoad = v.Num
+			}
+			sawRows = len(srv.Status())
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.HandleValues("n0", ingestUpdate(42))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest deadlocked with a plugin reading server state")
+	}
+	if sawLoad != 42 {
+		t.Fatalf("plugin read load.1 = %v, want 42", sawLoad)
+	}
+	if sawRows != 1 {
+		t.Fatalf("plugin saw %d status rows, want 1", sawRows)
+	}
+}
+
+// TestIngestConcurrentHammer drives HandleValues, Status, NodeValue,
+// NodeValues, and NodeNames from 32 goroutines over 256 nodes. Run under
+// -race this is the regression gate for the sharded ingest path: no
+// global-lock serialization means every interleaving must still be clean.
+func TestIngestConcurrentHammer(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	if err := srv.Engine().AddRule(events.Rule{
+		Name: "hot", Metric: "hw.temp.cpu", Op: events.GT, Threshold: 1000, // never fires
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 32
+		nodes   = 256
+		iters   = 300
+	)
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%03d", i)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := names[(w*31+i)%nodes]
+				switch i % 8 {
+				case 0, 1, 2, 3, 4:
+					srv.HandleValues(name, ingestUpdate(float64(w)))
+				case 5:
+					if _, ok := srv.NodeValue(name, "load.1"); ok {
+						srv.NodeValues(name)
+					}
+				case 6:
+					srv.Status()
+				case 7:
+					srv.NodeNames()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rows := srv.Status()
+	if len(rows) != nodes {
+		t.Fatalf("Status has %d rows, want %d", len(rows), nodes)
+	}
+	for _, row := range rows {
+		if row.Values == 0 {
+			t.Fatalf("node %s ingested no values", row.Name)
+		}
+	}
+	if got := len(srv.NodeNames()); got != nodes {
+		t.Fatalf("NodeNames has %d entries, want %d", got, nodes)
+	}
+}
+
+// TestIngestReadDuringSlowIngest verifies read-side APIs on one node are
+// not blocked by ingest on another node (the per-node locking contract).
+func TestIngestReadDuringSlowIngest(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	srv.HandleValues("a", ingestUpdate(1))
+	srv.HandleValues("b", ingestUpdate(2))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			srv.HandleValues("a", ingestUpdate(float64(i)))
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 2000; i++ {
+		if _, ok := srv.NodeValue("b", "load.1"); !ok {
+			t.Fatal("node b lost its value during ingest on node a")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read side starved by ingest")
+		}
+	}
+	<-done
+}

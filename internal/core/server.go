@@ -36,18 +36,34 @@ type NodeStatus struct {
 	MemPct   float64
 }
 
+// ingestShards is the lock-stripe count for the node table. A power of
+// two so the name hash folds with a mask. 64 stripes keep the chance of
+// two concurrent agents landing on the same stripe small even with every
+// core of the management server ingesting at once.
+const ingestShards = 64
+
+// nodeShard is one stripe of the node table. The shard lock only guards
+// map membership; per-node state is behind each nodeRec's own lock, so
+// two agents updating different nodes never contend even within a stripe.
+type nodeShard struct {
+	mu    sync.RWMutex
+	nodes map[string]*nodeRec
+}
+
 // Server is the ClusterWorX management server.
 type Server struct {
-	mu      sync.Mutex
 	now     func() time.Duration
 	cluster string
 
-	nodes map[string]*nodeRec
-	hist  *history.Store
+	shards [ingestShards]nodeShard
+	hist   *history.Store
 
 	engine   *events.Engine
 	notifier *notify.Notifier
 
+	// mu guards the cold administrative state below; the ingest hot path
+	// never takes it.
+	mu      sync.Mutex
 	boxes   []*icebox.Box
 	boxByID map[string]*icebox.Box
 
@@ -57,10 +73,39 @@ type Server struct {
 }
 
 type nodeRec struct {
+	// obsMu serializes the node's ingest→event-evaluation sequence: it is
+	// held across the sample mutation AND the engine observation, so a
+	// concurrent update for the same node cannot mutate the sample map
+	// while the engine iterates it. It is always taken before mu and is
+	// never needed by the read-side APIs, so a long event evaluation (or
+	// an event plugin reading server state) neither blocks Status-style
+	// readers nor deadlocks against them.
+	obsMu sync.Mutex
+	// mu guards the record fields below with short critical sections.
+	mu       sync.RWMutex
 	name     string
 	lastSeen time.Duration
 	seen     bool
 	values   map[string]consolidate.Value
+	// sample mirrors the numeric entries of values and is maintained
+	// incrementally as updates arrive, so event evaluation never rebuilds
+	// a map on the hot path. Written under both obsMu and mu; the engine
+	// reads it under obsMu alone.
+	sample map[string]float64
+}
+
+// shardIndex hashes a node name to its stripe with FNV-1a.
+func shardIndex(name string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return h & (ingestShards - 1)
 }
 
 // ServerConfig configures a Server.
@@ -82,12 +127,14 @@ func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		now:      cfg.Now,
 		cluster:  cfg.Cluster,
-		nodes:    make(map[string]*nodeRec),
 		hist:     history.NewStore(0),
 		notifier: cfg.Notifier,
 		boxByID:  make(map[string]*icebox.Box),
 		images:   image.NewStore(),
 		firmware: make(map[string]firmware.Firmware),
+	}
+	for i := range s.shards {
+		s.shards[i].nodes = make(map[string]*nodeRec)
 	}
 	var ntf events.Notifier
 	if cfg.Notifier != nil {
@@ -127,45 +174,75 @@ func (s *Server) ICEBoxes() []*icebox.Box {
 // RegisterNode pre-creates a registry entry (agents also auto-register on
 // first data).
 func (s *Server) RegisterNode(name string) {
-	s.mu.Lock()
-	s.nodeLocked(name)
-	s.mu.Unlock()
+	s.node(name)
 }
 
-func (s *Server) nodeLocked(name string) *nodeRec {
-	rec, ok := s.nodes[name]
-	if !ok {
-		rec = &nodeRec{name: name, values: make(map[string]consolidate.Value)}
-		s.nodes[name] = rec
+// node returns the record for name, creating it if needed. The fast path
+// is a single read-locked map lookup on the name's stripe.
+func (s *Server) node(name string) *nodeRec {
+	sh := &s.shards[shardIndex(name)]
+	sh.mu.RLock()
+	rec := sh.nodes[name]
+	sh.mu.RUnlock()
+	if rec != nil {
+		return rec
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec = sh.nodes[name]; rec == nil {
+		rec = &nodeRec{
+			name:   name,
+			values: make(map[string]consolidate.Value),
+			sample: make(map[string]float64),
+		}
+		sh.nodes[name] = rec
 	}
 	return rec
 }
 
+// lookup returns the record for name without creating it.
+func (s *Server) lookup(name string) (*nodeRec, bool) {
+	sh := &s.shards[shardIndex(name)]
+	sh.mu.RLock()
+	rec := sh.nodes[name]
+	sh.mu.RUnlock()
+	return rec, rec != nil
+}
+
 // HandleValues ingests one agent transmission (a change set): it updates
 // the live registry, appends numeric values to history, and runs the event
-// engine over the node's updated state.
+// engine over the node's updated state. Unregistered nodes auto-register;
+// the whole path holds only the node's own lock (plus a read-locked stripe
+// lookup), so concurrent updates for different nodes never contend and
+// read-side APIs stay responsive during ingest.
 func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 	now := s.now()
-	s.mu.Lock()
-	rec := s.nodeLocked(nodeName)
+	rec := s.node(nodeName)
+	rec.obsMu.Lock()
+	rec.mu.Lock()
 	rec.lastSeen = now
 	rec.seen = true
 	for _, v := range values {
 		rec.values[v.Name] = v
 		if !v.IsText {
+			rec.sample[v.Name] = v.Num
 			s.hist.Append(nodeName, v.Name, now, v.Num)
+		} else {
+			// A metric that switched to text no longer has a numeric
+			// reading for the rules to evaluate.
+			delete(rec.sample, v.Name)
 		}
 	}
-	// Event evaluation sees the node's full current state, so rules on
-	// metrics that did not change this round still hold.
-	sample := make(map[string]float64, len(rec.values))
-	for name, v := range rec.values {
-		if !v.IsText {
-			sample[name] = v.Num
-		}
-	}
-	s.mu.Unlock()
-	s.engine.ObserveMap(nodeName, sample)
+	rec.mu.Unlock()
+	// Event evaluation sees the node's full current numeric state, so
+	// rules on metrics that did not change this round still hold.
+	// rec.sample is the incrementally-maintained mirror of rec.values;
+	// obsMu (still held) keeps it stable while the engine iterates it.
+	// Event plugins may read any server state and may inject values for
+	// OTHER nodes; synchronously re-ingesting for the same node from a
+	// plugin would self-deadlock here.
+	s.engine.ObserveMap(nodeName, rec.sample)
+	rec.obsMu.Unlock()
 }
 
 // ProbeConnectivity runs the server-side UDP-echo connectivity sweep
@@ -183,28 +260,40 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		if ok {
 			v.Num = 1
 		}
-		s.mu.Lock()
-		rec := s.nodeLocked(name)
+		rec := s.node(name)
+		rec.obsMu.Lock()
+		rec.mu.Lock()
 		rec.values[v.Name] = v
+		rec.sample[v.Name] = v.Num
 		s.hist.Append(name, v.Name, now, v.Num)
-		sample := make(map[string]float64, len(rec.values))
-		for n, val := range rec.values {
-			if !val.IsText {
-				sample[n] = val.Num
-			}
-		}
-		s.mu.Unlock()
-		s.engine.ObserveMap(name, sample)
+		rec.mu.Unlock()
+		s.engine.ObserveMap(name, rec.sample)
+		rec.obsMu.Unlock()
 	}
+}
+
+// allRecs collects every record across the stripes (unsorted). Each
+// stripe is only read-locked for the duration of its own scan, so ingest
+// proceeds on the other stripes meanwhile.
+func (s *Server) allRecs() []*nodeRec {
+	out := make([]*nodeRec, 0, 64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.nodes {
+			out = append(out, rec)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // NodeNames returns all registered nodes, sorted.
 func (s *Server) NodeNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.nodes))
-	for name := range s.nodes {
-		out = append(out, name)
+	recs := s.allRecs()
+	out := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, rec.name)
 	}
 	sort.Strings(out)
 	return out
@@ -212,28 +301,28 @@ func (s *Server) NodeNames() []string {
 
 // NodeValue returns a node's current value for a metric.
 func (s *Server) NodeValue(nodeName, metric string) (consolidate.Value, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.nodes[nodeName]
+	rec, ok := s.lookup(nodeName)
 	if !ok {
 		return consolidate.Value{}, false
 	}
+	rec.mu.RLock()
+	defer rec.mu.RUnlock()
 	v, ok := rec.values[metric]
 	return v, ok
 }
 
 // NodeValues returns a sorted snapshot of a node's current values.
 func (s *Server) NodeValues(nodeName string) []consolidate.Value {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.nodes[nodeName]
+	rec, ok := s.lookup(nodeName)
 	if !ok {
 		return nil
 	}
+	rec.mu.RLock()
 	out := make([]consolidate.Value, 0, len(rec.values))
 	for _, v := range rec.values {
 		out = append(out, v)
 	}
+	rec.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -241,18 +330,13 @@ func (s *Server) NodeValues(nodeName string) []consolidate.Value {
 // Status renders the monitoring screen rows.
 func (s *Server) Status() []NodeStatus {
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.nodes))
-	for name := range s.nodes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	out := make([]NodeStatus, 0, len(names))
-	for _, name := range names {
-		rec := s.nodes[name]
+	recs := s.allRecs()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].name < recs[j].name })
+	out := make([]NodeStatus, 0, len(recs))
+	for _, rec := range recs {
+		rec.mu.RLock()
 		st := NodeStatus{
-			Name:     name,
+			Name:     rec.name,
 			Alive:    rec.seen && now-rec.lastSeen <= DownAfter,
 			LastSeen: rec.lastSeen,
 			Values:   len(rec.values),
@@ -266,6 +350,7 @@ func (s *Server) Status() []NodeStatus {
 		if v, ok := rec.values["mem.used.pct"]; ok {
 			st.MemPct = v.Num
 		}
+		rec.mu.RUnlock()
 		out = append(out, st)
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clusterworx/internal/consolidate"
@@ -152,6 +153,11 @@ type Firing struct {
 
 // Engine evaluates rules against observed node samples.
 type Engine struct {
+	// nrules mirrors len(rules) so the per-update observation hot path
+	// can skip the engine lock entirely when no rules are installed —
+	// with hundreds of agents reporting concurrently, even an
+	// uncontended-looking global mutex becomes a serialization point.
+	nrules   atomic.Int32
 	mu       sync.Mutex
 	rules    map[string]*Rule
 	order    []string
@@ -203,6 +209,7 @@ func (e *Engine) AddRule(r Rule) error {
 	}
 	e.rules[r.Name] = &r
 	e.state[r.Name] = make(map[string]*nodeState)
+	e.nrules.Store(int32(len(e.rules)))
 	return nil
 }
 
@@ -215,6 +222,7 @@ func (e *Engine) RemoveRule(name string) {
 	}
 	delete(e.rules, name)
 	delete(e.state, name)
+	e.nrules.Store(int32(len(e.rules)))
 	for i, n := range e.order {
 		if n == name {
 			e.order = append(e.order[:i], e.order[i+1:]...)
@@ -250,6 +258,9 @@ func (e *Engine) Observe(node string, values []consolidate.Value) []Firing {
 // map leave rule state untouched (a metric that stopped arriving is not a
 // violation — pair it with a connectivity rule).
 func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
+	if e.nrules.Load() == 0 {
+		return nil
+	}
 	type pending struct {
 		rule Rule
 		val  float64

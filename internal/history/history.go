@@ -24,8 +24,10 @@ type Point struct {
 // DefaultCapacity is the per-series ring size.
 const DefaultCapacity = 4096
 
-// Series is a bounded time-ordered sample ring.
+// Series is a bounded time-ordered sample ring. Direct Append calls are
+// not synchronized; the Store serializes appends to a series with mu.
 type Series struct {
+	mu    sync.Mutex
 	buf   []Point
 	start int
 	size  int
@@ -175,11 +177,24 @@ func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 	return out
 }
 
-// Store maps (node, metric) to series. Safe for concurrent use.
+// storeStripes is the lock-stripe count for the store's node map. A power
+// of two so the name hash folds with a mask; appends from agents reporting
+// concurrently land on independent stripes.
+const storeStripes = 64
+
+type storeStripe struct {
+	mu     sync.RWMutex
+	series map[string]map[string]*Series
+}
+
+// Store maps (node, metric) to series, lock-striped by node name so
+// concurrent appends for different nodes never contend. Appends are safe
+// for concurrent use (the stripe lock guards map membership, a per-series
+// lock guards the ring); reads of a returned *Series must still not race
+// appends to that same series — the server reads on its event loop.
 type Store struct {
-	mu       sync.RWMutex
 	capacity int
-	series   map[string]map[string]*Series
+	stripes  [storeStripes]storeStripe
 }
 
 // NewStore returns a store creating series of the given capacity
@@ -188,42 +203,73 @@ func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Store{capacity: capacity, series: make(map[string]map[string]*Series)}
+	st := &Store{capacity: capacity}
+	for i := range st.stripes {
+		st.stripes[i].series = make(map[string]map[string]*Series)
+	}
+	return st
 }
 
-// Append records one sample.
+// stripe hashes a node name to its stripe with FNV-1a.
+func (st *Store) stripe(nodeName string) *storeStripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(nodeName); i++ {
+		h ^= uint32(nodeName[i])
+		h *= prime32
+	}
+	return &st.stripes[h&(storeStripes-1)]
+}
+
+// Append records one sample. The steady-state path is a read-locked map
+// lookup on the node's stripe plus the per-series append lock; the stripe
+// write lock is only taken the first time a (node, metric) pair appears.
 func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	byMetric, ok := st.series[nodeName]
-	if !ok {
-		byMetric = make(map[string]*Series)
-		st.series[nodeName] = byMetric
+	sp := st.stripe(nodeName)
+	sp.mu.RLock()
+	s := sp.series[nodeName][metric]
+	sp.mu.RUnlock()
+	if s == nil {
+		sp.mu.Lock()
+		byMetric, ok := sp.series[nodeName]
+		if !ok {
+			byMetric = make(map[string]*Series)
+			sp.series[nodeName] = byMetric
+		}
+		if s, ok = byMetric[metric]; !ok {
+			s = NewSeries(st.capacity)
+			byMetric[metric] = s
+		}
+		sp.mu.Unlock()
 	}
-	s, ok := byMetric[metric]
-	if !ok {
-		s = NewSeries(st.capacity)
-		byMetric[metric] = s
-	}
+	s.mu.Lock()
 	s.Append(t, v)
+	s.mu.Unlock()
 }
 
 // Series returns the series for (node, metric), or nil. The returned
 // series must only be read while no appends race it; the server reads on
 // its event loop.
 func (st *Store) Series(nodeName, metric string) *Series {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.series[nodeName][metric]
+	sp := st.stripe(nodeName)
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.series[nodeName][metric]
 }
 
 // Nodes returns the node names with any history, sorted.
 func (st *Store) Nodes() []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]string, 0, len(st.series))
-	for n := range st.series {
-		out = append(out, n)
+	var out []string
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.RLock()
+		for n := range sp.series {
+			out = append(out, n)
+		}
+		sp.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -231,13 +277,14 @@ func (st *Store) Nodes() []string {
 
 // Metrics returns the metric names recorded for a node, sorted.
 func (st *Store) Metrics(nodeName string) []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	byMetric := st.series[nodeName]
+	sp := st.stripe(nodeName)
+	sp.mu.RLock()
+	byMetric := sp.series[nodeName]
 	out := make([]string, 0, len(byMetric))
 	for m := range byMetric {
 		out = append(out, m)
 	}
+	sp.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -245,13 +292,16 @@ func (st *Store) Metrics(nodeName string) []string {
 // Compare returns each node's Stats for one metric over a range — the
 // "compare performance between nodes" view.
 func (st *Store) Compare(metric string, t0, t1 time.Duration) map[string]Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	out := make(map[string]Stats)
-	for nodeName, byMetric := range st.series {
-		if s, ok := byMetric[metric]; ok {
-			out[nodeName] = s.Stats(t0, t1)
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.RLock()
+		for nodeName, byMetric := range sp.series {
+			if s, ok := byMetric[metric]; ok {
+				out[nodeName] = s.Stats(t0, t1)
+			}
 		}
+		sp.mu.RUnlock()
 	}
 	return out
 }

@@ -41,30 +41,50 @@ var (
 	ErrFrameSize = errors.New("transmit: frame exceeds size limit")
 )
 
+// deflater is a pooled compression scratch: a flate writer bound to its
+// output buffer. Pooled so a management server fronting thousands of agent
+// connections shares a few hot compressors instead of holding one (and its
+// window state) per connection, and so the per-frame hot path allocates
+// nothing.
+type deflater struct {
+	buf  bytes.Buffer
+	comp *flate.Writer
+}
+
+var deflaterPool = sync.Pool{
+	New: func() any {
+		d := &deflater{}
+		// BestSpeed: monitoring updates are latency-sensitive and highly
+		// redundant text; even the fastest level compresses them well.
+		d.comp, _ = flate.NewWriter(&d.buf, flate.BestSpeed)
+		return d
+	},
+}
+
+// inflaterPool pools flate decompressors for the read side; flate readers
+// carry a sizable window that is expensive to allocate per frame.
+var inflaterPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
 // Writer frames and optionally compresses payloads onto an io.Writer.
 // Not safe for concurrent use.
 type Writer struct {
 	w        io.Writer
 	compress bool
-	comp     *flate.Writer
-	cbuf     bytes.Buffer
 	hdr      [headerSize]byte
 
 	rawBytes  int64
 	wireBytes int64
 }
 
-// NewWriter returns a framing writer. With compress true, payloads that
-// shrink under deflate are sent compressed; incompressible payloads fall
-// back to raw so compression can never inflate the stream.
+// NewWriter returns a framing writer. With compress true, a payload is
+// sent compressed only when its deflate output is strictly smaller than
+// the input; whenever deflate output ≥ input (incompressible or tiny
+// payloads) the raw fallback path is taken, so compression can never
+// inflate the stream beyond the fixed frame header.
 func NewWriter(w io.Writer, compress bool) *Writer {
-	tw := &Writer{w: w, compress: compress}
-	if compress {
-		// BestSpeed: monitoring updates are latency-sensitive and highly
-		// redundant text; even the fastest level compresses them well.
-		tw.comp, _ = flate.NewWriter(&tw.cbuf, flate.BestSpeed)
-	}
-	return tw
+	return &Writer{w: w, compress: compress}
 }
 
 // WriteFrame sends one payload.
@@ -75,17 +95,22 @@ func (t *Writer) WriteFrame(p []byte) error {
 	t.rawBytes += int64(len(p))
 	body := p
 	flags := byte(0)
+	var d *deflater
 	if t.compress {
-		t.cbuf.Reset()
-		t.comp.Reset(&t.cbuf)
-		if _, err := t.comp.Write(p); err != nil {
+		d = deflaterPool.Get().(*deflater)
+		defer deflaterPool.Put(d)
+		d.buf.Reset()
+		d.comp.Reset(&d.buf)
+		if _, err := d.comp.Write(p); err != nil {
 			return fmt.Errorf("transmit: compress: %w", err)
 		}
-		if err := t.comp.Close(); err != nil {
+		if err := d.comp.Close(); err != nil {
 			return fmt.Errorf("transmit: compress: %w", err)
 		}
-		if t.cbuf.Len() < len(p) {
-			body = t.cbuf.Bytes()
+		// Raw fallback: ship the original bytes whenever deflate did not
+		// strictly shrink them (see NewWriter).
+		if d.buf.Len() < len(p) {
+			body = d.buf.Bytes()
 			flags |= flagCompressed
 		}
 	}
@@ -110,8 +135,10 @@ func (t *Writer) WireBytes() int64 { return t.wireBytes }
 
 // Reader decodes frames from an io.Reader. Not safe for concurrent use.
 type Reader struct {
-	r   *bufio.Reader
-	buf []byte
+	r    *bufio.Reader
+	br   bytes.Reader
+	buf  []byte // wire body scratch
+	dbuf []byte // decompressed payload scratch
 }
 
 // NewReader returns a framing reader.
@@ -143,13 +170,36 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 	if hdr[1]&flagCompressed == 0 {
 		return body, nil
 	}
-	fr := flate.NewReader(bytes.NewReader(body))
-	defer fr.Close()
-	out, err := io.ReadAll(fr)
+	fr := inflaterPool.Get().(io.ReadCloser)
+	defer inflaterPool.Put(fr)
+	t.br.Reset(body)
+	if err := fr.(flate.Resetter).Reset(&t.br, nil); err != nil {
+		return nil, fmt.Errorf("transmit: decompress: %w", err)
+	}
+	out, err := readAllInto(t.dbuf[:0], fr)
 	if err != nil {
 		return nil, fmt.Errorf("transmit: decompress: %w", err)
 	}
+	t.dbuf = out
 	return out, nil
+}
+
+// readAllInto is io.ReadAll growing dst in place, so the Reader's
+// decompression scratch is reused across frames.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // --- value marshalling -------------------------------------------------------
@@ -241,11 +291,13 @@ func unmarshalLine(line string) (consolidate.Value, error) {
 // CompressedSize reports how many bytes p deflates to, for the E6
 // compression-effectiveness experiment.
 func CompressedSize(p []byte) int {
-	var buf bytes.Buffer
-	w, _ := flate.NewWriter(&buf, flate.BestSpeed)
-	w.Write(p)
-	w.Close()
-	return buf.Len()
+	d := deflaterPool.Get().(*deflater)
+	defer deflaterPool.Put(d)
+	d.buf.Reset()
+	d.comp.Reset(&d.buf)
+	d.comp.Write(p)
+	d.comp.Close()
+	return d.buf.Len()
 }
 
 // Pipe returns a connected in-process frame transport, for tests and the

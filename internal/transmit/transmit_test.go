@@ -57,31 +57,99 @@ func TestFrameRoundTripCompressed(t *testing.T) {
 	}
 }
 
+// TestIncompressiblePayloadFallsBackToRaw pins the documented fallback
+// contract: a compressing Writer takes the raw path exactly when deflate
+// output ≥ input, so compression can never inflate the stream beyond the
+// fixed frame header. The frame's flag byte is the observable: clear on
+// the raw path, set only when deflate strictly shrank the payload.
 func TestIncompressiblePayloadFallsBackToRaw(t *testing.T) {
-	var buf bytes.Buffer
-	w := NewWriter(&buf, true)
-	// Pseudo-random bytes do not deflate.
-	payload := make([]byte, 4096)
+	// Pseudo-random bytes do not deflate; empty and tiny payloads deflate
+	// to *more* than their size; /proc-style text deflates well.
+	random := make([]byte, 4096)
 	x := uint32(2463534242)
-	for i := range payload {
+	for i := range random {
 		x ^= x << 13
 		x ^= x >> 17
 		x ^= x << 5
-		payload[i] = byte(x)
+		random[i] = byte(x)
 	}
-	if err := w.WriteFrame(payload); err != nil {
-		t.Fatal(err)
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("tiny"),
+		random,
+		bytes.Repeat([]byte("MemTotal: 1048576 kB\n"), 200),
 	}
-	if w.WireBytes() > int64(len(payload)+headerSize) {
-		t.Fatalf("wire bytes %d exceed raw+header %d", w.WireBytes(), len(payload)+headerSize)
+	for _, payload := range payloads {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, true)
+		if err := w.WriteFrame(payload); err != nil {
+			t.Fatal(err)
+		}
+		wantCompressed := CompressedSize(payload) < len(payload)
+		gotCompressed := buf.Bytes()[1]&flagCompressed != 0
+		if gotCompressed != wantCompressed {
+			t.Fatalf("payload len %d: compressed flag = %v, want %v (deflate size %d)",
+				len(payload), gotCompressed, wantCompressed, CompressedSize(payload))
+		}
+		if !gotCompressed {
+			// Raw fallback: the body on the wire is the payload verbatim.
+			if w.WireBytes() != int64(len(payload)+headerSize) {
+				t.Fatalf("raw fallback wire bytes %d, want %d", w.WireBytes(), len(payload)+headerSize)
+			}
+			if !bytes.Equal(buf.Bytes()[headerSize:], payload) {
+				t.Fatal("raw fallback body differs from payload")
+			}
+		} else if w.WireBytes() >= int64(len(payload)+headerSize) {
+			t.Fatalf("compressed frame (%d bytes) not smaller than raw (%d)",
+				w.WireBytes(), len(payload)+headerSize)
+		}
+		r := NewReader(&buf)
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("fallback round trip corrupted payload")
+		}
+	}
+}
+
+// TestPooledScratchReuseAcrossFrames exercises the pooled compressor /
+// decompressor path over many frames of alternating compressibility,
+// checking that scratch reuse never leaks one frame's bytes into another.
+func TestPooledScratchReuseAcrossFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, true)
+	var want [][]byte
+	x := uint32(88172645)
+	for i := 0; i < 64; i++ {
+		var p []byte
+		if i%2 == 0 {
+			p = bytes.Repeat([]byte{'a' + byte(i%26)}, 100+i*37)
+		} else {
+			p = make([]byte, 50+i*53)
+			for j := range p {
+				x ^= x << 13
+				x ^= x >> 17
+				x ^= x << 5
+				p[j] = byte(x)
+			}
+		}
+		want = append(want, p)
+		if err := w.WriteFrame(p); err != nil {
+			t.Fatal(err)
+		}
 	}
 	r := NewReader(&buf)
-	got, err := r.ReadFrame()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, payload) {
-		t.Fatal("fallback round trip corrupted payload")
+	for i, p := range want {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d corrupted (len %d vs %d)", i, len(got), len(p))
+		}
 	}
 }
 
