@@ -13,6 +13,12 @@ import (
 // Transport ships one change set from an agent to the server. In-process
 // simulation wires it straight to Server.HandleValues; the network daemon
 // wires it through the framed, compressed wire protocol.
+//
+// The values slice is backed by the consolidator's reusable scratch
+// buffer (see Consolidator.Delta) and is only valid for the duration of
+// the call: implementations must marshal or deliver it synchronously, and
+// must copy it before retaining it or handing it to another goroutine
+// (e.g. an asynchronous send queue).
 type Transport func(nodeName string, values []consolidate.Value) error
 
 // AgentConfig configures a node agent.

@@ -79,9 +79,8 @@ func TestIngestSampleTracksTextTransition(t *testing.T) {
 
 // TestIngestPluginReadsServerState pins the locking contract for event
 // plugins: a rule plugin fired from the ingest path may read server state
-// — including the very node being ingested — without deadlocking. (The
-// per-node observation lock is separate from the record lock the read
-// APIs take.)
+// — including the very node being ingested — without deadlocking. (Event
+// evaluation runs on a private snapshot with no server lock held.)
 func TestIngestPluginReadsServerState(t *testing.T) {
 	srv := NewServer(ServerConfig{Cluster: "t"})
 	var sawLoad float64
@@ -118,10 +117,47 @@ func TestIngestPluginReadsServerState(t *testing.T) {
 	}
 }
 
+// TestIngestPluginReingestsSameNode pins the stronger half of the plugin
+// contract: a rule plugin may synchronously re-ingest values for the SAME
+// node it fired on (a remediation plugin recording its own marker metric)
+// without self-deadlocking, because event evaluation holds no server or
+// record lock.
+func TestIngestPluginReingestsSameNode(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "t"})
+	if err := srv.Engine().AddRule(events.Rule{
+		Name: "mark", Metric: "load.1", Op: events.GT, Threshold: 10,
+		Action: events.ActPlugin,
+		Plugin: func(node string) error {
+			srv.HandleValues(node, []consolidate.Value{
+				consolidate.NumValue("heal.attempts", consolidate.Dynamic, 1),
+			})
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.HandleValues("n0", ingestUpdate(42))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("plugin re-ingesting for its own node deadlocked")
+	}
+	if v, ok := srv.NodeValue("n0", "heal.attempts"); !ok || v.Num != 1 {
+		t.Fatalf("NodeValue(n0, heal.attempts) = %v, %v; want 1", v, ok)
+	}
+}
+
 // TestIngestConcurrentHammer drives HandleValues, Status, NodeValue,
-// NodeValues, and NodeNames from 32 goroutines over 256 nodes. Run under
+// NodeValues, NodeNames, and the history read side (Compare, Downsample —
+// the dashboard's queries) from 32 goroutines over 256 nodes. Run under
 // -race this is the regression gate for the sharded ingest path: no
-// global-lock serialization means every interleaving must still be clean.
+// global-lock serialization means every interleaving must still be clean,
+// including history reads racing appends to the same series.
 func TestIngestConcurrentHammer(t *testing.T) {
 	srv := NewServer(ServerConfig{Cluster: "t"})
 	if err := srv.Engine().AddRule(events.Rule{
@@ -147,7 +183,7 @@ func TestIngestConcurrentHammer(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				name := names[(w*31+i)%nodes]
-				switch i % 8 {
+				switch i % 10 {
 				case 0, 1, 2, 3, 4:
 					srv.HandleValues(name, ingestUpdate(float64(w)))
 				case 5:
@@ -158,6 +194,13 @@ func TestIngestConcurrentHammer(t *testing.T) {
 					srv.Status()
 				case 7:
 					srv.NodeNames()
+				case 8:
+					srv.History().Compare("load.1", 0, 1<<62)
+				case 9:
+					if s := srv.History().Series(name, "load.1"); s != nil {
+						s.Downsample(0, 1<<62, 8)
+						s.Last()
+					}
 				}
 			}
 		}(w)

@@ -73,15 +73,11 @@ type Server struct {
 }
 
 type nodeRec struct {
-	// obsMu serializes the node's ingest→event-evaluation sequence: it is
-	// held across the sample mutation AND the engine observation, so a
-	// concurrent update for the same node cannot mutate the sample map
-	// while the engine iterates it. It is always taken before mu and is
-	// never needed by the read-side APIs, so a long event evaluation (or
-	// an event plugin reading server state) neither blocks Status-style
-	// readers nor deadlocks against them.
-	obsMu sync.Mutex
-	// mu guards the record fields below with short critical sections.
+	// mu guards the record fields below with short critical sections. It
+	// is never held while the event engine runs: ingest hands the engine a
+	// pooled private copy of sample, so rule plugins and notifier
+	// callbacks may call any server API — including synchronously
+	// re-ingesting values for this same node — without deadlocking.
 	mu       sync.RWMutex
 	name     string
 	lastSeen time.Duration
@@ -89,9 +85,16 @@ type nodeRec struct {
 	values   map[string]consolidate.Value
 	// sample mirrors the numeric entries of values and is maintained
 	// incrementally as updates arrive, so event evaluation never rebuilds
-	// a map on the hot path. Written under both obsMu and mu; the engine
-	// reads it under obsMu alone.
+	// the full numeric state on the hot path. Guarded by mu; the engine
+	// only ever sees snapshots of it, never the map itself.
 	sample map[string]float64
+}
+
+// samplePool recycles the observation snapshots handed to the event
+// engine, keeping the ingest hot path allocation-free without holding any
+// server lock across rule plugins or notifier callbacks.
+var samplePool = sync.Pool{
+	New: func() any { return make(map[string]float64, 16) },
 }
 
 // shardIndex hashes a node name to its stripe with FNV-1a.
@@ -212,13 +215,15 @@ func (s *Server) lookup(name string) (*nodeRec, bool) {
 // HandleValues ingests one agent transmission (a change set): it updates
 // the live registry, appends numeric values to history, and runs the event
 // engine over the node's updated state. Unregistered nodes auto-register;
-// the whole path holds only the node's own lock (plus a read-locked stripe
-// lookup), so concurrent updates for different nodes never contend and
-// read-side APIs stay responsive during ingest.
+// the record mutation holds only the node's own lock (plus a read-locked
+// stripe lookup), so concurrent updates for different nodes never contend
+// and read-side APIs stay responsive during ingest. Event evaluation runs
+// with no server lock held at all, so rule plugins and notifier callbacks
+// may call back into the server freely — including re-ingesting values
+// for the very node under evaluation.
 func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 	now := s.now()
 	rec := s.node(nodeName)
-	rec.obsMu.Lock()
 	rec.mu.Lock()
 	rec.lastSeen = now
 	rec.seen = true
@@ -233,16 +238,37 @@ func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 			delete(rec.sample, v.Name)
 		}
 	}
+	snap := s.observationSnapshot(rec)
 	rec.mu.Unlock()
-	// Event evaluation sees the node's full current numeric state, so
-	// rules on metrics that did not change this round still hold.
-	// rec.sample is the incrementally-maintained mirror of rec.values;
-	// obsMu (still held) keeps it stable while the engine iterates it.
-	// Event plugins may read any server state and may inject values for
-	// OTHER nodes; synchronously re-ingesting for the same node from a
-	// plugin would self-deadlock here.
-	s.engine.ObserveMap(nodeName, rec.sample)
-	rec.obsMu.Unlock()
+	s.observe(nodeName, snap)
+}
+
+// observationSnapshot copies rec.sample into a pooled map so the engine
+// can evaluate the node's full current numeric state (rules on metrics
+// that did not change this round still hold) after every lock is
+// released. Caller must hold rec.mu. Returns nil when no rules are
+// installed — the engine would not look at the snapshot anyway.
+func (s *Server) observationSnapshot(rec *nodeRec) map[string]float64 {
+	if !s.engine.HasRules() {
+		return nil
+	}
+	snap := samplePool.Get().(map[string]float64)
+	for name, num := range rec.sample {
+		snap[name] = num
+	}
+	return snap
+}
+
+// observe runs the event engine over a snapshot and recycles it. The
+// engine does not retain the map past ObserveMap, so it can go straight
+// back to the pool.
+func (s *Server) observe(nodeName string, snap map[string]float64) {
+	if snap == nil {
+		return
+	}
+	s.engine.ObserveMap(nodeName, snap)
+	clear(snap)
+	samplePool.Put(snap)
 }
 
 // ProbeConnectivity runs the server-side UDP-echo connectivity sweep
@@ -261,14 +287,13 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 			v.Num = 1
 		}
 		rec := s.node(name)
-		rec.obsMu.Lock()
 		rec.mu.Lock()
 		rec.values[v.Name] = v
 		rec.sample[v.Name] = v.Num
 		s.hist.Append(name, v.Name, now, v.Num)
+		snap := s.observationSnapshot(rec)
 		rec.mu.Unlock()
-		s.engine.ObserveMap(name, rec.sample)
-		rec.obsMu.Unlock()
+		s.observe(name, snap)
 	}
 }
 

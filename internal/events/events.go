@@ -231,6 +231,11 @@ func (e *Engine) RemoveRule(name string) {
 	}
 }
 
+// HasRules reports whether any rules are installed, without taking the
+// engine lock. The server's ingest path uses it to skip building an
+// observation snapshot when evaluation would be a no-op.
+func (e *Engine) HasRules() bool { return e.nrules.Load() > 0 }
+
 // Rules returns the installed rules in insertion order.
 func (e *Engine) Rules() []Rule {
 	e.mu.Lock()

@@ -24,8 +24,9 @@ type Point struct {
 // DefaultCapacity is the per-series ring size.
 const DefaultCapacity = 4096
 
-// Series is a bounded time-ordered sample ring. Direct Append calls are
-// not synchronized; the Store serializes appends to a series with mu.
+// Series is a bounded time-ordered sample ring, safe for concurrent use:
+// every method takes the series lock, so chart queries and the dashboard's
+// cross-node Compare never race appends from concurrent agent ingest.
 type Series struct {
 	mu    sync.Mutex
 	buf   []Point
@@ -44,6 +45,8 @@ func NewSeries(capacity int) *Series {
 // Append adds a point. Out-of-order appends (clock skew after an agent
 // restart) are dropped rather than corrupting the ring's ordering.
 func (s *Series) Append(t time.Duration, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.size > 0 && t < s.at(s.size-1).T {
 		return
 	}
@@ -61,10 +64,16 @@ func (s *Series) slot(i int) *Point { return &s.buf[(s.start+i)%len(s.buf)] }
 func (s *Series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
 
 // Len returns the number of stored points.
-func (s *Series) Len() int { return s.size }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
 
 // Last returns the most recent point.
 func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.size == 0 {
 		return Point{}, false
 	}
@@ -73,6 +82,12 @@ func (s *Series) Last() (Point, bool) {
 
 // Range returns the points with t0 <= T <= t1, oldest first.
 func (s *Series) Range(t0, t1 time.Duration) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rangeLocked(t0, t1)
+}
+
+func (s *Series) rangeLocked(t0, t1 time.Duration) []Point {
 	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
 	hi := sort.Search(s.size, func(i int) bool { return s.at(i).T > t1 })
 	out := make([]Point, 0, hi-lo)
@@ -93,6 +108,8 @@ type Stats struct {
 
 // Stats computes aggregates over a range.
 func (s *Series) Stats(t0, t1 time.Duration) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var st Stats
 	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
 	for i := lo; i < s.size; i++ {
@@ -154,9 +171,11 @@ func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 	if width <= 0 {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sums := make([]float64, n)
 	counts := make([]int, n)
-	for _, p := range s.Range(t0, t1) {
+	for _, p := range s.rangeLocked(t0, t1) {
 		b := int((p.T - t0) / width)
 		if b >= n {
 			b = n - 1
@@ -188,10 +207,10 @@ type storeStripe struct {
 }
 
 // Store maps (node, metric) to series, lock-striped by node name so
-// concurrent appends for different nodes never contend. Appends are safe
-// for concurrent use (the stripe lock guards map membership, a per-series
-// lock guards the ring); reads of a returned *Series must still not race
-// appends to that same series — the server reads on its event loop.
+// concurrent appends for different nodes never contend. The store is safe
+// for fully concurrent use: the stripe lock guards map membership and the
+// per-series lock guards each ring, so reads (Series queries, Compare)
+// may freely race appends from agent ingest.
 type Store struct {
 	capacity int
 	stripes  [storeStripes]storeStripe
@@ -245,14 +264,11 @@ func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
 		}
 		sp.mu.Unlock()
 	}
-	s.mu.Lock()
 	s.Append(t, v)
-	s.mu.Unlock()
 }
 
 // Series returns the series for (node, metric), or nil. The returned
-// series must only be read while no appends race it; the server reads on
-// its event loop.
+// series is safe to query while appends race it.
 func (st *Store) Series(nodeName, metric string) *Series {
 	sp := st.stripe(nodeName)
 	sp.mu.RLock()

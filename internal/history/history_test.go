@@ -1,7 +1,10 @@
 package history
 
 import (
+	"fmt"
+	"io"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -218,5 +221,67 @@ func TestPropertyStatsBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStoreConcurrentReadsDuringAppend hammers Append against the full
+// read-side API (Compare, Series queries, Nodes/Metrics, SaveTo) from
+// concurrent goroutines. Under -race this pins the store's contract that
+// readers never race appends to the same series — the exact shape of the
+// dashboard's Compare running against live agent ingest.
+func TestStoreConcurrentReadsDuringAppend(t *testing.T) {
+	st := NewStore(256)
+	const (
+		writers = 8
+		readers = 8
+		nodes   = 32
+		iters   = 500
+	)
+	nodeName := func(i int) string { return fmt.Sprintf("n%02d", i%nodes) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				st.Append(nodeName(w*7+i), "load.1", sec(i), float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					st.Compare("load.1", 0, sec(iters))
+				case 1:
+					if s := st.Series(nodeName(r*5+i), "load.1"); s != nil {
+						s.Range(0, sec(iters))
+						s.Downsample(0, sec(iters), 8)
+						s.Last()
+						s.Trend(0, sec(iters))
+					}
+				case 2:
+					st.Nodes()
+					st.Metrics(nodeName(i))
+				case 3:
+					st.SaveTo(io.Discard)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	cmp := st.Compare("load.1", 0, sec(iters))
+	if len(cmp) == 0 {
+		t.Fatal("Compare returned no nodes after concurrent appends")
+	}
+	for n, s := range cmp {
+		if s.N == 0 {
+			t.Fatalf("node %s has empty stats", n)
+		}
 	}
 }
