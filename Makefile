@@ -4,12 +4,15 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
 check: fmt vet build race
 
+# The `|| { ...; exit 1; }` matters: without it a gofmt crash (e.g. a
+# parse error) leaves $$out empty and the gate silently passes.
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	@out="$$(gofmt -l .)" || { echo "gofmt itself failed"; exit 1; }; \
+	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
@@ -28,3 +31,10 @@ race:
 # Regenerate the benchmark tables behind EXPERIMENTS.md.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fast CI sanity pass over the hot-path benchmarks: proves the ingest
+# path still runs with 0 allocs/update and the telemetry ablation pair
+# still compiles and executes. Not a performance measurement (-benchtime
+# 10x), just a smoke test.
+bench-smoke:
+	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry' -benchtime 10x -benchmem .

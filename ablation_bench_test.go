@@ -7,6 +7,7 @@
 //   - consolidation under load: change suppression on idle vs busy nodes
 //   - ICE Box sequencing stagger: time-to-all-up vs breaker margin
 //   - server ingest locking: sharded + per-node locks vs one global mutex
+//   - telemetry recording on/off: observability overhead on the hot path
 package clusterworx
 
 import (
@@ -25,6 +26,7 @@ import (
 	"clusterworx/internal/image"
 	"clusterworx/internal/monitor"
 	"clusterworx/internal/node"
+	"clusterworx/internal/telemetry"
 	"clusterworx/internal/transmit"
 )
 
@@ -265,3 +267,24 @@ func BenchmarkAblationIngestGlobalLock1(b *testing.B)  { benchAblationIngestGlob
 func BenchmarkAblationIngestGlobalLock64(b *testing.B) { benchAblationIngestGlobalLock(b, 64) }
 func BenchmarkAblationIngestSharded1(b *testing.B)     { benchAblationIngestSharded(b, 1) }
 func BenchmarkAblationIngestSharded64(b *testing.B)    { benchAblationIngestSharded(b, 64) }
+
+// --- telemetry recording on/off ------------------------------------------------------
+//
+// The self-monitoring instrumentation rides the ingest hot path (striped
+// atomic counters, histogram observes, span records). This pair measures
+// its full cost on the identical workload as the E15/sharding benchmarks:
+// the Off variant flips the global kill switch, reducing every record to
+// one atomic load and a branch. The observability budget is < 5%
+// throughput and 0 extra allocations per update.
+
+func benchAblationTelemetry(b *testing.B, on bool, parallelism int) {
+	prev := telemetry.SetEnabled(on)
+	defer telemetry.SetEnabled(prev)
+	srv := core.NewServer(core.ServerConfig{Cluster: "abl"})
+	runIngestBench(b, parallelism, srv.HandleValues)
+}
+
+func BenchmarkAblationTelemetryOn1(b *testing.B)   { benchAblationTelemetry(b, true, 1) }
+func BenchmarkAblationTelemetryOff1(b *testing.B)  { benchAblationTelemetry(b, false, 1) }
+func BenchmarkAblationTelemetryOn64(b *testing.B)  { benchAblationTelemetry(b, true, 64) }
+func BenchmarkAblationTelemetryOff64(b *testing.B) { benchAblationTelemetry(b, false, 64) }

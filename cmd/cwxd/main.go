@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only with -pprof
 	"os"
 	"sync"
 	"time"
@@ -34,6 +36,8 @@ func main() {
 		simNodes  = flag.Int("sim-nodes", 0, "host this many simulated nodes in-process")
 		rulesFile = flag.String("rules", "", "event rule file (replaces the built-in defaults)")
 		histFile  = flag.String("history-file", "", "persist monitor history to this file (loaded at start, saved every minute)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060; empty disables)")
+		selfMon   = flag.Duration("self-monitor", 10*time.Second, "meta-monitor period: ingest the server's own telemetry as node "+core.MetaNodeName+" (0 disables)")
 	)
 	flag.Parse()
 
@@ -92,6 +96,31 @@ func main() {
 				if err := saveHistory(srv, *histFile); err != nil {
 					log.Printf("cwxd: history save: %v", err)
 				}
+			}
+		}()
+	}
+
+	if *selfMon > 0 {
+		meta := core.NewMetaMonitor(srv)
+		go func() {
+			for range time.Tick(*selfMon) {
+				meta.Tick()
+			}
+		}()
+		log.Printf("cwxd: self-monitoring as %q every %s", core.MetaNodeName, *selfMon)
+	}
+
+	if *pprofAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := srv.WriteTelemetry(w); err != nil {
+				log.Printf("cwxd: /metrics: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("cwxd: pprof and /metrics on http://%s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("cwxd: pprof server: %v", err)
 			}
 		}()
 	}

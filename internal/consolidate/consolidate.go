@@ -14,6 +14,23 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
+
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the consolidation stage (shared across all
+// consolidators in the process; an agent fleet in one simulation rolls up
+// into one pipeline view, exactly like a fleet of identical nodes).
+var (
+	mTicks      = telemetry.Default().Counter("cwx_consolidate_ticks_total")
+	mCollected  = telemetry.Default().Counter("cwx_consolidate_values_collected_total")
+	mChanged    = telemetry.Default().Counter("cwx_consolidate_values_changed_total")
+	mSuppressed = telemetry.Default().Counter("cwx_consolidate_values_suppressed_total")
+	mSourceErrs = telemetry.Default().Counter("cwx_consolidate_source_failures_total")
+	mGatherNs   = telemetry.Default().Histogram("cwx_gather_collect_ns")
+	mTickNs     = telemetry.Default().Histogram("cwx_consolidate_tick_ns")
+	mDeltaSize  = telemetry.Default().Histogram("cwx_consolidate_delta_values")
 )
 
 // Kind classifies a monitored value as static or dynamic (§5.3.2). Static
@@ -130,6 +147,12 @@ type Consolidator struct {
 	scratch    []Value  // Collect scratch
 	deltaNames []string // Delta scratch: sorted dirty names
 	deltaBuf   []Value  // Delta scratch: returned slice, reused per call
+
+	// Most recent Tick's wall-clock split, recorded only while telemetry
+	// is enabled; the agent copies it into the node's pipeline span.
+	lastGather    time.Duration
+	lastCons      time.Duration
+	lastCollected int
 }
 
 type sourceState struct {
@@ -175,6 +198,16 @@ func (c *Consolidator) AddSource(src Source, every int) {
 // the current set, and marks changed values dirty. It invalidates the
 // snapshot cache only if something changed.
 func (c *Consolidator) Tick() {
+	// Stage timing uses the wall clock, not the simulation clock: the
+	// point is the real CPU cost of gathering and consolidating, which a
+	// virtual clock would report as zero.
+	on := telemetry.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	var gatherNs int64
+	var collected, changed, suppressed, failures int64
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Ticks++
@@ -184,9 +217,16 @@ func (c *Consolidator) Tick() {
 			continue
 		}
 		var err error
-		c.scratch, err = st.src.Collect(c.scratch[:0])
+		if on {
+			g0 := time.Now()
+			c.scratch, err = st.src.Collect(c.scratch[:0])
+			gatherNs += int64(time.Since(g0))
+		} else {
+			c.scratch, err = st.src.Collect(c.scratch[:0])
+		}
 		if err != nil {
 			c.stats.SourceFailures++
+			failures++
 			if c.onError != nil {
 				fn, name := c.onError, st.src.Name()
 				c.mu.Unlock()
@@ -195,11 +235,13 @@ func (c *Consolidator) Tick() {
 			}
 			continue
 		}
+		collected += int64(len(c.scratch))
 		for _, v := range c.scratch {
 			c.stats.Collected++
 			old, seen := c.current[v.Name]
 			if seen && old.Equal(v) {
 				c.stats.Suppressed++
+				suppressed++
 				continue
 			}
 			if !seen {
@@ -209,6 +251,7 @@ func (c *Consolidator) Tick() {
 			c.current[v.Name] = v
 			c.dirty[v.Name] = struct{}{}
 			c.stats.Changed++
+			changed++
 			changedAny = true
 		}
 	}
@@ -216,6 +259,31 @@ func (c *Consolidator) Tick() {
 	if changedAny {
 		c.cacheValid = false
 	}
+	if on {
+		total := int64(time.Since(t0))
+		c.lastGather = time.Duration(gatherNs)
+		c.lastCons = time.Duration(total - gatherNs)
+		c.lastCollected = int(collected)
+		mTicks.Inc()
+		mCollected.Add(collected)
+		mChanged.Add(changed)
+		mSuppressed.Add(suppressed)
+		if failures > 0 {
+			mSourceErrs.Add(failures)
+		}
+		mGatherNs.Observe(gatherNs)
+		mTickNs.Observe(total)
+	}
+}
+
+// TickTelemetry returns the wall-clock split of the most recent Tick —
+// time spent inside source Collect calls (gathering) vs the remainder
+// (change detection and bookkeeping) — and the number of values
+// collected. Recorded only while telemetry is enabled.
+func (c *Consolidator) TickTelemetry() (gather, consolidate time.Duration, collected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastGather, c.lastCons, c.lastCollected
 }
 
 // Snapshot returns the full current value set in stable name order.
@@ -258,6 +326,7 @@ func (c *Consolidator) Snapshot() []Value {
 func (c *Consolidator) Delta() []Value {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	mDeltaSize.Observe(int64(len(c.dirty)))
 	if len(c.dirty) == 0 {
 		return nil
 	}

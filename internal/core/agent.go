@@ -7,6 +7,7 @@ import (
 	"clusterworx/internal/consolidate"
 	"clusterworx/internal/monitor"
 	"clusterworx/internal/node"
+	"clusterworx/internal/telemetry"
 	"clusterworx/internal/transmit"
 )
 
@@ -48,6 +49,11 @@ type Agent struct {
 	set     *monitor.Set
 	timer   *clock.Timer
 	stopped bool
+	// span is the node's pipeline trace slot; the agent writes the three
+	// §5.3 stages, the server side fills in the rest. In in-process
+	// simulation both halves meet in the same span, giving a full
+	// six-stage breakdown per node.
+	span *telemetry.Span
 
 	lastSent time.Duration
 	sendErrs int
@@ -79,7 +85,8 @@ func NewAgent(clk *clock.Clock, cfg AgentConfig) (*Agent, error) {
 		set.Close()
 		return nil, err
 	}
-	a := &Agent{cfg: cfg, clk: clk, cons: cons, set: set}
+	a := &Agent{cfg: cfg, clk: clk, cons: cons, set: set,
+		span: telemetry.Spans.Slot(n.Name())}
 	a.timer = clk.AfterFunc(cfg.Period, a.tick)
 	return a, nil
 }
@@ -115,18 +122,34 @@ func (a *Agent) tick() {
 	if a.cfg.Node.State() != node.Up {
 		return // dead agent: no gathering, no transmission
 	}
+	on := telemetry.On()
 	a.cons.Tick()
 	now := a.clk.Now()
 	delta := a.cons.Delta()
+	if on {
+		gather, cons, collected := a.cons.TickTelemetry()
+		a.span.Record(telemetry.StageGather, gather, int64(collected))
+		a.span.Record(telemetry.StageConsolidate, cons, int64(len(delta)))
+	}
 	if len(delta) == 0 && now-a.lastSent < a.cfg.Heartbeat {
 		return
 	}
 	if a.cfg.Transport == nil {
 		return
 	}
+	// Transmit timing covers delivery end to end: over the wire that is
+	// marshal + compress + send; with the in-process transport it also
+	// includes the server's synchronous ingest.
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	if err := a.cfg.Transport(a.cfg.Node.Name(), delta); err != nil {
 		a.sendErrs++
 		return
+	}
+	if on {
+		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(delta)))
 	}
 	a.sent++
 	a.lastSent = now

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"clusterworx/internal/dashboard"
+	"clusterworx/internal/telemetry"
 )
 
 // This file implements the control protocol the CLI (and, in the original
@@ -40,6 +41,9 @@ import (
 //	correlate <node> <m1> <m2>  Pearson correlation of two metrics
 //	bios settings|set|flash ... remote LinuxBIOS management (§2)
 //	clone <imageID> <node...>   multicast-clone an image to nodes (§4)
+//	telemetry                   self-monitoring metrics (Prometheus text)
+//	trace [node]                latest pipeline span breakdown per node
+//	selfmon                     meta-monitor series panel (sparklines)
 
 // ServeCtl accepts control connections until the listener closes.
 func (s *Server) ServeCtl(l net.Listener) error {
@@ -300,6 +304,33 @@ func (s *Server) HandleCtl(line string) string {
 
 	case "efficiency":
 		out := dashboard.EfficiencyReport(s.hist, 0, s.now(), 30)
+		return "OK\n" + strings.TrimRight(out, "\n")
+
+	case "telemetry":
+		var b strings.Builder
+		b.WriteString("OK\n")
+		s.WriteTelemetry(&b) //nolint:errcheck // strings.Builder cannot fail
+		return strings.TrimRight(b.String(), "\n")
+
+	case "trace":
+		if len(fields) > 2 {
+			return "ERR usage: trace [node]"
+		}
+		if len(fields) == 2 {
+			snap, ok := telemetry.Spans.Lookup(fields[1])
+			if !ok {
+				return "ERR no trace for node " + fields[1]
+			}
+			return "OK\n" + strings.TrimRight(renderSpans([]telemetry.SpanSnapshot{snap}), "\n")
+		}
+		snaps := telemetry.Spans.Snapshot()
+		if len(snaps) == 0 {
+			return "OK (no spans recorded)"
+		}
+		return "OK\n" + strings.TrimRight(renderSpans(snaps), "\n")
+
+	case "selfmon":
+		out := dashboard.TelemetryPanel(s.hist, MetaNodeName, 0, s.now(), 32)
 		return "OK\n" + strings.TrimRight(out, "\n")
 
 	case "bios":

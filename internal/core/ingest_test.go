@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"clusterworx/internal/consolidate"
 	"clusterworx/internal/events"
+	"clusterworx/internal/telemetry"
 )
 
 // ingestUpdate builds a small agent-style change set.
@@ -153,11 +155,14 @@ func TestIngestPluginReingestsSameNode(t *testing.T) {
 }
 
 // TestIngestConcurrentHammer drives HandleValues, Status, NodeValue,
-// NodeValues, NodeNames, and the history read side (Compare, Downsample —
-// the dashboard's queries) from 32 goroutines over 256 nodes. Run under
-// -race this is the regression gate for the sharded ingest path: no
-// global-lock serialization means every interleaving must still be clean,
-// including history reads racing appends to the same series.
+// NodeValues, NodeNames, the history read side (Compare, Downsample —
+// the dashboard's queries), telemetry scraping (WriteTelemetry, span
+// snapshots, registry walks), and the meta-monitor's self-ingest from 32
+// goroutines over 256 nodes. Run under -race this is the regression gate
+// for the sharded ingest path: no global-lock serialization means every
+// interleaving must still be clean, including history reads racing
+// appends to the same series and telemetry scrapes racing the striped
+// counters they sum.
 func TestIngestConcurrentHammer(t *testing.T) {
 	srv := NewServer(ServerConfig{Cluster: "t"})
 	if err := srv.Engine().AddRule(events.Rule{
@@ -165,6 +170,7 @@ func TestIngestConcurrentHammer(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	meta := NewMetaMonitor(srv)
 
 	const (
 		workers = 32
@@ -183,7 +189,7 @@ func TestIngestConcurrentHammer(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				name := names[(w*31+i)%nodes]
-				switch i % 10 {
+				switch i % 13 {
 				case 0, 1, 2, 3, 4:
 					srv.HandleValues(name, ingestUpdate(float64(w)))
 				case 5:
@@ -201,23 +207,37 @@ func TestIngestConcurrentHammer(t *testing.T) {
 						s.Downsample(0, 1<<62, 8)
 						s.Last()
 					}
+				case 10:
+					var sb strings.Builder
+					if err := srv.WriteTelemetry(&sb); err != nil {
+						panic(err)
+					}
+				case 11:
+					telemetry.Spans.Snapshot()
+					telemetry.Default().Walk(func(string, float64) {})
+				case 12:
+					meta.Tick()
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	// The meta-monitor registered itself as one extra node.
 	rows := srv.Status()
-	if len(rows) != nodes {
-		t.Fatalf("Status has %d rows, want %d", len(rows), nodes)
+	if len(rows) != nodes+1 {
+		t.Fatalf("Status has %d rows, want %d", len(rows), nodes+1)
 	}
 	for _, row := range rows {
 		if row.Values == 0 {
 			t.Fatalf("node %s ingested no values", row.Name)
 		}
 	}
-	if got := len(srv.NodeNames()); got != nodes {
-		t.Fatalf("NodeNames has %d entries, want %d", got, nodes)
+	if got := len(srv.NodeNames()); got != nodes+1 {
+		t.Fatalf("NodeNames has %d entries, want %d", got, nodes+1)
+	}
+	if _, ok := srv.NodeValue(MetaNodeName, "cwx.ingest.updates.total"); !ok {
+		t.Fatalf("meta node %s has no self-monitoring values", MetaNodeName)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clusterworx/internal/consolidate"
@@ -20,6 +21,7 @@ import (
 	"clusterworx/internal/icebox"
 	"clusterworx/internal/image"
 	"clusterworx/internal/notify"
+	"clusterworx/internal/telemetry"
 )
 
 // DownAfter is how long without agent data before a node is presumed down.
@@ -83,6 +85,16 @@ type nodeRec struct {
 	lastSeen time.Duration
 	seen     bool
 	values   map[string]consolidate.Value
+	// shard is the record's stripe index, cached so telemetry on the
+	// ingest path can stripe its counters without re-hashing the name.
+	shard uint32
+	// span is the node's pipeline trace slot, resolved once at
+	// registration; recording through it is atomics only, preserving the
+	// no-new-locks contract of the sharded path.
+	span *telemetry.Span
+	// down tracks the presumed-down edge (for the down-detection counter);
+	// atomic so Status can flip it under the record's read lock.
+	down atomic.Bool
 	// sample mirrors the numeric entries of values and is maintained
 	// incrementally as updates arrive, so event evaluation never rebuilds
 	// the full numeric state on the hot path. Guarded by mu; the engine
@@ -183,7 +195,8 @@ func (s *Server) RegisterNode(name string) {
 // node returns the record for name, creating it if needed. The fast path
 // is a single read-locked map lookup on the name's stripe.
 func (s *Server) node(name string) *nodeRec {
-	sh := &s.shards[shardIndex(name)]
+	idx := shardIndex(name)
+	sh := &s.shards[idx]
 	sh.mu.RLock()
 	rec := sh.nodes[name]
 	sh.mu.RUnlock()
@@ -197,8 +210,11 @@ func (s *Server) node(name string) *nodeRec {
 			name:   name,
 			values: make(map[string]consolidate.Value),
 			sample: make(map[string]float64),
+			shard:  idx,
+			span:   telemetry.Spans.Slot(name),
 		}
 		sh.nodes[name] = rec
+		mIngestRegistered.Inc()
 	}
 	return rec
 }
@@ -222,6 +238,14 @@ func (s *Server) lookup(name string) (*nodeRec, bool) {
 // may call back into the server freely — including re-ingesting values
 // for the very node under evaluation.
 func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
+	// Telemetry on this path is atomics only, striped by the node's shard
+	// index so concurrent agents land on distinct counter cache lines;
+	// latency is wall-clock (s.now is virtual in simulation).
+	on := telemetry.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	now := s.now()
 	rec := s.node(nodeName)
 	rec.mu.Lock()
@@ -240,7 +264,20 @@ func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 	}
 	snap := s.observationSnapshot(rec)
 	rec.mu.Unlock()
-	s.observe(nodeName, snap)
+	// t1 doubles as ingest-latency end and events-dwell start — one
+	// clock read, not two.
+	var t1 time.Time
+	if on {
+		t1 = time.Now()
+		lat := t1.Sub(t0)
+		stripe := int(rec.shard)
+		mIngestUpdates.IncAt(stripe)
+		mIngestValues.AddAt(stripe, int64(len(values)))
+		mIngestLatencyNs.ObserveAt(stripe, int64(lat))
+		mIngestBatch.ObserveAt(stripe, int64(len(values)))
+		rec.span.Record(telemetry.StageIngest, lat, int64(len(values)))
+	}
+	s.observe(nodeName, rec, snap, t1, on)
 }
 
 // observationSnapshot copies rec.sample into a pooled map so the engine
@@ -261,12 +298,22 @@ func (s *Server) observationSnapshot(rec *nodeRec) map[string]float64 {
 
 // observe runs the event engine over a snapshot and recycles it. The
 // engine does not retain the map past ObserveMap, so it can go straight
-// back to the pool.
-func (s *Server) observe(nodeName string, snap map[string]float64) {
+// back to the pool. The dwell — how long rule evaluation (including any
+// inline actions) held up this ingest goroutine, measured from e0 (the
+// caller's post-ingest timestamp, when on) — lands in the node's
+// pipeline span and a striped histogram.
+func (s *Server) observe(nodeName string, rec *nodeRec, snap map[string]float64, e0 time.Time, on bool) {
 	if snap == nil {
 		return
 	}
-	s.engine.ObserveMap(nodeName, snap)
+	if on {
+		s.engine.ObserveMap(nodeName, snap)
+		dwell := time.Since(e0)
+		mEventsDwellNs.ObserveAt(int(rec.shard), int64(dwell))
+		rec.span.Record(telemetry.StageEvents, dwell, int64(len(snap)))
+	} else {
+		s.engine.ObserveMap(nodeName, snap)
+	}
 	clear(snap)
 	samplePool.Put(snap)
 }
@@ -293,7 +340,12 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		s.hist.Append(name, v.Name, now, v.Num)
 		snap := s.observationSnapshot(rec)
 		rec.mu.Unlock()
-		s.observe(name, snap)
+		on := telemetry.On()
+		var e0 time.Time
+		if on {
+			e0 = time.Now()
+		}
+		s.observe(name, rec, snap, e0, on)
 	}
 }
 
@@ -352,12 +404,17 @@ func (s *Server) NodeValues(nodeName string) []consolidate.Value {
 	return out
 }
 
-// Status renders the monitoring screen rows.
+// Status renders the monitoring screen rows. As the path every liveness
+// view goes through, it is also where down transitions are counted: a
+// node seen alive that falls silent past DownAfter bumps the detection
+// counter exactly once per outage.
 func (s *Server) Status() []NodeStatus {
+	on := telemetry.On()
 	now := s.now()
 	recs := s.allRecs()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].name < recs[j].name })
 	out := make([]NodeStatus, 0, len(recs))
+	downCount := 0
 	for _, rec := range recs {
 		rec.mu.RLock()
 		st := NodeStatus{
@@ -365,6 +422,16 @@ func (s *Server) Status() []NodeStatus {
 			Alive:    rec.seen && now-rec.lastSeen <= DownAfter,
 			LastSeen: rec.lastSeen,
 			Values:   len(rec.values),
+		}
+		if on {
+			if st.Alive {
+				rec.down.Store(false)
+			} else {
+				downCount++
+				if rec.seen && !rec.down.Swap(true) {
+					mDownDetections.Inc()
+				}
+			}
 		}
 		if v, ok := rec.values["load.1"]; ok {
 			st.Load1 = v.Num
@@ -378,6 +445,8 @@ func (s *Server) Status() []NodeStatus {
 		rec.mu.RUnlock()
 		out = append(out, st)
 	}
+	gNodes.Set(float64(len(out)))
+	gNodesDown.Set(float64(downCount))
 	return out
 }
 

@@ -35,7 +35,13 @@ type SimConfig struct {
 	// EchoSweep is the server-side connectivity probe period
 	// (default 5 s; negative disables).
 	EchoSweep time.Duration
-	Seed      int64
+	// SelfMonitor is the meta-monitor period: every SelfMonitor of virtual
+	// time the server consolidates its own telemetry and ingests it as the
+	// MetaNodeName node. Zero disables (unlike EchoSweep there is no
+	// default-on: the extra registry entry would surprise node-count
+	// assertions in existing deployments and tests).
+	SelfMonitor time.Duration
+	Seed        int64
 }
 
 // Sim is a complete simulated cluster: nodes in ICE Boxes, agents feeding
@@ -50,6 +56,9 @@ type Sim struct {
 	Net    *simnet.Network
 	// Mailer is the recording mailbox when SimConfig.Mailer was nil.
 	Mailer *notify.Recording
+	// Meta is the self-monitoring loop, non-nil when SimConfig.SelfMonitor
+	// was set.
+	Meta *MetaMonitor
 
 	byName    map[string]*node.Node
 	nodeImage map[string]string
@@ -170,6 +179,18 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			clk.AfterFunc(sweep, tick)
 		}
 		clk.AfterFunc(sweep, tick)
+	}
+
+	// Self-monitoring loop: the server's own telemetry re-enters the
+	// pipeline as the MetaNodeName node.
+	if cfg.SelfMonitor > 0 {
+		sim.Meta = NewMetaMonitor(srv)
+		var mtick func()
+		mtick = func() {
+			sim.Meta.Tick()
+			clk.AfterFunc(cfg.SelfMonitor, mtick)
+		}
+		clk.AfterFunc(cfg.SelfMonitor, mtick)
 	}
 	return sim, nil
 }

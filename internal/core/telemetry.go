@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the management server. The ingest series
+// are striped by the node table's shard index — the same hash that
+// spreads the locks spreads the counters — so 64 concurrent agents do
+// not re-serialize on a metric cache line that PR 1 just unshared.
+var (
+	mIngestUpdates    = telemetry.Default().Counter("cwx_ingest_updates_total")
+	mIngestValues     = telemetry.Default().Counter("cwx_ingest_values_total")
+	mIngestRegistered = telemetry.Default().Counter("cwx_ingest_node_registrations_total")
+	mIngestLatencyNs  = telemetry.Default().Histogram("cwx_ingest_latency_ns")
+	mIngestBatch      = telemetry.Default().Histogram("cwx_ingest_batch_values")
+	mEventsDwellNs    = telemetry.Default().Histogram("cwx_ingest_events_dwell_ns")
+	mDownDetections   = telemetry.Default().Counter("cwx_server_down_detections_total")
+	gNodes            = telemetry.Default().Gauge("cwx_server_nodes")
+	gNodesDown        = telemetry.Default().Gauge("cwx_server_nodes_down")
+)
+
+// WriteTelemetry emits the process's entire self-monitoring state in the
+// Prometheus text exposition format, refreshing the server-level gauges
+// first so a scrape always carries current node counts.
+func (s *Server) WriteTelemetry(w io.Writer) error {
+	s.Status()
+	return telemetry.Default().WritePrometheus(w)
+}
+
+// renderSpans renders per-node pipeline span breakdowns as an aligned
+// table, one column per stage showing duration/size.
+func renderSpans(snaps []telemetry.SpanSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %5s", "node", "seq")
+	for st := 0; st < telemetry.NumStages; st++ {
+		fmt.Fprintf(&b, " %14s", telemetry.Stage(st).String())
+	}
+	b.WriteByte('\n')
+	for _, sp := range snaps {
+		fmt.Fprintf(&b, "%-16s %5d", sp.Node, sp.Seq)
+		for st := 0; st < telemetry.NumStages; st++ {
+			sample := sp.Stages[st]
+			if sample.Dur == 0 && sample.Size == 0 {
+				fmt.Fprintf(&b, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %14s", fmtDur(sample.Dur)+"/"+fmt.Sprintf("%d", sample.Size))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration at the resolution an operator reads at a
+// glance: ns below a microsecond, then µs, ms, s.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,41 @@
+package dashboard
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clusterworx/internal/history"
+)
+
+// TelemetryPanel renders the self-monitoring view: every series the
+// meta-monitor has recorded for node (normally core.MetaNodeName), one
+// row each with the latest value and a sparkline over [t0, t1]. It reads
+// straight from the history store — the meta-monitor's series are plain
+// node history, so this panel is the proof they chart like any other.
+func TelemetryPanel(store *history.Store, node string, t0, t1 time.Duration, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	metrics := store.Metrics(node)
+	var out strings.Builder
+	rows := 0
+	for _, m := range metrics {
+		s := store.Series(node, m)
+		if s == nil {
+			continue
+		}
+		last, ok := s.Last()
+		if !ok {
+			continue
+		}
+		// Latest value before the sparkline: the block runes are
+		// multi-byte, so padding them would misalign the columns.
+		fmt.Fprintf(&out, "%-44s %14g  %s\n", m, last.V, Sparkline(s, t0, t1, width))
+		rows++
+	}
+	if rows == 0 {
+		return "(no self-monitoring data)\n"
+	}
+	return out.String()
+}

@@ -1,0 +1,107 @@
+package dashboard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/history"
+)
+
+// TestChartSinglePoint pins the degenerate-series behavior: one sample
+// must render (flat-line headroom kicks in), not panic or go blank.
+func TestChartSinglePoint(t *testing.T) {
+	s := history.NewSeries(8)
+	s.Append(10*time.Second, 42)
+	out := Chart(s, 0, time.Minute, 30, 6)
+	if out == "(no data)\n" {
+		t.Fatal("single point rendered as no data")
+	}
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("single point plotted %d stars:\n%s", strings.Count(out, "*"), out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("value label missing:\n%s", out)
+	}
+}
+
+// TestChartClampsDimensions verifies width and height are clamped to the
+// documented minimums (8×3) rather than producing degenerate grids, and
+// that zero and negative requests behave like tiny ones.
+func TestChartClampsDimensions(t *testing.T) {
+	s := history.NewSeries(32)
+	for i := 0; i < 20; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	for _, dims := range [][2]int{{0, 0}, {-5, -5}, {1, 1}, {7, 2}} {
+		out := Chart(s, 0, 20*time.Second, dims[0], dims[1])
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// 3 plot rows minimum + axis + time labels.
+		if len(lines) < 5 {
+			t.Fatalf("Chart(%d,%d) has %d lines:\n%s", dims[0], dims[1], len(lines), out)
+		}
+		axis := lines[len(lines)-2]
+		if !strings.Contains(axis, strings.Repeat("-", 8)) {
+			t.Fatalf("Chart(%d,%d) axis narrower than clamp:\n%s", dims[0], dims[1], out)
+		}
+	}
+}
+
+// TestChartFlatLinePlacement pins where a flat series lands: with one
+// synthetic row of headroom the points sit on the bottom plot row.
+func TestChartFlatLinePlacement(t *testing.T) {
+	s := history.NewSeries(16)
+	for i := 0; i < 10; i++ {
+		s.Append(time.Duration(i)*time.Second, 7)
+	}
+	out := Chart(s, 0, 10*time.Second, 20, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bottom := lines[len(lines)-3] // last plot row, above axis + labels
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("flat line not on bottom row:\n%s", out)
+	}
+	for _, line := range lines[:len(lines)-3] {
+		if strings.Contains(line, "*") {
+			t.Fatalf("flat line leaked above bottom row:\n%s", out)
+		}
+	}
+}
+
+// TestTelemetryPanel renders the self-monitoring view from a hand-built
+// store: one aligned row per series with the latest value and a
+// sparkline, empty store degrades gracefully, width is clamped.
+func TestTelemetryPanel(t *testing.T) {
+	store := history.NewStore(64)
+	for i := 0; i < 30; i++ {
+		ts := time.Duration(i) * time.Second
+		store.Append("cwx-server", "cwx.ingest.updates.total", ts, float64(i*100))
+		store.Append("cwx-server", "cwx.server.nodes", ts, 16)
+	}
+	out := TelemetryPanel(store, "cwx-server", 0, 30*time.Second, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("panel rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "cwx.ingest.updates.total") || !strings.Contains(lines[0], "2900") {
+		t.Fatalf("first row wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "cwx.server.nodes") || !strings.Contains(lines[1], "16") {
+		t.Fatalf("second row wrong:\n%s", out)
+	}
+	// The ramp's sparkline rises; the flat series' stays level.
+	ramp := []rune(lines[0])
+	if ramp[len(ramp)-1] != '█' {
+		t.Fatalf("ramp sparkline does not end high: %q", lines[0])
+	}
+
+	if got := TelemetryPanel(store, "ghost", 0, time.Minute, 16); got != "(no self-monitoring data)\n" {
+		t.Fatalf("missing node panel = %q", got)
+	}
+	if got := TelemetryPanel(history.NewStore(4), "cwx-server", 0, time.Minute, 16); got != "(no self-monitoring data)\n" {
+		t.Fatalf("empty store panel = %q", got)
+	}
+	// Width below the minimum is clamped, not an error.
+	if out := TelemetryPanel(store, "cwx-server", 0, 30*time.Second, 1); !strings.Contains(out, "cwx.server.nodes") {
+		t.Fatalf("clamped-width panel:\n%s", out)
+	}
+}

@@ -14,6 +14,19 @@ import (
 	"time"
 
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the event engine. Action latency uses the
+// wall clock — e.now is virtual in simulation and would time actions at
+// zero — because the interesting number is how long a power-off RPC or
+// an administrator plug-in actually stalls the evaluation goroutine.
+var (
+	mObservations = telemetry.Default().Counter("cwx_events_observations_total")
+	mRulesEval    = telemetry.Default().Counter("cwx_events_rules_evaluated_total")
+	mFired        = telemetry.Default().Counter("cwx_events_fired_total")
+	mCleared      = telemetry.Default().Counter("cwx_events_cleared_total")
+	mActionNs     = telemetry.Default().Histogram("cwx_events_action_ns")
 )
 
 // Op is a threshold comparison.
@@ -272,6 +285,7 @@ func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
 		kind byte // 't' trigger, 'c' clear
 	}
 	var work []pending
+	var evaluated int64
 
 	e.mu.Lock()
 	for _, name := range e.order {
@@ -280,6 +294,7 @@ func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
 		if !ok {
 			continue
 		}
+		evaluated++
 		st := e.state[name][node]
 		if st == nil {
 			st = &nodeState{}
@@ -302,16 +317,27 @@ func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
 		}
 	}
 	e.mu.Unlock()
+	mObservations.Inc()
+	mRulesEval.Add(evaluated)
 
 	var fired []Firing
 	for _, w := range work {
 		if w.kind == 'c' {
+			mCleared.Inc()
 			if e.notifier != nil {
 				e.notifier.EventCleared(w.rule, node)
 			}
 			continue
 		}
+		var act0 time.Time
+		if telemetry.On() {
+			act0 = time.Now()
+		}
 		actionErr := e.act(w.rule, node)
+		if telemetry.On() {
+			mActionNs.Observe(int64(time.Since(act0)))
+		}
+		mFired.Inc()
 		f := Firing{
 			At:        e.now(),
 			Rule:      w.rule.Name,

@@ -22,6 +22,18 @@ import (
 	"io"
 
 	"clusterworx/internal/procfs"
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the gathering stage. Counters only on this
+// path: every gatherer strategy funnels through readWhole/readChunked,
+// which the E1–E4 ladder benchmarks at microsecond granularity, so the
+// per-read cost added here must stay at a couple of atomic adds (timing
+// happens one level up, at the consolidation tick).
+var (
+	mReads      = telemetry.Default().Counter("cwx_gather_reads_total")
+	mReadBytes  = telemetry.Default().Counter("cwx_gather_read_bytes_total")
+	mChunkReads = telemetry.Default().Counter("cwx_gather_chunk_reads_total")
 )
 
 // readBufSize is the whole-file read buffer: every monitored /proc file
@@ -109,6 +121,8 @@ func readWhole(f *procfs.File, buf []byte) ([]byte, error) {
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
+	mReads.Inc()
+	mReadBytes.Add(int64(n))
 	return buf[:n], nil
 }
 
@@ -117,10 +131,15 @@ func readWhole(f *procfs.File, buf []byte) ([]byte, error) {
 func readChunked(f *procfs.File, dst []byte) ([]byte, error) {
 	dst = dst[:0]
 	var chunk [naiveChunk]byte
+	var chunks int64
 	for {
 		n, err := f.Read(chunk[:])
 		dst = append(dst, chunk[:n]...)
+		chunks++
 		if err == io.EOF {
+			mReads.Inc()
+			mChunkReads.Add(chunks)
+			mReadBytes.Add(int64(len(dst)))
 			return dst, nil
 		}
 		if err != nil {

@@ -13,6 +13,17 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the history store. Appends ride the store's
+// node-name hash as their counter stripe, so 64 concurrent agents do not
+// serialize on one counter cache line.
+var (
+	mAppends    = telemetry.Default().Counter("cwx_history_appends_total")
+	mDropped    = telemetry.Default().Counter("cwx_history_dropped_total")
+	mDownsample = telemetry.Default().Counter("cwx_history_downsample_total")
 )
 
 // Point is one sample.
@@ -48,6 +59,7 @@ func (s *Series) Append(t time.Duration, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.size > 0 && t < s.at(s.size-1).T {
+		mDropped.Inc()
 		return
 	}
 	if s.size < len(s.buf) {
@@ -171,6 +183,7 @@ func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 	if width <= 0 {
 		return nil
 	}
+	mDownsample.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sums := make([]float64, n)
@@ -229,8 +242,10 @@ func NewStore(capacity int) *Store {
 	return st
 }
 
-// stripe hashes a node name to its stripe with FNV-1a.
-func (st *Store) stripe(nodeName string) *storeStripe {
+// stripe hashes a node name to its stripe with FNV-1a. The index is
+// returned alongside so instrumented callers can reuse it as their
+// telemetry counter stripe.
+func (st *Store) stripe(nodeName string) (*storeStripe, uint32) {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -240,14 +255,16 @@ func (st *Store) stripe(nodeName string) *storeStripe {
 		h ^= uint32(nodeName[i])
 		h *= prime32
 	}
-	return &st.stripes[h&(storeStripes-1)]
+	idx := h & (storeStripes - 1)
+	return &st.stripes[idx], idx
 }
 
 // Append records one sample. The steady-state path is a read-locked map
 // lookup on the node's stripe plus the per-series append lock; the stripe
 // write lock is only taken the first time a (node, metric) pair appears.
 func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
-	sp := st.stripe(nodeName)
+	sp, idx := st.stripe(nodeName)
+	mAppends.IncAt(int(idx))
 	sp.mu.RLock()
 	s := sp.series[nodeName][metric]
 	sp.mu.RUnlock()
@@ -270,7 +287,7 @@ func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
 // Series returns the series for (node, metric), or nil. The returned
 // series is safe to query while appends race it.
 func (st *Store) Series(nodeName, metric string) *Series {
-	sp := st.stripe(nodeName)
+	sp, _ := st.stripe(nodeName)
 	sp.mu.RLock()
 	defer sp.mu.RUnlock()
 	return sp.series[nodeName][metric]
@@ -293,7 +310,7 @@ func (st *Store) Nodes() []string {
 
 // Metrics returns the metric names recorded for a node, sorted.
 func (st *Store) Metrics(nodeName string) []string {
-	sp := st.stripe(nodeName)
+	sp, _ := st.stripe(nodeName)
 	sp.mu.RLock()
 	byMetric := sp.series[nodeName]
 	out := make([]string, 0, len(byMetric))

@@ -1,0 +1,41 @@
+package monitor
+
+import (
+	"strings"
+
+	"clusterworx/internal/consolidate"
+	"clusterworx/internal/telemetry"
+)
+
+// TelemetrySource turns the process's own telemetry registry into
+// monitor values — the meta-monitor's feed. Every counter and gauge
+// becomes one value; histograms contribute _count/_mean/_p50/_p99
+// scalars (see telemetry.Registry.Walk). Names are converted from
+// Prometheus style to the monitor's dotted paths, so
+// cwx_ingest_latency_ns_p99 charts as cwx.ingest.latency.ns.p99 exactly
+// like any node metric, and event rules can set thresholds on it.
+type TelemetrySource struct {
+	// Registry to walk; nil means telemetry.Default().
+	Registry *telemetry.Registry
+}
+
+// Name implements consolidate.Source.
+func (s TelemetrySource) Name() string { return "telemetry" }
+
+// Collect implements consolidate.Source.
+func (s TelemetrySource) Collect(dst []consolidate.Value) ([]consolidate.Value, error) {
+	r := s.Registry
+	if r == nil {
+		r = telemetry.Default()
+	}
+	r.Walk(func(name string, v float64) {
+		// round2 keeps histogram means from defeating the consolidation
+		// stage's change suppression with sub-display jitter.
+		dst = append(dst, consolidate.NumValue(dotName(name), consolidate.Dynamic, round2(v)))
+	})
+	return dst, nil
+}
+
+// dotName converts a Prometheus-style metric name to a monitor-style
+// dotted path.
+func dotName(name string) string { return strings.ReplaceAll(name, "_", ".") }

@@ -21,6 +21,18 @@ import (
 
 	"clusterworx/internal/clock"
 	"clusterworx/internal/events"
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for smart notification. Dedup hits are the
+// paper's headline semantic — "only one e-mail is sent per triggered
+// event, even if multiple nodes are involved" — so the suppression rate
+// is itself a first-class monitored value.
+var (
+	mIncidents = telemetry.Default().Counter("cwx_notify_incidents_total")
+	mDedupHits = telemetry.Default().Counter("cwx_notify_dedup_hits_total")
+	mMessages  = telemetry.Default().Counter("cwx_notify_messages_total")
+	mSendErrs  = telemetry.Default().Counter("cwx_notify_send_failures_total")
 )
 
 // Message is one outbound notification.
@@ -124,9 +136,18 @@ var _ events.Notifier = (*Notifier)(nil)
 
 // EventTriggered implements events.Notifier.
 func (n *Notifier) EventTriggered(rule events.Rule, node string, value float64, actionErr error) {
+	// The notify hop is the tail of the node's pipeline span. Cold path:
+	// the tracer's locked slot lookup is fine here.
+	start := time.Now()
+	defer func() {
+		telemetry.Spans.Record(node, telemetry.StageNotify, time.Since(start), 1)
+	}()
 	n.mu.Lock()
 	inc, active := n.incidents[rule.Name]
-	if !active {
+	if active {
+		mDedupHits.Inc()
+	} else {
+		mIncidents.Inc()
 		inc = &incident{
 			rule:    rule,
 			nodes:   make(map[string]bool),
@@ -187,10 +208,13 @@ func (n *Notifier) flush(ruleName string) {
 	msg := n.render(inc)
 	n.mu.Unlock()
 	if err := n.mailer.Send(msg); err != nil {
+		mSendErrs.Inc()
 		n.mu.Lock()
 		n.sendErrs++
 		n.mu.Unlock()
+		return
 	}
+	mMessages.Inc()
 }
 
 // SendFailures returns the count of mailer errors.

@@ -21,6 +21,17 @@ import (
 	"sync"
 
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/telemetry"
+)
+
+// Self-monitoring series for the transmission stage.
+var (
+	mFramesWritten = telemetry.Default().Counter("cwx_transmit_frames_written_total")
+	mFramesComp    = telemetry.Default().Counter("cwx_transmit_frames_compressed_total")
+	mFramesRead    = telemetry.Default().Counter("cwx_transmit_frames_read_total")
+	mRawBytes      = telemetry.Default().Counter("cwx_transmit_raw_bytes_total")
+	mWireBytes     = telemetry.Default().Counter("cwx_transmit_wire_bytes_total")
+	mFrameBytes    = telemetry.Default().Histogram("cwx_transmit_frame_bytes")
 )
 
 // Frame layout constants.
@@ -124,6 +135,13 @@ func (t *Writer) WriteFrame(p []byte) error {
 		return err
 	}
 	t.wireBytes += int64(headerSize + len(body))
+	mFramesWritten.Inc()
+	if flags&flagCompressed != 0 {
+		mFramesComp.Inc()
+	}
+	mRawBytes.Add(int64(len(p)))
+	mWireBytes.Add(int64(headerSize + len(body)))
+	mFrameBytes.Observe(int64(len(body)))
 	return nil
 }
 
@@ -168,6 +186,7 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 		return nil, err
 	}
 	if hdr[1]&flagCompressed == 0 {
+		mFramesRead.Inc()
 		return body, nil
 	}
 	fr := inflaterPool.Get().(io.ReadCloser)
@@ -181,6 +200,7 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 		return nil, fmt.Errorf("transmit: decompress: %w", err)
 	}
 	t.dbuf = out
+	mFramesRead.Inc()
 	return out, nil
 }
 
