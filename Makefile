@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke faultinject
 
 check: fmt vet build race
 
@@ -38,3 +38,11 @@ bench:
 # 10x), just a smoke test.
 bench-smoke:
 	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry' -benchtime 10x -benchmem .
+
+# Fault-injection suite for the loss-tolerant delta protocol: seeded
+# loss/blackhole/partition schedules over simnet, under the race
+# detector. Seeds are fixed in the tests, so failures reproduce exactly.
+faultinject:
+	$(GO) test -race -count=1 -v \
+		-run 'TestLossToleranceConverges|TestLegacyProtocolDivergesUnderLoss|TestPartitionHealRetransmits|TestHandleFrameConcurrent|TestBlackholeDropsEverything|TestScheduleAtDrivesFaults|TestLossDropsFraction' \
+		./internal/core/ ./internal/simnet/

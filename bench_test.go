@@ -15,6 +15,7 @@ package clusterworx
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -593,3 +594,48 @@ func BenchmarkE15IngestParallel1(b *testing.B)   { benchIngestParallel(b, 1) }
 func BenchmarkE15IngestParallel8(b *testing.B)   { benchIngestParallel(b, 8) }
 func BenchmarkE15IngestParallel64(b *testing.B)  { benchIngestParallel(b, 64) }
 func BenchmarkE15IngestParallel512(b *testing.B) { benchIngestParallel(b, 512) }
+
+// --- E18: sequenced-frame ingest (the loss-tolerant protocol's happy path) -----
+//
+// Same shape as E15, but through HandleFrame with in-order sequence
+// numbers: the gap-detection bookkeeping must cost integer compares under
+// the per-node lock already held, keeping the lossless path at zero
+// allocations per update. Each worker owns a private node because an
+// agent is single-threaded per node — that is what makes "in order"
+// meaningful.
+func benchIngestFramesParallel(b *testing.B, parallelism int) {
+	srv := core.NewServer(core.ServerConfig{Cluster: "bench"})
+	deltas := ingestDeltaSets()
+	full := ingestFullSet()
+	workers := parallelism * runtime.GOMAXPROCS(0)
+	names := make([]string, workers+1)
+	for w := 1; w <= workers; w++ {
+		names[w] = fmt.Sprintf("fnode%04d", w)
+		// Seed each node with a snapshot, off the timed path.
+		err := srv.HandleFrame(transmit.Frame{Node: names[w], Seq: 1, Kind: transmit.FrameSnapshot, Values: full})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worker atomic.Int64
+	b.SetParallelism(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(worker.Add(1))
+		name := names[id]
+		seq := uint64(1)
+		i := 0
+		for pb.Next() {
+			seq++
+			f := transmit.Frame{Node: name, Seq: seq, Kind: transmit.FrameDelta, Values: deltas[i%len(deltas)]}
+			if err := srv.HandleFrame(f); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkE18IngestFrames1(b *testing.B)  { benchIngestFramesParallel(b, 1) }
+func BenchmarkE18IngestFrames64(b *testing.B) { benchIngestFramesParallel(b, 64) }

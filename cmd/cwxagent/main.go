@@ -19,10 +19,11 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "localhost:7701", "cwxd agent address")
-		name   = flag.String("name", "node000", "node hostname")
-		load   = flag.Float64("load", 0.3, "offered run-queue depth of the simulated node")
-		period = flag.Duration("period", time.Second, "sampling period")
+		server      = flag.String("server", "localhost:7701", "cwxd agent address")
+		name        = flag.String("name", "node000", "node hostname")
+		load        = flag.Float64("load", 0.3, "offered run-queue depth of the simulated node")
+		period      = flag.Duration("period", time.Second, "sampling period")
+		antiEntropy = flag.Duration("anti-entropy", time.Minute, "full-snapshot refresh period (negative disables)")
 	)
 	flag.Parse()
 
@@ -39,13 +40,17 @@ func main() {
 	n.SetLoad(*load)
 
 	agent, err := core.NewAgent(clk, core.AgentConfig{
-		Node:      n,
-		Period:    *period,
-		Transport: conn.Transport(),
+		Node:        n,
+		Period:      *period,
+		SendFrame:   conn.SendFrame,
+		AntiEntropy: *antiEntropy,
 	})
 	if err != nil {
 		log.Fatalf("cwxagent: %v", err)
 	}
+	// The server answers sequence gaps with resync requests down the same
+	// connection; feed them to the agent so the next tick ships a snapshot.
+	conn.OnResync(func(string) { agent.RequestResync() })
 	defer agent.Stop()
 	log.Printf("cwxagent: %s reporting to %s every %v", *name, *server, *period)
 

@@ -34,7 +34,7 @@ requests:
   bios settings|set|flash <node> [...]
   clone <imageID> <node...> | images | efficiency
   rules | eventlog [n] | ping
-  telemetry | trace [node] | selfmon
+  telemetry | trace [node] | selfmon | sync
 `)
 		flag.PrintDefaults()
 	}

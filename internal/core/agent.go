@@ -1,6 +1,10 @@
 package core
 
 import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"clusterworx/internal/clock"
@@ -22,6 +26,11 @@ import (
 // (e.g. an asynchronous send queue).
 type Transport func(nodeName string, values []consolidate.Value) error
 
+// FrameTransport ships one sequenced wire frame from an agent to the
+// server — the loss-tolerant §5.3.3 protocol. The same scratch-backing
+// caveat as Transport applies to f.Values.
+type FrameTransport func(f transmit.Frame) error
+
 // AgentConfig configures a node agent.
 type AgentConfig struct {
 	Node *node.Node
@@ -34,14 +43,36 @@ type AgentConfig struct {
 	Heartbeat time.Duration
 	// Plugins is the optional administrator plug-in set.
 	Plugins *monitor.PluginSet
-	// Transport delivers change sets.
+	// Transport delivers change sets (the legacy unsequenced protocol).
+	// Ignored when SendFrame is set.
 	Transport Transport
+	// SendFrame delivers sequenced frames. With it set the agent runs the
+	// loss-tolerant protocol: per-frame sequence numbers, full-snapshot
+	// resyncs on request (RequestResync), and a periodic anti-entropy
+	// snapshot refresh.
+	SendFrame FrameTransport
+	// AntiEntropy is the period of the unconditional full-snapshot
+	// refresh that heals server-side divergence even when every resync
+	// request is lost in flight (default 60 s; negative disables). Only
+	// meaningful with SendFrame.
+	AntiEntropy time.Duration
+	// RetryBase and RetryMax bound the jittered exponential backoff
+	// between attempts after a failed send (defaults 1 s and 30 s).
+	RetryBase, RetryMax time.Duration
+	// RetrySeed seeds the backoff jitter (default: a hash of the node
+	// name, so a fleet that fails together still spreads its retries).
+	RetrySeed int64
 }
 
 // Agent is the per-node monitoring daemon: gathering + consolidation +
 // transmission, driven by the virtual clock. The agent only runs while the
 // node's OS runs — when the node dies, so does its agent, which is exactly
 // how the server notices.
+//
+// Failed transmissions do not lose data: the change set is banked in a
+// pending buffer and merged into the next attempt, which is delayed by a
+// jittered exponential backoff so a down server is not hammered once per
+// period by the whole fleet.
 type Agent struct {
 	cfg     AgentConfig
 	clk     *clock.Clock
@@ -58,6 +89,23 @@ type Agent struct {
 	lastSent time.Duration
 	sendErrs int
 	sent     int
+
+	// Loss-tolerant protocol state. seq only advances on successful
+	// hand-off, so an erroring transport never burns sequence numbers and
+	// the retransmitted union arrives in order. needResync is atomic
+	// because a resync request may arrive from a network reader goroutine
+	// while the clock goroutine ticks.
+	seq          uint64
+	needResync   atomic.Bool
+	lastSnap     time.Duration
+	fails        int           // consecutive send failures
+	nextTryAt    time.Duration // virtual-time gate while backing off
+	rng          *rand.Rand
+	pending      map[string]consolidate.Value // values awaiting retransmit
+	pendingNames []string                     // merge scratch: sorted names
+	pendingBuf   []consolidate.Value          // merge scratch: combined set
+	retransmits  int
+	resyncsSent  int
 }
 
 // NewAgent builds and starts an agent on the node's clock.
@@ -68,7 +116,21 @@ func NewAgent(clk *clock.Clock, cfg AgentConfig) (*Agent, error) {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 5 * time.Second
 	}
+	if cfg.AntiEntropy == 0 {
+		cfg.AntiEntropy = 60 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Second
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 30 * time.Second
+	}
 	n := cfg.Node
+	if cfg.RetrySeed == 0 {
+		for i := 0; i < len(n.Name()); i++ {
+			cfg.RetrySeed = cfg.RetrySeed*131 + int64(n.Name()[i])
+		}
+	}
 	set, err := monitor.NewSet(monitor.Config{
 		FS:       n.FS(),
 		Hostname: n.Name(),
@@ -86,6 +148,7 @@ func NewAgent(clk *clock.Clock, cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{cfg: cfg, clk: clk, cons: cons, set: set,
+		rng:  rand.New(rand.NewSource(cfg.RetrySeed)),
 		span: telemetry.Spans.Slot(n.Name())}
 	a.timer = clk.AfterFunc(cfg.Period, a.tick)
 	return a, nil
@@ -99,6 +162,25 @@ func (a *Agent) SendErrors() int { return a.sendErrs }
 
 // Transmissions returns the number of change sets shipped.
 func (a *Agent) Transmissions() int { return a.sent }
+
+// Retransmits returns the number of sends that carried previously failed
+// (banked) change sets.
+func (a *Agent) Retransmits() int { return a.retransmits }
+
+// ResyncsSent returns the number of full-snapshot frames shipped
+// (requested resyncs plus anti-entropy refreshes).
+func (a *Agent) ResyncsSent() int { return a.resyncsSent }
+
+// Seq returns the last successfully handed-off sequence number.
+func (a *Agent) Seq() uint64 { return a.seq }
+
+// PendingRetransmit returns the number of values banked for retransmit.
+func (a *Agent) PendingRetransmit() int { return len(a.pending) }
+
+// RequestResync asks the agent to ship a full snapshot on its next tick.
+// The server sends this (through the transport's back-channel) when it
+// detects a sequence gap. Safe to call from any goroutine.
+func (a *Agent) RequestResync() { a.needResync.Store(true) }
 
 // Stop halts the agent loop and releases gatherer files.
 func (a *Agent) Stop() {
@@ -131,11 +213,33 @@ func (a *Agent) tick() {
 		a.span.Record(telemetry.StageGather, gather, int64(collected))
 		a.span.Record(telemetry.StageConsolidate, cons, int64(len(delta)))
 	}
-	if len(delta) == 0 && now-a.lastSent < a.cfg.Heartbeat {
+	framed := a.cfg.SendFrame != nil
+	if !framed && a.cfg.Transport == nil {
 		return
 	}
-	if a.cfg.Transport == nil {
+	// Backoff gate: while waiting out a failed send, bank this tick's
+	// changes so the eventual retransmit carries them too.
+	if a.fails > 0 && now < a.nextTryAt {
+		a.bank(delta)
 		return
+	}
+	resync := framed && (a.needResync.Load() ||
+		(a.cfg.AntiEntropy > 0 && now-a.lastSnap >= a.cfg.AntiEntropy))
+	retrans := len(a.pending) > 0
+	if len(delta) == 0 && !resync && !retrans && now-a.lastSent < a.cfg.Heartbeat {
+		return
+	}
+	values := delta
+	kind := transmit.FrameDelta
+	switch {
+	case resync:
+		// A snapshot is a superset of both the delta and anything banked,
+		// so it heals every form of divergence at once. The delta was
+		// still consumed above: its changes are in the snapshot.
+		values = a.cons.Snapshot()
+		kind = transmit.FrameSnapshot
+	case retrans:
+		values = a.mergedPending(delta)
 	}
 	// Transmit timing covers delivery end to end: over the wire that is
 	// marshal + compress + send; with the in-process transport it also
@@ -144,40 +248,140 @@ func (a *Agent) tick() {
 	if on {
 		t0 = time.Now()
 	}
-	if err := a.cfg.Transport(a.cfg.Node.Name(), delta); err != nil {
+	var err error
+	if framed {
+		err = a.cfg.SendFrame(transmit.Frame{
+			Node: a.cfg.Node.Name(), Seq: a.seq + 1, Kind: kind, Values: values,
+		})
+	} else {
+		err = a.cfg.Transport(a.cfg.Node.Name(), values)
+	}
+	if err != nil {
 		a.sendErrs++
+		mAgentSendFailures.Inc()
+		if kind == transmit.FrameSnapshot {
+			// The snapshot still owes the server its state; retry as a
+			// snapshot (it subsumes the pending set, which stays banked
+			// for the case where the resync flag is cleared elsewhere).
+			a.needResync.Store(true)
+		} else {
+			a.bank(values)
+		}
+		a.fails++
+		a.nextTryAt = now + a.backoff()
 		return
 	}
 	if on {
-		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(delta)))
+		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(values)))
+	}
+	if framed {
+		a.seq++
 	}
 	a.sent++
 	a.lastSent = now
+	a.fails = 0
+	a.nextTryAt = 0
+	switch {
+	case kind == transmit.FrameSnapshot:
+		a.needResync.Store(false)
+		a.lastSnap = now
+		a.resyncsSent++
+		mAgentResyncSnapshots.Inc()
+		a.clearPending()
+	case retrans:
+		a.retransmits++
+		mAgentRetransmits.Inc()
+		a.clearPending()
+	}
 }
+
+// bank copies values into the pending-retransmit buffer (newest payload
+// wins per name). Only failure and backoff paths pay its allocations; the
+// happy path never touches it.
+func (a *Agent) bank(values []consolidate.Value) {
+	if len(values) == 0 {
+		return
+	}
+	if a.pending == nil {
+		a.pending = make(map[string]consolidate.Value, len(values))
+	}
+	for _, v := range values {
+		a.pending[v.Name] = v
+	}
+}
+
+// mergedPending folds delta into the banked set and returns the union in
+// stable name order, reusing the merge scratch buffers.
+func (a *Agent) mergedPending(delta []consolidate.Value) []consolidate.Value {
+	a.bank(delta)
+	names := a.pendingNames[:0]
+	for name := range a.pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := a.pendingBuf[:0]
+	for _, name := range names {
+		out = append(out, a.pending[name])
+	}
+	a.pendingNames, a.pendingBuf = names, out
+	return out
+}
+
+func (a *Agent) clearPending() {
+	if len(a.pending) > 0 {
+		clear(a.pending)
+	}
+}
+
+// backoff is the delay before the next attempt after a.fails consecutive
+// failures: RetryBase doubled per failure, capped at RetryMax, with ±25%
+// deterministic jitter so a fleet that failed together (a server restart)
+// does not retry in lockstep.
+func (a *Agent) backoff() time.Duration {
+	d := a.cfg.RetryBase
+	for i := 1; i < a.fails && d < a.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > a.cfg.RetryMax {
+		d = a.cfg.RetryMax
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*a.rng.Float64()))
+}
+
+// ErrLinkDown is returned by transports whose local link is down; the
+// agent reacts with banking + backoff like any other send failure.
+var ErrLinkDown = errors.New("core: local network link down")
 
 // WireTransport builds a Transport that frames and compresses change sets
 // through a transmit.Writer (the §5.3.3 wire path); the receiving side
-// decodes with ReadWireValues.
+// decodes with ReadWireValues. This is the legacy unsequenced protocol —
+// new deployments should use WireFrameTransport.
 func WireTransport(w *transmit.Writer) Transport {
 	var buf []byte
 	return func(nodeName string, values []consolidate.Value) error {
-		buf = buf[:0]
-		buf = append(buf, nodeName...)
-		buf = append(buf, '\n')
-		buf = transmit.MarshalValues(buf, values)
+		buf = transmit.MarshalFrame(buf[:0], transmit.Frame{Node: nodeName, Values: values})
 		return w.WriteFrame(buf)
 	}
 }
 
-// ReadWireValues decodes one frame produced by WireTransport.
-func ReadWireValues(frame []byte) (nodeName string, values []consolidate.Value, err error) {
-	for i, b := range frame {
-		if b == '\n' {
-			nodeName = string(frame[:i])
-			values, err = transmit.UnmarshalValues(frame[i+1:])
-			return nodeName, values, err
-		}
+// WireFrameTransport builds a FrameTransport over a transmit.Writer: the
+// sequenced, loss-tolerant wire path.
+func WireFrameTransport(w *transmit.Writer) FrameTransport {
+	var buf []byte
+	return func(f transmit.Frame) error {
+		buf = transmit.MarshalFrame(buf[:0], f)
+		return w.WriteFrame(buf)
 	}
-	values, err = transmit.UnmarshalValues(nil)
-	return string(frame), values, err
+}
+
+// ReadWireValues decodes one frame produced by WireTransport (either
+// header form), returning the node and values. Malformed frames —
+// truncated headers, corrupt payloads, node names that are not printable
+// hostnames — return an error rather than a garbage node name.
+func ReadWireValues(frame []byte) (nodeName string, values []consolidate.Value, err error) {
+	f, err := transmit.ParseFrame(frame)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.Node, f.Values, nil
 }

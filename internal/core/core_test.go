@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"clusterworx/internal/events"
 	"clusterworx/internal/image"
 	"clusterworx/internal/node"
+	"clusterworx/internal/transmit"
 )
 
 // bootSim builds an n-node sim, powers everything up, and settles.
@@ -355,11 +357,117 @@ func TestAgentOverTCP(t *testing.T) {
 	}
 }
 
+// TestResyncOverTCP exercises the sequenced protocol's TCP back-channel:
+// a sequence gap on the wire must come back to the agent side as a
+// resync request, and a snapshot frame must clear the divergence.
+func TestResyncOverTCP(t *testing.T) {
+	srv := NewServer(ServerConfig{Cluster: "net"})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.ServeAgents(l) //nolint:errcheck // ends with listener
+
+	ac, err := DialAgent(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	resyncs := make(chan string, 4)
+	ac.OnResync(func(node string) { resyncs <- node })
+
+	vals := []consolidate.Value{consolidate.NumValue("load.1", consolidate.Dynamic, 0.5)}
+	if err := ac.SendFrame(transmit.Frame{Node: "netnode", Seq: 1, Kind: transmit.FrameDelta, Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	// Seq 3: frame 2 "was lost" — the server must ask for a resync.
+	if err := ac.SendFrame(transmit.Frame{Node: "netnode", Seq: 3, Kind: transmit.FrameDelta, Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case node := <-resyncs:
+		if node != "netnode" {
+			t.Fatalf("resync for %q", node)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no resync request arrived over TCP")
+	}
+	// Heal with a snapshot and confirm the server agrees.
+	if err := ac.SendFrame(transmit.Frame{Node: "netnode", Seq: 4, Kind: transmit.FrameSnapshot, Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		states := srv.SyncStates()
+		if len(states) == 1 && states[0].Synced && states[0].Snapshots == 1 {
+			if states[0].Gaps != 1 {
+				t.Fatalf("gaps = %d, want 1", states[0].Gaps)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never healed the node: %+v", states)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestReadWireValuesEdge(t *testing.T) {
 	// Frame without newline: name only, no values.
 	name, vals, err := ReadWireValues([]byte("lonely"))
 	if err != nil || name != "lonely" || len(vals) != 0 {
 		t.Fatalf("%q %v %v", name, vals, err)
+	}
+}
+
+func TestReadWireValuesMalformed(t *testing.T) {
+	// A truncated or corrupted frame must surface as an error, never as a
+	// registry entry under a garbage node name.
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"truncated sequenced header", []byte("node042 17\n")},
+		{"missing value separator", []byte("node042\nload.1Dn1.5\n")},
+		{"truncated value line", []byte("node042\nload.1 D\n")},
+		{"binary garbage", []byte{0x1f, 0x8b, 0x00, 0xff, 0xfe}},
+		{"whitespace node name", []byte("\nload.1 D n 1.5\n")},
+		{"corrupt quoted text", []byte("node042\nos.rel S t \"Lin\n")},
+	}
+	for _, tc := range cases {
+		name, _, err := ReadWireValues(tc.frame)
+		if err == nil {
+			t.Errorf("%s: accepted malformed frame, node = %q", tc.name, name)
+		}
+	}
+}
+
+// TestCorruptCompressedWireFrame drives corrupted deflate bodies through
+// the full wire path. Raw deflate carries no checksum, so a flipped byte
+// can decode "successfully" into garbage — the decode+parse pipeline as
+// a whole must reject the frame rather than yield a mangled node name.
+func TestCorruptCompressedWireFrame(t *testing.T) {
+	vals := make([]consolidate.Value, 0, 64)
+	for i := 0; i < 64; i++ {
+		vals = append(vals, consolidate.NumValue(fmt.Sprintf("metric.%02d.value", i), consolidate.Dynamic, float64(i)))
+	}
+	for flip := 6; flip < 20; flip++ {
+		var buf bytes.Buffer
+		send := WireFrameTransport(transmit.NewWriter(&buf, true))
+		if err := send(transmit.Frame{Node: "node042", Seq: 3, Kind: transmit.FrameDelta, Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+		wire := buf.Bytes()
+		wire[flip] ^= 0xff
+		payload, err := transmit.NewReader(bytes.NewReader(wire)).ReadFrame()
+		if err != nil {
+			continue // rejected at the framing layer: fine
+		}
+		if name, _, err := ReadWireValues(payload); err == nil && name != "node042" {
+			t.Fatalf("flip at %d: corrupt frame accepted with node name %q", flip, name)
+		}
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 //	telemetry                   self-monitoring metrics (Prometheus text)
 //	trace [node]                latest pipeline span breakdown per node
 //	selfmon                     meta-monitor series panel (sparklines)
+//	sync                        per-node delta-protocol sync state
 
 // ServeCtl accepts control connections until the listener closes.
 func (s *Server) ServeCtl(l net.Listener) error {
@@ -328,6 +329,21 @@ func (s *Server) HandleCtl(line string) string {
 			return "OK (no spans recorded)"
 		}
 		return "OK\n" + strings.TrimRight(renderSpans(snaps), "\n")
+
+	case "sync":
+		var b strings.Builder
+		b.WriteString("OK")
+		fmt.Fprintf(&b, "\n%-12s %8s %-8s %5s %5s %7s %5s",
+			"node", "seq", "state", "gaps", "regr", "resyncs", "snaps")
+		for _, st := range s.SyncStates() {
+			state := "synced"
+			if !st.Synced {
+				state = "DIVERGED"
+			}
+			fmt.Fprintf(&b, "\n%-12s %8d %-8s %5d %5d %7d %5d",
+				st.Node, st.Seq, state, st.Gaps, st.Regressions, st.ResyncReqs, st.Snapshots)
+		}
+		return b.String()
 
 	case "selfmon":
 		out := dashboard.TelemetryPanel(s.hist, MetaNodeName, 0, s.now(), 32)

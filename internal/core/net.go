@@ -10,10 +10,13 @@ import (
 
 // This file carries agent traffic over real TCP for the daemons: agents
 // dial the server's agent port and stream framed, deflate-compressed
-// change sets (the §5.3.3 transmission stage on an actual socket).
+// change sets (the §5.3.3 transmission stage on an actual socket). The
+// server writes resync-request control frames back down the same
+// connection when it detects a sequence gap, closing the loss-tolerance
+// loop.
 
 // ServeAgents accepts agent connections until the listener closes. Each
-// frame is decoded and fed to HandleValues.
+// frame is decoded and fed to HandleFrame.
 func (s *Server) ServeAgents(l net.Listener) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -33,16 +36,24 @@ func (s *Server) ServeAgents(l net.Listener) error {
 
 func (s *Server) serveAgentConn(conn net.Conn) {
 	r := transmit.NewReader(conn)
+	// Control frames are a few bytes; compression would only inflate them.
+	w := transmit.NewWriter(conn, false)
+	var ctl []byte
 	for {
 		frame, err := r.ReadFrame()
 		if err != nil {
 			return // io.EOF on clean agent shutdown, anything else likewise ends the session
 		}
-		nodeName, values, err := ReadWireValues(frame)
+		f, err := transmit.ParseFrame(frame)
 		if err != nil {
 			return // protocol violation: drop the connection
 		}
-		s.HandleValues(nodeName, values)
+		if err := s.HandleFrame(f); err == ErrResyncNeeded {
+			ctl = transmit.MarshalResync(ctl[:0], f.Node)
+			if err := w.WriteFrame(ctl); err != nil {
+				return
+			}
+		}
 	}
 }
 
@@ -50,6 +61,7 @@ func (s *Server) serveAgentConn(conn net.Conn) {
 type AgentConn struct {
 	conn net.Conn
 	w    *transmit.Writer
+	buf  []byte // SendFrame marshal scratch
 }
 
 // DialAgent connects an agent to the server's agent port with wire
@@ -62,8 +74,36 @@ func DialAgent(addr string, timeout time.Duration) (*AgentConn, error) {
 	return &AgentConn{conn: conn, w: transmit.NewWriter(conn, true)}, nil
 }
 
-// Transport returns the Transport shipping through this connection.
+// Transport returns the legacy unsequenced Transport shipping through
+// this connection.
 func (a *AgentConn) Transport() Transport { return WireTransport(a.w) }
+
+// SendFrame ships one sequenced frame — wire AgentConfig.SendFrame to it
+// for the loss-tolerant protocol, and install OnResync so the server's
+// gap detection can reach the agent.
+func (a *AgentConn) SendFrame(f transmit.Frame) error {
+	a.buf = transmit.MarshalFrame(a.buf[:0], f)
+	return a.w.WriteFrame(a.buf)
+}
+
+// OnResync starts the connection's read side: a goroutine decoding
+// server control frames and invoking fn for each resync request (fn must
+// be safe to call from that goroutine — Agent.RequestResync is). Call at
+// most once; the goroutine exits when the connection closes.
+func (a *AgentConn) OnResync(fn func(node string)) {
+	go func() {
+		r := transmit.NewReader(a.conn)
+		for {
+			frame, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if node, ok := transmit.ParseResync(frame); ok {
+				fn(node)
+			}
+		}
+	}()
+}
 
 // Stats returns raw and on-wire byte counts (the compression win).
 func (a *AgentConn) Stats() (raw, wire int64) { return a.w.RawBytes(), a.w.WireBytes() }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"clusterworx/internal/image"
 	"clusterworx/internal/notify"
 	"clusterworx/internal/telemetry"
+	"clusterworx/internal/transmit"
 )
 
 // DownAfter is how long without agent data before a node is presumed down.
@@ -100,6 +102,41 @@ type nodeRec struct {
 	// the full numeric state on the hot path. Guarded by mu; the engine
 	// only ever sees snapshots of it, never the map itself.
 	sample map[string]float64
+
+	// Loss-tolerant delta protocol state (guarded by mu). wireSeq is the
+	// highest sequence number applied; diverged is set between a detected
+	// gap (a lost delta means the registry no longer mirrors the agent)
+	// and the healing snapshot. The small counters feed the ctl "sync"
+	// verb; process-wide totals live in the striped telemetry counters.
+	wireSeq     uint64
+	diverged    bool
+	gaps        int64
+	regressions int64
+	resyncReqs  int64
+	snapshots   int64
+}
+
+// ErrResyncNeeded is returned by HandleFrame when a sequence gap (or an
+// agent restart) means the server's view of the node may have silently
+// diverged: the transport should relay a resync request so the agent
+// ships a full snapshot.
+var ErrResyncNeeded = errors.New("core: node state diverged, full snapshot needed")
+
+// probeMetric is the one server-side metric stored alongside agent data
+// (written by ProbeConnectivity); snapshot replacement must not drop it,
+// because the agent does not know about it.
+const probeMetric = "net.echo.ok"
+
+// SyncState is one node's loss-tolerant protocol state, for the ctl
+// "sync" verb and the fault-injection harness.
+type SyncState struct {
+	Node        string
+	Seq         uint64 // highest applied sequence number (0: unsequenced)
+	Synced      bool   // false between a detected gap and the healing snapshot
+	Gaps        int64  // sequence gaps observed (lost frames)
+	Regressions int64  // sequence regressions observed (agent restarts)
+	ResyncReqs  int64  // resync requests issued
+	Snapshots   int64  // snapshot frames applied
 }
 
 // samplePool recycles the observation snapshots handed to the event
@@ -228,16 +265,32 @@ func (s *Server) lookup(name string) (*nodeRec, bool) {
 	return rec, rec != nil
 }
 
-// HandleValues ingests one agent transmission (a change set): it updates
-// the live registry, appends numeric values to history, and runs the event
-// engine over the node's updated state. Unregistered nodes auto-register;
-// the record mutation holds only the node's own lock (plus a read-locked
+// HandleValues ingests one unsequenced agent transmission (a change
+// set). It is the legacy entry point: HandleFrame with a zero sequence
+// number, which never detects gaps and never requests a resync.
+func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
+	s.HandleFrame(transmit.Frame{Node: nodeName, Kind: transmit.FrameDelta, Values: values}) //nolint:errcheck // unsequenced frames never need resync
+}
+
+// HandleFrame ingests one agent transmission: it updates the live
+// registry, appends numeric values to history, and runs the event engine
+// over the node's updated state. Unregistered nodes auto-register; the
+// record mutation holds only the node's own lock (plus a read-locked
 // stripe lookup), so concurrent updates for different nodes never contend
 // and read-side APIs stay responsive during ingest. Event evaluation runs
 // with no server lock held at all, so rule plugins and notifier callbacks
 // may call back into the server freely — including re-ingesting values
 // for the very node under evaluation.
-func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
+//
+// Sequenced frames (Seq > 0) get gap detection: a delta arriving out of
+// order means at least one change set was lost in flight, and — because
+// change suppression never resends an unchanged value — the registry
+// would silently diverge from the node forever. The frame is still
+// applied (fresh data beats none), but the node is marked diverged and
+// HandleFrame returns ErrResyncNeeded until a snapshot frame restores a
+// byte-identical view. Snapshot frames replace the node's agent-side
+// state wholesale.
+func (s *Server) HandleFrame(f transmit.Frame) error {
 	// Telemetry on this path is atomics only, striped by the node's shard
 	// index so concurrent agents land on distinct counter cache lines;
 	// latency is wall-clock (s.now is virtual in simulation).
@@ -247,19 +300,56 @@ func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 		t0 = time.Now()
 	}
 	now := s.now()
-	rec := s.node(nodeName)
+	rec := s.node(f.Node)
 	rec.mu.Lock()
 	rec.lastSeen = now
 	rec.seen = true
-	for _, v := range values {
-		rec.values[v.Name] = v
-		if !v.IsText {
-			rec.sample[v.Name] = v.Num
-			s.hist.Append(nodeName, v.Name, now, v.Num)
-		} else {
-			// A metric that switched to text no longer has a numeric
-			// reading for the rules to evaluate.
-			delete(rec.sample, v.Name)
+	resync := false
+	if f.Seq > 0 {
+		switch {
+		case f.Kind == transmit.FrameSnapshot:
+			// Authoritative full state: heals any divergence and adopts
+			// the agent's numbering, wherever it is.
+			rec.wireSeq = f.Seq
+			rec.diverged = false
+			rec.snapshots++
+		case f.Seq == rec.wireSeq+1:
+			rec.wireSeq = f.Seq
+			// An in-order delta on a diverged node does not heal it: the
+			// lost values are still lost. Keep asking, in case the
+			// earlier resync request itself was dropped.
+			resync = rec.diverged
+		case f.Seq > rec.wireSeq+1:
+			rec.gaps++
+			rec.wireSeq = f.Seq
+			rec.diverged = true
+			resync = true
+			mIngestSeqGaps.IncAt(int(rec.shard))
+		default: // f.Seq <= rec.wireSeq: the agent restarted its numbering
+			rec.regressions++
+			rec.wireSeq = f.Seq
+			rec.diverged = true
+			resync = true
+			mIngestSeqRegressions.IncAt(int(rec.shard))
+		}
+		if resync {
+			rec.resyncReqs++
+		}
+	}
+	if f.Kind == transmit.FrameSnapshot {
+		s.applySnapshotLocked(rec, f.Node, f.Values, now)
+		mIngestSnapshots.IncAt(int(rec.shard))
+	} else {
+		for _, v := range f.Values {
+			rec.values[v.Name] = v
+			if !v.IsText {
+				rec.sample[v.Name] = v.Num
+				s.hist.Append(f.Node, v.Name, now, v.Num)
+			} else {
+				// A metric that switched to text no longer has a numeric
+				// reading for the rules to evaluate.
+				delete(rec.sample, v.Name)
+			}
 		}
 	}
 	snap := s.observationSnapshot(rec)
@@ -272,12 +362,72 @@ func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 		lat := t1.Sub(t0)
 		stripe := int(rec.shard)
 		mIngestUpdates.IncAt(stripe)
-		mIngestValues.AddAt(stripe, int64(len(values)))
+		mIngestValues.AddAt(stripe, int64(len(f.Values)))
 		mIngestLatencyNs.ObserveAt(stripe, int64(lat))
-		mIngestBatch.ObserveAt(stripe, int64(len(values)))
-		rec.span.Record(telemetry.StageIngest, lat, int64(len(values)))
+		mIngestBatch.ObserveAt(stripe, int64(len(f.Values)))
+		rec.span.Record(telemetry.StageIngest, lat, int64(len(f.Values)))
 	}
-	s.observe(nodeName, rec, snap, t1, on)
+	s.observe(f.Node, rec, snap, t1, on)
+	if resync {
+		mIngestResyncReqs.IncAt(int(rec.shard))
+		return ErrResyncNeeded
+	}
+	return nil
+}
+
+// applySnapshotLocked replaces rec's agent-side state with a full
+// snapshot: present values are upserted (history only records actual
+// changes, so an anti-entropy refresh of an idle node appends nothing),
+// and metrics the snapshot no longer carries are dropped — they vanished
+// on the agent — except the server-side probe metric. Caller holds
+// rec.mu.
+func (s *Server) applySnapshotLocked(rec *nodeRec, nodeName string, values []consolidate.Value, now time.Duration) {
+	for _, v := range values {
+		old, seen := rec.values[v.Name]
+		rec.values[v.Name] = v
+		if !v.IsText {
+			rec.sample[v.Name] = v.Num
+			if !seen || !old.Equal(v) {
+				s.hist.Append(nodeName, v.Name, now, v.Num)
+			}
+		} else {
+			delete(rec.sample, v.Name)
+		}
+	}
+	if len(rec.values) == len(values) {
+		return // nothing extra to drop
+	}
+	present := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		present[v.Name] = struct{}{}
+	}
+	for name := range rec.values {
+		if _, ok := present[name]; !ok && name != probeMetric {
+			delete(rec.values, name)
+			delete(rec.sample, name)
+		}
+	}
+}
+
+// SyncStates reports every node's delta-protocol state, sorted by name.
+func (s *Server) SyncStates() []SyncState {
+	recs := s.allRecs()
+	out := make([]SyncState, 0, len(recs))
+	for _, rec := range recs {
+		rec.mu.RLock()
+		out = append(out, SyncState{
+			Node:        rec.name,
+			Seq:         rec.wireSeq,
+			Synced:      !rec.diverged,
+			Gaps:        rec.gaps,
+			Regressions: rec.regressions,
+			ResyncReqs:  rec.resyncReqs,
+			Snapshots:   rec.snapshots,
+		})
+		rec.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
 }
 
 // observationSnapshot copies rec.sample into a pooled map so the engine
@@ -329,7 +479,7 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 	now := s.now()
 	for _, name := range s.NodeNames() {
 		ok := probe(name)
-		v := consolidate.NumValue("net.echo.ok", consolidate.Dynamic, 0)
+		v := consolidate.NumValue(probeMetric, consolidate.Dynamic, 0)
 		if ok {
 			v.Num = 1
 		}
@@ -423,14 +573,15 @@ func (s *Server) Status() []NodeStatus {
 			LastSeen: rec.lastSeen,
 			Values:   len(rec.values),
 		}
-		if on {
-			if st.Alive {
-				rec.down.Store(false)
-			} else {
-				downCount++
-				if rec.seen && !rec.down.Swap(true) {
-					mDownDetections.Inc()
-				}
+		// Liveness bookkeeping runs regardless of the telemetry kill
+		// switch — down/alive transitions are state, not instrumentation;
+		// only the detection counter increment is conditional.
+		if st.Alive {
+			rec.down.Store(false)
+		} else {
+			downCount++
+			if rec.seen && !rec.down.Swap(true) && on {
+				mDownDetections.Inc()
 			}
 		}
 		if v, ok := rec.values["load.1"]; ok {

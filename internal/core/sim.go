@@ -14,7 +14,37 @@ import (
 	"clusterworx/internal/node"
 	"clusterworx/internal/notify"
 	"clusterworx/internal/simnet"
+	"clusterworx/internal/transmit"
 )
+
+// SimTransport selects how simulated agents reach the server.
+type SimTransport int
+
+const (
+	// TransportDirect calls Server.HandleValues in-process: no network
+	// between agent and server, nothing can be lost. The default, and the
+	// configuration every pre-existing test and benchmark runs.
+	TransportDirect SimTransport = iota
+	// TransportSimnet carries sequenced frames over the simulated fabric
+	// on a dedicated monitoring plane ("<node>.mon" -> "master.mon"
+	// endpoints, separate from the cloning data plane), with the server's
+	// resync requests riding the reverse path. This is the loss-tolerant
+	// protocol under test in the fault-injection harness.
+	TransportSimnet
+	// TransportSimnetLegacy carries the unsequenced legacy protocol over
+	// the same fabric: lost change sets are never detected, reproducing
+	// the silent-divergence bug the sequenced protocol fixes. Exists so
+	// the harness can demonstrate the failure, not for deployment.
+	TransportSimnetLegacy
+)
+
+// simMonAddr is the server's monitoring-plane endpoint address.
+const simMonAddr simnet.Addr = "master.mon"
+
+// monOverheadBytes approximates per-packet header cost (IP + UDP) on the
+// monitoring plane, so frame sizes on the simulated wire are not zero
+// even for empty heartbeats.
+const monOverheadBytes = 28
 
 // SimConfig sizes an in-process simulated cluster.
 type SimConfig struct {
@@ -25,6 +55,12 @@ type SimConfig struct {
 	// Period and Heartbeat configure the agents.
 	Period    time.Duration
 	Heartbeat time.Duration
+	// Transport selects the agent-to-server path (default TransportDirect).
+	Transport SimTransport
+	// AntiEntropy overrides the agents' periodic full-snapshot refresh
+	// interval (TransportSimnet only; zero keeps the agent default,
+	// negative disables).
+	AntiEntropy time.Duration
 	// Mailer receives notifications (default: a Recording inspectable via
 	// Sim.Mailer).
 	Mailer notify.Mailer
@@ -92,6 +128,30 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	net.Seed(cfg.Seed + 99)
 	net.Attach("master", simnet.FastEthernet)
 
+	// The monitoring plane gets its own endpoints so fault injection on
+	// agent traffic cannot disturb the cloning data plane's handlers (and
+	// vice versa). The master side decodes every arriving frame and, for
+	// the sequenced protocol, answers gap detection with a resync-request
+	// control frame to the frame's source.
+	var masterMon *simnet.Endpoint
+	if cfg.Transport != TransportDirect {
+		masterMon = net.Attach(simMonAddr, simnet.FastEthernet)
+		masterMon.OnReceive(func(p simnet.Packet) {
+			b, ok := p.Payload.([]byte)
+			if !ok {
+				return
+			}
+			f, err := transmit.ParseFrame(b)
+			if err != nil {
+				return // corrupt frame: drop, the sequence gap will tell
+			}
+			if err := srv.HandleFrame(f); err == ErrResyncNeeded && cfg.Transport == TransportSimnet {
+				rb := transmit.MarshalResync(nil, f.Node)
+				masterMon.Send(p.Src, rb, len(rb)+monOverheadBytes)
+			}
+		})
+	}
+
 	sim := &Sim{
 		Clk:       clk,
 		Server:    srv,
@@ -148,18 +208,63 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		if cfg.Plugins != nil {
 			plugins = cfg.Plugins(i)
 		}
-		agent, err := NewAgent(clk, AgentConfig{
+		acfg := AgentConfig{
 			Node:      n,
 			Period:    cfg.Period,
 			Heartbeat: cfg.Heartbeat,
 			Plugins:   plugins,
-			Transport: func(nodeName string, values []consolidate.Value) error {
+		}
+		var mon *simnet.Endpoint
+		switch cfg.Transport {
+		case TransportDirect:
+			acfg.Transport = func(nodeName string, values []consolidate.Value) error {
 				srv.HandleValues(nodeName, values)
 				return nil
-			},
-		})
+			}
+		case TransportSimnet:
+			mon = net.Attach(simnet.Addr(name+".mon"), simnet.FastEthernet)
+			acfg.AntiEntropy = cfg.AntiEntropy
+			acfg.SendFrame = func(f transmit.Frame) error {
+				// A down local link is an error the agent can see (bank +
+				// back off); in-flight loss is silent — that is the gap
+				// detection's job. The frame is marshalled to a fresh
+				// buffer because delivery is asynchronous and f.Values is
+				// scratch-backed.
+				if !mon.Up() {
+					return ErrLinkDown
+				}
+				b := transmit.MarshalFrame(nil, f)
+				mon.Send(simMonAddr, b, len(b)+monOverheadBytes)
+				return nil
+			}
+		case TransportSimnetLegacy:
+			mon = net.Attach(simnet.Addr(name+".mon"), simnet.FastEthernet)
+			acfg.Transport = func(nodeName string, values []consolidate.Value) error {
+				if !mon.Up() {
+					return ErrLinkDown
+				}
+				b := transmit.MarshalFrame(nil, transmit.Frame{Node: nodeName, Values: values})
+				mon.Send(simMonAddr, b, len(b)+monOverheadBytes)
+				return nil
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown sim transport %d", cfg.Transport)
+		}
+		agent, err := NewAgent(clk, acfg)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Transport == TransportSimnet {
+			agent := agent
+			mon.OnReceive(func(p simnet.Packet) {
+				b, ok := p.Payload.([]byte)
+				if !ok {
+					return
+				}
+				if _, ok := transmit.ParseResync(b); ok {
+					agent.RequestResync()
+				}
+			})
 		}
 		sim.Agents = append(sim.Agents, agent)
 	}

@@ -23,6 +23,17 @@ var (
 	mDownDetections   = telemetry.Default().Counter("cwx_server_down_detections_total")
 	gNodes            = telemetry.Default().Gauge("cwx_server_nodes")
 	gNodesDown        = telemetry.Default().Gauge("cwx_server_nodes_down")
+
+	// Loss-tolerant delta protocol (§5.3 transmission over flaky
+	// networks): server-side gap/regression detection and resync
+	// requests, plus the agent-side retransmit and snapshot counters.
+	mIngestSeqGaps        = telemetry.Default().Counter("cwx_ingest_seq_gaps_total")
+	mIngestSeqRegressions = telemetry.Default().Counter("cwx_ingest_seq_regressions_total")
+	mIngestResyncReqs     = telemetry.Default().Counter("cwx_ingest_resync_requests_total")
+	mIngestSnapshots      = telemetry.Default().Counter("cwx_ingest_snapshot_frames_total")
+	mAgentSendFailures    = telemetry.Default().Counter("cwx_agent_send_failures_total")
+	mAgentRetransmits     = telemetry.Default().Counter("cwx_agent_retransmits_total")
+	mAgentResyncSnapshots = telemetry.Default().Counter("cwx_agent_resync_snapshots_total")
 )
 
 // WriteTelemetry emits the process's entire self-monitoring state in the

@@ -91,7 +91,17 @@ type Config struct {
 	Batch time.Duration
 	// Wireless selects the short pager/cell-phone rendition.
 	Wireless bool
+	// Retry is the base delay before a failed incident e-mail is retried
+	// (default 30 s). Each further attempt doubles the delay; after
+	// maxSendAttempts total attempts the incident e-mail is given up on,
+	// so a dead mailer cannot accumulate timers forever.
+	Retry time.Duration
 }
+
+// maxSendAttempts bounds delivery attempts per incident: the paper's
+// "one e-mail per event" guarantee must survive a transient SMTP
+// failure, but a permanently dead mailer must not retry unboundedly.
+const maxSendAttempts = 3
 
 // Notifier implements events.Notifier with the paper's one-mail-per-event
 // semantics. An incident opens at the first trigger of a rule and closes
@@ -108,12 +118,13 @@ type Notifier struct {
 }
 
 type incident struct {
-	rule    events.Rule
-	nodes   map[string]bool // node -> still failing
-	actErrs map[string]error
-	values  map[string]float64
-	sent    bool
-	timer   *clock.Timer
+	rule     events.Rule
+	nodes    map[string]bool // node -> still failing
+	actErrs  map[string]error
+	values   map[string]float64
+	sent     bool
+	attempts int // delivery attempts so far (bounded by maxSendAttempts)
+	timer    *clock.Timer
 }
 
 // New returns a Notifier delivering through mailer on clk's time base.
@@ -123,6 +134,9 @@ func New(clk *clock.Clock, mailer Mailer, cfg Config) *Notifier {
 	}
 	if cfg.Admin == "" {
 		cfg.Admin = "root@localhost"
+	}
+	if cfg.Retry <= 0 {
+		cfg.Retry = 30 * time.Second
 	}
 	return &Notifier{
 		cfg:       cfg,
@@ -196,7 +210,11 @@ func (n *Notifier) EventCleared(rule events.Rule, node string) {
 	}
 }
 
-// flush sends the single incident e-mail.
+// flush sends the single incident e-mail. sent is marked before the
+// mailer runs (so a concurrent flush cannot double-send) and cleared on
+// failure, with a bounded doubling retry rescheduled on the clock — a
+// transient SMTP failure must not lose the one e-mail the paper
+// guarantees per event.
 func (n *Notifier) flush(ruleName string) {
 	n.mu.Lock()
 	inc, ok := n.incidents[ruleName]
@@ -205,12 +223,22 @@ func (n *Notifier) flush(ruleName string) {
 		return
 	}
 	inc.sent = true
+	inc.attempts++
 	msg := n.render(inc)
 	n.mu.Unlock()
 	if err := n.mailer.Send(msg); err != nil {
 		mSendErrs.Inc()
 		n.mu.Lock()
 		n.sendErrs++
+		// Only retry while this incident is still the open one — it may
+		// have cleared (or reopened as a fresh incident) during the send.
+		if cur, ok := n.incidents[ruleName]; ok && cur == inc {
+			inc.sent = false
+			if inc.attempts < maxSendAttempts {
+				delay := n.cfg.Retry << (inc.attempts - 1)
+				inc.timer = n.clk.AfterFunc(delay, func() { n.flush(ruleName) })
+			}
+		}
 		n.mu.Unlock()
 		return
 	}

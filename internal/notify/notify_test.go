@@ -181,6 +181,72 @@ func TestMailerFailureCounted(t *testing.T) {
 	}
 }
 
+func TestSendRetriedAfterTransientFailure(t *testing.T) {
+	clk := clock.New()
+	fails, sent := 2, 0
+	mailer := MailerFunc(func(Message) error {
+		if fails > 0 {
+			fails--
+			return errors.New("smtp down")
+		}
+		sent++
+		return nil
+	})
+	n := New(clk, mailer, Config{Retry: 10 * time.Second})
+	n.EventTriggered(rule("overheat"), "n01", 90, nil)
+	if sent != 0 {
+		t.Fatalf("mail delivered despite failing mailer")
+	}
+	// Retries double from the base: 10 s then 20 s.
+	clk.Advance(10 * time.Second)
+	if sent != 0 {
+		t.Fatalf("second attempt should also fail")
+	}
+	clk.Advance(20 * time.Second)
+	if sent != 1 {
+		t.Fatalf("mail sent %d times after mailer recovered, want 1", sent)
+	}
+	if n.SendFailures() != 2 {
+		t.Fatalf("send failures = %d, want 2", n.SendFailures())
+	}
+	// The incident is still open and already delivered: no further sends.
+	clk.Advance(5 * time.Minute)
+	if sent != 1 {
+		t.Fatalf("retry fired after success: sent = %d", sent)
+	}
+}
+
+func TestSendRetriesAreBounded(t *testing.T) {
+	clk := clock.New()
+	attempts := 0
+	mailer := MailerFunc(func(Message) error { attempts++; return errors.New("smtp dead") })
+	n := New(clk, mailer, Config{Retry: time.Second})
+	n.EventTriggered(rule("overheat"), "n01", 90, nil)
+	clk.Advance(time.Hour)
+	if attempts != maxSendAttempts {
+		t.Fatalf("attempts = %d, want %d (bounded retry)", attempts, maxSendAttempts)
+	}
+	if n.SendFailures() != maxSendAttempts {
+		t.Fatalf("send failures = %d", n.SendFailures())
+	}
+}
+
+func TestNoRetryAfterIncidentClears(t *testing.T) {
+	clk := clock.New()
+	attempts := 0
+	mailer := MailerFunc(func(Message) error { attempts++; return errors.New("smtp down") })
+	n := New(clk, mailer, Config{Retry: time.Second})
+	r := rule("overheat")
+	n.EventTriggered(r, "n01", 90, nil)
+	// The node heals before the retry fires: the incident closes, and the
+	// pending retry must not mail about a problem that no longer exists.
+	n.EventCleared(r, "n01")
+	clk.Advance(time.Hour)
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry for a cleared incident)", attempts)
+	}
+}
+
 func TestDefaults(t *testing.T) {
 	clk := clock.New()
 	n, rec := newNotifier(clk, Config{})

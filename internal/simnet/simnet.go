@@ -74,13 +74,36 @@ func New(clk *clock.Clock, latency time.Duration) *Network {
 }
 
 // SetLoss sets the independent per-receiver packet drop probability.
+// The closed interval [0,1] is accepted: p == 1 is a full blackhole, a
+// legitimate fault-injection setting.
 func (n *Network) SetLoss(p float64) {
-	if p < 0 || p >= 1 {
-		panic(fmt.Sprintf("simnet: loss probability %v out of [0,1)", p))
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("simnet: loss probability %v out of [0,1]", p))
 	}
 	n.mu.Lock()
 	n.loss = p
 	n.mu.Unlock()
+}
+
+// SetLatency changes the one-way propagation latency (fault injection: a
+// degraded or rerouted fabric). Packets already scheduled keep their old
+// arrival times.
+func (n *Network) SetLatency(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative latency %v", d))
+	}
+	n.mu.Lock()
+	n.latency = d
+	n.mu.Unlock()
+}
+
+// ScheduleAt runs fn against the network at absolute virtual time t —
+// the building block of loss/latency/partition fault schedules:
+//
+//	net.ScheduleAt(10*time.Second, func(n *Network) { n.SetLoss(0.2) })
+//	net.ScheduleAt(30*time.Second, func(n *Network) { n.Endpoint("node003").SetUp(false) })
+func (n *Network) ScheduleAt(t time.Duration, fn func(*Network)) {
+	n.clk.At(t, func() { fn(n) })
 }
 
 // Seed reseeds the loss generator for reproducible experiments.

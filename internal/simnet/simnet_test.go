@@ -174,7 +174,7 @@ func TestLossDropsFraction(t *testing.T) {
 
 func TestLossValidation(t *testing.T) {
 	net := New(clock.New(), 0)
-	for _, bad := range []float64{-0.1, 1.0, 2} {
+	for _, bad := range []float64{-0.1, 1.01, 2} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -183,6 +183,55 @@ func TestLossValidation(t *testing.T) {
 			}()
 			net.SetLoss(bad)
 		}()
+	}
+	// The closed interval ends are legal: 1.0 is a full blackhole.
+	net.SetLoss(0)
+	net.SetLoss(1)
+}
+
+func TestBlackholeDropsEverything(t *testing.T) {
+	clk := clock.New()
+	net := New(clk, 0)
+	net.SetLoss(1)
+	a := net.Attach("a", GigE)
+	b := net.Attach("b", GigE)
+	got := 0
+	b.OnReceive(func(Packet) { got++ })
+	for i := 0; i < 50; i++ {
+		a.Send("b", i, 100)
+	}
+	clk.RunUntilIdle()
+	if got != 0 || b.Stats().Dropped != 50 {
+		t.Fatalf("blackhole delivered %d, dropped %d", got, b.Stats().Dropped)
+	}
+}
+
+func TestScheduleAtDrivesFaults(t *testing.T) {
+	clk := clock.New()
+	net := New(clk, time.Millisecond)
+	a := net.Attach("a", GigE)
+	b := net.Attach("b", GigE)
+	got := 0
+	b.OnReceive(func(Packet) { got++ })
+	// Schedule: blackhole from 10ms, heal plus latency change at 20ms,
+	// partition b from 30ms.
+	net.ScheduleAt(10*time.Millisecond, func(n *Network) { n.SetLoss(1) })
+	net.ScheduleAt(20*time.Millisecond, func(n *Network) {
+		n.SetLoss(0)
+		n.SetLatency(2 * time.Millisecond)
+	})
+	net.ScheduleAt(30*time.Millisecond, func(n *Network) { n.Endpoint("b").SetUp(false) })
+	send := func() { a.Send("b", nil, 100) }
+	clk.AfterFunc(5*time.Millisecond, send)  // delivered
+	clk.AfterFunc(15*time.Millisecond, send) // blackholed
+	clk.AfterFunc(25*time.Millisecond, send) // delivered (heal), at 2ms latency
+	clk.AfterFunc(35*time.Millisecond, send) // partitioned
+	clk.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("schedule delivered %d packets, want 2", got)
+	}
+	if b.Stats().Dropped != 2 {
+		t.Fatalf("schedule dropped %d packets, want 2", b.Stats().Dropped)
 	}
 }
 

@@ -1,0 +1,165 @@
+package transmit
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clusterworx/internal/consolidate"
+)
+
+// This file defines the loss-tolerant framing of the §5.3.3 transmission
+// stage. The original delta protocol silently assumed a reliable
+// transport: a change set that never arrived was never resent, because
+// change suppression only retransmits a value when it changes again. The
+// sequenced frame format lets the receiver detect losses (per-node
+// sequence numbers), and the snapshot kind lets a sender heal any
+// divergence by shipping its full value set.
+//
+// Payload layout (inside a compressed wire frame):
+//
+//	<node> <seq> <D|S>\n     sequenced header: kind D (delta) or S (snapshot)
+//	<node>\n                 legacy unsequenced header (seq 0, delta)
+//	<value lines...>         see MarshalValues
+//
+// A payload whose first byte is '!' is a control message flowing
+// server→agent; today the only one is the resync request ("!resync
+// <node>"), sent when the server detects a sequence gap and needs a
+// snapshot to restore a byte-identical view of the node.
+
+// FrameKind classifies a data frame.
+type FrameKind uint8
+
+// Data frame kinds.
+const (
+	// FrameDelta carries only values that changed since the previous
+	// frame; it applies on top of the receiver's current state.
+	FrameDelta FrameKind = iota
+	// FrameSnapshot carries the sender's complete value set and replaces
+	// the receiver's state for the node — the anti-entropy/resync unit.
+	FrameSnapshot
+)
+
+// String returns "delta" or "snapshot".
+func (k FrameKind) String() string {
+	if k == FrameSnapshot {
+		return "snapshot"
+	}
+	return "delta"
+}
+
+// Frame is one decoded agent transmission.
+type Frame struct {
+	Node string
+	// Seq is the per-node sequence number, incremented by the agent on
+	// every successfully handed-off frame. Zero means unsequenced (the
+	// legacy protocol): the receiver applies the values without gap
+	// detection.
+	Seq    uint64
+	Kind   FrameKind
+	Values []consolidate.Value
+}
+
+// MarshalFrame renders f into the wire payload form, appending to dst.
+// Frames with Seq 0 use the legacy name-only header so old receivers
+// still parse them.
+func MarshalFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, f.Node...)
+	if f.Seq > 0 {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, f.Seq, 10)
+		if f.Kind == FrameSnapshot {
+			dst = append(dst, ' ', 'S')
+		} else {
+			dst = append(dst, ' ', 'D')
+		}
+	}
+	dst = append(dst, '\n')
+	return MarshalValues(dst, f.Values)
+}
+
+// ParseFrame decodes one data-frame payload (either header form). It
+// rejects malformed headers — including node names carrying whitespace or
+// non-printable bytes, the tell-tale of a truncated or corrupted frame —
+// rather than registering garbage node names.
+func ParseFrame(payload []byte) (Frame, error) {
+	var f Frame
+	if len(payload) == 0 {
+		return f, fmt.Errorf("transmit: empty frame")
+	}
+	if payload[0] == '!' {
+		return f, fmt.Errorf("transmit: control frame where data frame expected")
+	}
+	header := payload
+	var rest []byte
+	if nl := bytes.IndexByte(payload, '\n'); nl >= 0 {
+		header, rest = payload[:nl], payload[nl+1:]
+	}
+	fields := strings.Fields(string(header))
+	switch len(fields) {
+	case 1: // legacy unsequenced header
+		f.Node = fields[0]
+	case 3:
+		f.Node = fields[0]
+		seq, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || seq == 0 {
+			return Frame{}, fmt.Errorf("transmit: bad sequence number %q", fields[1])
+		}
+		f.Seq = seq
+		switch fields[2] {
+		case "D":
+			f.Kind = FrameDelta
+		case "S":
+			f.Kind = FrameSnapshot
+		default:
+			return Frame{}, fmt.Errorf("transmit: bad frame kind %q", fields[2])
+		}
+	default:
+		return Frame{}, fmt.Errorf("transmit: malformed frame header %q", header)
+	}
+	if !validNodeName(f.Node) {
+		return Frame{}, fmt.Errorf("transmit: invalid node name %q", f.Node)
+	}
+	values, err := UnmarshalValues(rest)
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Values = values
+	return f, nil
+}
+
+// validNodeName reports whether name looks like a hostname rather than
+// frame corruption: non-empty printable ASCII with no whitespace.
+func validNodeName(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if b := name[i]; b <= ' ' || b >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// resyncPrefix tags the server→agent resync request control payload.
+const resyncPrefix = "!resync "
+
+// MarshalResync renders a resync request for node, appending to dst.
+func MarshalResync(dst []byte, node string) []byte {
+	return append(append(dst, resyncPrefix...), node...)
+}
+
+// ParseResync reports whether payload is a resync request and for which
+// node.
+func ParseResync(payload []byte) (node string, ok bool) {
+	if !bytes.HasPrefix(payload, []byte(resyncPrefix)) {
+		return "", false
+	}
+	name := string(payload[len(resyncPrefix):])
+	if !validNodeName(name) {
+		return "", false
+	}
+	return name, true
+}
