@@ -1,12 +1,12 @@
 # Standard pre-merge gate. `make check` is what CI (and humans) run
-# before merging: formatting, vet, a full build, and the test suite under
-# the race detector.
+# before merging: formatting, vet, a full build, the repo's invariant
+# linter, and the test suite under the race detector.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke faultinject
+.PHONY: check fmt vet build lint test race bench bench-smoke fuzz-smoke faultinject
 
-check: fmt vet build race
+check: fmt vet build lint race
 
 # The `|| { ...; exit 1; }` matters: without it a gofmt crash (e.g. a
 # parse error) leaves $$out empty and the gate silently passes.
@@ -21,6 +21,13 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# cwxlint: the dependency-free invariant analyzers (hotpath, clockdet,
+# lockscope, atomicmix — see internal/lint). Accepted pre-existing
+# findings live in .cwxlint-baseline; regenerate it with
+# `go run ./cmd/cwxlint -update-baseline`.
+lint:
+	$(GO) run ./cmd/cwxlint
 
 test:
 	$(GO) test ./...
@@ -38,6 +45,14 @@ bench:
 # 10x), just a smoke test.
 bench-smoke:
 	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry' -benchtime 10x -benchmem .
+
+# Short fuzz run over the wire-protocol parsers: each target gets ~10s,
+# long enough to re-cover the grammar from the checked-in seeds without
+# stalling CI. The saved corpus under internal/transmit/testdata/fuzz
+# replays on every plain `go test` as regression inputs.
+fuzz-smoke:
+	$(GO) test ./internal/transmit/ -fuzz FuzzParseFrame -fuzztime 10s -run NONE
+	$(GO) test ./internal/transmit/ -fuzz FuzzReadWireValues -fuzztime 10s -run NONE
 
 # Fault-injection suite for the loss-tolerant delta protocol: seeded
 # loss/blackhole/partition schedules over simnet, under the race

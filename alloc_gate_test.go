@@ -1,0 +1,103 @@
+// Allocation-regression gates: the structural side of this invariant is
+// cwxlint's hotpath analyzer; these tests are the empirical side, pinning
+// the numbers the E6/E15/E18 benchmarks report so a regression fails
+// `go test` rather than silently shifting a benchmark.
+package clusterworx
+
+import (
+	"bytes"
+	"testing"
+
+	"clusterworx/internal/core"
+	"clusterworx/internal/transmit"
+)
+
+// skipUnderRace skips allocation gates when the race detector is on:
+// race-runtime bookkeeping shows up in testing.AllocsPerRun, so the
+// counts only pin the real hot path in an uninstrumented build.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc counts include race-detector instrumentation")
+	}
+}
+
+// TestAllocGateLosslessIngest pins the steady-state unsequenced ingest
+// path (E15's shape) at zero allocations per update.
+func TestAllocGateLosslessIngest(t *testing.T) {
+	skipUnderRace(t)
+	srv := core.NewServer(core.ServerConfig{Cluster: "allocgate"})
+	names := ingestNodeNames()
+	full := ingestFullSet()
+	for _, name := range names {
+		srv.HandleValues(name, full)
+	}
+	deltas := ingestDeltaSets()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		srv.HandleValues(names[i%len(names)], deltas[i%len(deltas)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("lossless ingest allocates %.1f times per update, want 0", allocs)
+	}
+}
+
+// TestAllocGateSequencedIngest pins the loss-tolerant protocol's happy
+// path (E18's shape): in-order sequenced deltas must also be
+// allocation-free — the gap-detection bookkeeping is integer compares
+// under the per-node lock already held.
+func TestAllocGateSequencedIngest(t *testing.T) {
+	skipUnderRace(t)
+	srv := core.NewServer(core.ServerConfig{Cluster: "allocgate"})
+	full := ingestFullSet()
+	deltas := ingestDeltaSets()
+	const node = "fnode0001"
+	if err := srv.HandleFrame(transmit.Frame{Node: node, Seq: 1, Kind: transmit.FrameSnapshot, Values: full}); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(1)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		f := transmit.Frame{Node: node, Seq: seq, Kind: transmit.FrameDelta, Values: deltas[i%len(deltas)]}
+		if err := srv.HandleFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("sequenced ingest allocates %.1f times per update, want 0", allocs)
+	}
+}
+
+// TestAllocGateWireRoundtrip pins the compressed wire path (E6's shape):
+// marshal + frame + deflate on the agent side, decode + inflate on the
+// server side, at most one allocation per roundtrip (amortized scratch
+// growth rounds to ≤1; steady state is 0).
+func TestAllocGateWireRoundtrip(t *testing.T) {
+	skipUnderRace(t)
+	payload := transmit.MarshalFrame(nil, transmit.Frame{
+		Node: "node042", Seq: 1, Kind: transmit.FrameSnapshot, Values: ingestFullSet(),
+	})
+	var wire bytes.Buffer
+	w := transmit.NewWriter(&wire, true)
+	r := transmit.NewReader(&wire)
+	roundtrip := func() {
+		if err := w.WriteFrame(payload); err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(payload) {
+			t.Fatalf("roundtrip returned %d bytes, want %d", len(out), len(payload))
+		}
+	}
+	roundtrip() // warm the reader's scratch buffers off the measured path
+	allocs := testing.AllocsPerRun(200, roundtrip)
+	if allocs > 1 {
+		t.Fatalf("wire roundtrip allocates %.1f times, want at most 1", allocs)
+	}
+}

@@ -1,0 +1,78 @@
+// Command cwxlint runs the repository's invariant analyzers (hotpath,
+// clockdet, lockscope, atomicmix — see internal/lint) over the module
+// and exits non-zero on fresh findings.
+//
+// Usage:
+//
+//	go run ./cmd/cwxlint [-root dir] [-baseline file] [-update-baseline]
+//
+// Accepted pre-existing findings live in .cwxlint-baseline at the module
+// root; -update-baseline rewrites it from the current findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"clusterworx/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze")
+	baseline := flag.String("baseline", "", "baseline file (default <root>/"+lint.BaselineName+")")
+	update := flag.Bool("update-baseline", false, "rewrite the baseline from current findings and exit")
+	flag.Parse()
+
+	if err := run(*root, *baseline, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "cwxlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(root, baselinePath string, update bool) error {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(absRoot, lint.BaselineName)
+	}
+
+	pkgs, module, err := lint.Load(absRoot)
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(pkgs, lint.Config{Module: module})
+
+	if update {
+		if err := lint.WriteBaseline(baselinePath, absRoot, diags); err != nil {
+			return err
+		}
+		fmt.Printf("cwxlint: wrote %d finding(s) to %s\n", len(diags), baselinePath)
+		return nil
+	}
+
+	base, err := lint.ReadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, stale := lint.ApplyBaseline(diags, absRoot, base)
+	for _, k := range stale {
+		fmt.Printf("cwxlint: stale baseline entry (no longer produced): %s\n", k)
+	}
+	if len(fresh) > 0 {
+		for _, d := range fresh {
+			rel := d
+			if r, err := filepath.Rel(absRoot, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel.String())
+		}
+		fmt.Printf("cwxlint: %d finding(s) in %d package(s)\n", len(fresh), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Printf("cwxlint: ok (%d packages, %d baselined finding(s))\n", len(pkgs), len(diags)-len(fresh))
+	return nil
+}

@@ -323,6 +323,8 @@ func (c *Consolidator) Snapshot() []Value {
 // until the next Delta call; the transmission stage marshals it
 // immediately, which keeps the once-per-period hot path allocation-free.
 // Callers that retain a delta must copy it.
+//
+//cwx:hotpath
 func (c *Consolidator) Delta() []Value {
 	c.mu.Lock()
 	defer c.mu.Unlock()

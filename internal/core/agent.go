@@ -246,7 +246,7 @@ func (a *Agent) tick() {
 	// includes the server's synchronous ingest.
 	var t0 time.Time
 	if on {
-		t0 = time.Now()
+		t0 = time.Now() //cwx:allow clockdet -- transmit-latency telemetry measures real delivery cost
 	}
 	var err error
 	if framed {
@@ -272,7 +272,7 @@ func (a *Agent) tick() {
 		return
 	}
 	if on {
-		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(values)))
+		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(values))) //cwx:allow clockdet -- closes the wall-clock transmit span
 	}
 	if framed {
 		a.seq++

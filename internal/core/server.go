@@ -147,6 +147,8 @@ var samplePool = sync.Pool{
 }
 
 // shardIndex hashes a node name to its stripe with FNV-1a.
+//
+//cwx:hotpath
 func shardIndex(name string) uint32 {
 	const (
 		offset32 = 2166136261
@@ -257,6 +259,8 @@ func (s *Server) node(name string) *nodeRec {
 }
 
 // lookup returns the record for name without creating it.
+//
+//cwx:hotpath
 func (s *Server) lookup(name string) (*nodeRec, bool) {
 	sh := &s.shards[shardIndex(name)]
 	sh.mu.RLock()
@@ -268,6 +272,8 @@ func (s *Server) lookup(name string) (*nodeRec, bool) {
 // HandleValues ingests one unsequenced agent transmission (a change
 // set). It is the legacy entry point: HandleFrame with a zero sequence
 // number, which never detects gaps and never requests a resync.
+//
+//cwx:hotpath
 func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 	s.HandleFrame(transmit.Frame{Node: nodeName, Kind: transmit.FrameDelta, Values: values}) //nolint:errcheck // unsequenced frames never need resync
 }
@@ -290,6 +296,8 @@ func (s *Server) HandleValues(nodeName string, values []consolidate.Value) {
 // HandleFrame returns ErrResyncNeeded until a snapshot frame restores a
 // byte-identical view. Snapshot frames replace the node's agent-side
 // state wholesale.
+//
+//cwx:hotpath
 func (s *Server) HandleFrame(f transmit.Frame) error {
 	// Telemetry on this path is atomics only, striped by the node's shard
 	// index so concurrent agents land on distinct counter cache lines;
@@ -297,7 +305,7 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	on := telemetry.On()
 	var t0 time.Time
 	if on {
-		t0 = time.Now()
+		t0 = time.Now() //cwx:allow clockdet -- ingest latency measures real CPU cost; s.now is the virtual clock
 	}
 	now := s.now()
 	rec := s.node(f.Node)
@@ -358,7 +366,7 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	// clock read, not two.
 	var t1 time.Time
 	if on {
-		t1 = time.Now()
+		t1 = time.Now() //cwx:allow clockdet,hotpath -- one deliberate second read: ingest-latency end doubles as events-dwell start
 		lat := t1.Sub(t0)
 		stripe := int(rec.shard)
 		mIngestUpdates.IncAt(stripe)
@@ -435,6 +443,8 @@ func (s *Server) SyncStates() []SyncState {
 // that did not change this round still hold) after every lock is
 // released. Caller must hold rec.mu. Returns nil when no rules are
 // installed — the engine would not look at the snapshot anyway.
+//
+//cwx:hotpath
 func (s *Server) observationSnapshot(rec *nodeRec) map[string]float64 {
 	if !s.engine.HasRules() {
 		return nil
@@ -452,13 +462,15 @@ func (s *Server) observationSnapshot(rec *nodeRec) map[string]float64 {
 // inline actions) held up this ingest goroutine, measured from e0 (the
 // caller's post-ingest timestamp, when on) — lands in the node's
 // pipeline span and a striped histogram.
+//
+//cwx:hotpath
 func (s *Server) observe(nodeName string, rec *nodeRec, snap map[string]float64, e0 time.Time, on bool) {
 	if snap == nil {
 		return
 	}
 	if on {
 		s.engine.ObserveMap(nodeName, snap)
-		dwell := time.Since(e0)
+		dwell := time.Since(e0) //cwx:allow clockdet -- dwell measures real rule-evaluation cost, paired with HandleFrame's t1
 		mEventsDwellNs.ObserveAt(int(rec.shard), int64(dwell))
 		rec.span.Record(telemetry.StageEvents, dwell, int64(len(snap)))
 	} else {
@@ -493,7 +505,7 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		on := telemetry.On()
 		var e0 time.Time
 		if on {
-			e0 = time.Now()
+			e0 = time.Now() //cwx:allow clockdet -- events-dwell telemetry; probe scheduling itself uses s.now
 		}
 		s.observe(name, rec, snap, e0, on)
 	}

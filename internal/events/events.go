@@ -331,11 +331,11 @@ func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
 		}
 		var act0 time.Time
 		if telemetry.On() {
-			act0 = time.Now()
+			act0 = time.Now() //cwx:allow clockdet -- action latency measures real actuator cost; firings are stamped with e.now
 		}
 		actionErr := e.act(w.rule, node)
 		if telemetry.On() {
-			mActionNs.Observe(int64(time.Since(act0)))
+			mActionNs.Observe(int64(time.Since(act0))) //cwx:allow clockdet -- closes the wall-clock action span
 		}
 		mFired.Inc()
 		f := Firing{

@@ -55,6 +55,8 @@ func NewSeries(capacity int) *Series {
 
 // Append adds a point. Out-of-order appends (clock skew after an agent
 // restart) are dropped rather than corrupting the ring's ordering.
+//
+//cwx:hotpath
 func (s *Series) Append(t time.Duration, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAtomicmix runs globally, across every package in the load, because
+// the mixed-access bug it targets is usually cross-package: one file
+// publishes a counter with atomic.AddUint64 and a test or admin handler
+// three packages away reads the field bare. Phase one collects every
+// struct field whose address is passed to a sync/atomic function; phase
+// two flags every other selector access to those fields. types.Var
+// identity is shared across the whole loader universe, so the two
+// phases match up without any name-based heuristics.
+func runAtomicmix(passes []*pass) {
+	atomicFields := make(map[*types.Var][]string) // field -> atomic ops seen
+	for _, p := range passes {
+		collectAtomicFields(p, atomicFields)
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, p := range passes {
+		flagBareAccesses(p, atomicFields)
+	}
+}
+
+// collectAtomicFields records struct fields used as &x.f arguments to
+// sync/atomic package functions.
+func collectAtomicFields(p *pass, out map[*types.Var][]string) {
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if !isAtomicFunc(fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := fieldVar(p, u.X); v != nil {
+					out[v] = append(out[v], fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// flagBareAccesses reports selector accesses to atomic-managed fields
+// that are neither a sync/atomic argument nor an atomic-typed method
+// call.
+func flagBareAccesses(p *pass, fields map[*types.Var][]string) {
+	for _, file := range p.pkg.Files {
+		sanctioned := sanctionedSelectors(p, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldVar(p, sel)
+			if v == nil {
+				return true
+			}
+			if _, ok := fields[v]; !ok {
+				return true
+			}
+			p.report(sel.Pos(), "atomicmix",
+				"struct field %s is accessed via sync/atomic elsewhere; non-atomic access here races with it", v.Name())
+			return true
+		})
+	}
+}
+
+// sanctionedSelectors marks the selector expressions that legitimately
+// touch an atomic field: &x.f arguments to sync/atomic functions.
+func sanctionedSelectors(p *pass, file *ast.File) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicFunc(calleeFunc(p, call)) {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldVar resolves e to the struct field it selects, or nil.
+func fieldVar(p *pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := p.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the time-package entry points that read or schedule
+// on the wall clock. Inside simulation-scoped packages every one of them
+// silently decouples behavior from the virtual clock: a time.Sleep in an
+// event callback stalls the whole discrete-event loop, and a time.Now
+// mixed into simulated state makes fault-injection runs unreproducible.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// seededRandCtors are the math/rand package-level functions that build
+// explicitly seeded generators — the fix clockdet points at, so they are
+// exempt.
+var seededRandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// runClockdet flags wall-clock reads and global (unseeded) math/rand use
+// inside the simulation-scoped packages. Intentional wall-clock reads —
+// telemetry that measures real CPU cost a virtual clock would report as
+// zero — carry an inline //cwx:allow clockdet with the reason.
+func runClockdet(p *pass) {
+	if !inClockScope(p.pkg.Path, p.cfg.ClockScope) {
+		return
+	}
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand or a clock.Clock) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					p.report(call.Pos(), "clockdet",
+						"time.%s bypasses the virtual clock in a simulation-scoped package (use internal/clock, or //cwx:allow clockdet for intentional wall-clock telemetry)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[fn.Name()] {
+					p.report(call.Pos(), "clockdet",
+						"global math/rand %s is process-global and unseeded here; use a rand.New(rand.NewSource(seed)) instance so runs reproduce", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func inClockScope(path string, scope []string) bool {
+	for _, prefix := range scope {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

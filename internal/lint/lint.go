@@ -1,0 +1,348 @@
+// Package lint is cwxlint: a dependency-free static-analysis suite that
+// mechanically enforces the repository's performance and determinism
+// invariants — the properties the §5.3 "minimal intrusiveness" claim
+// rests on, which PRs 1–3 established by hand:
+//
+//   - hotpath: a function marked //cwx:hotpath must not contain
+//     allocating constructs (fmt calls, string<->[]byte conversions,
+//     string concatenation, map/slice literals, capturing closures,
+//     append without preallocated-cap evidence) and at most one direct
+//     time.Now read per call.
+//   - clockdet: simulation-scoped packages must go through
+//     internal/clock and seeded rand.Rand instances, never the wall
+//     clock or the global math/rand state, so every simulation and
+//     fault-injection run is reproducible.
+//   - lockscope: event-engine / notifier / plugin entry points must not
+//     be called while a shard/record/series mutex is held, and every
+//     sync.Pool.Get needs a Put (or an ownership hand-off) on every
+//     return path — the exact bug classes fixed in the PR 1 review.
+//   - atomicmix: a struct field accessed through sync/atomic anywhere
+//     must never be read or written non-atomically elsewhere.
+//
+// Findings are suppressed either inline ("//cwx:allow <analyzers> --
+// reason" on the flagged line or the line above) or through a baseline
+// file listing pre-existing accepted findings, so accepted exceptions
+// are explicit rather than silent.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the file:line:col form editors parse.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Key is the position-independent identity used by the baseline file:
+// analyzer, root-relative file, and message — no line numbers, so the
+// baseline survives unrelated edits to the same file.
+func (d Diagnostic) Key(root string) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Analyzer, file, d.Message)
+}
+
+// Config tunes an analysis run.
+type Config struct {
+	// ClockScope lists the import-path prefixes clockdet applies to.
+	// Empty means the default simulation-scoped set under Module.
+	ClockScope []string
+	// Module is the module path, used to derive the default ClockScope.
+	Module string
+}
+
+// DefaultClockScope returns the packages whose time sources must be the
+// virtual clock: the simulation core and the engines whose behavior
+// fault-injection runs replay deterministically.
+func DefaultClockScope(module string) []string {
+	return []string{
+		module + "/internal/core",
+		module + "/internal/simnet",
+		module + "/internal/events",
+		module + "/internal/notify",
+	}
+}
+
+// pass is one package plus its resolved suppression directives.
+type pass struct {
+	pkg    *Package
+	cfg    *Config
+	allows map[string]map[int][]string // file -> line -> allowed analyzers
+	diags  *[]Diagnostic
+}
+
+func (p *pass) report(pos token.Pos, analyzer, format string, args ...any) {
+	position := p.pkg.Fset.Position(pos)
+	if p.allowed(position, analyzer) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowed reports whether an inline //cwx:allow directive on the finding
+// line (trailing comment) or the line directly above covers analyzer.
+func (p *pass) allowed(pos token.Position, analyzer string) bool {
+	lines := p.allows[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over pkgs and returns the findings sorted
+// by position. Inline //cwx:allow suppressions are already applied;
+// baseline filtering is the caller's concern (see ApplyBaseline).
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	if len(cfg.ClockScope) == 0 && cfg.Module != "" {
+		cfg.ClockScope = DefaultClockScope(cfg.Module)
+	}
+	var diags []Diagnostic
+	passes := make([]*pass, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		passes = append(passes, &pass{pkg: pkg, cfg: &cfg, allows: collectAllows(pkg), diags: &diags})
+	}
+	for _, p := range passes {
+		runHotpath(p)
+		runClockdet(p)
+		runLockscope(p)
+	}
+	runAtomicmix(passes)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// collectAllows indexes every "//cwx:allow a,b -- reason" comment by
+// file and line.
+func collectAllows(pkg *Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//cwx:allow")
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(rest), "--")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(names, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment carries the given marker
+// line (e.g. "//cwx:hotpath").
+func hasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// --- baseline ---------------------------------------------------------------------
+
+// BaselineName is the root-relative findings baseline: accepted
+// pre-existing findings, one Diagnostic.Key per line. Findings in it are
+// filtered from the report; entries no longer produced are flagged as
+// stale so the file cannot rot silently.
+const BaselineName = ".cwxlint-baseline"
+
+// ReadBaseline loads a baseline file into a key -> count multiset. A
+// missing file is an empty baseline.
+func ReadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]int)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
+	}
+	return base, nil
+}
+
+// ApplyBaseline splits diags into fresh findings and consumed baseline
+// hits, returning the fresh findings plus any stale baseline entries.
+func ApplyBaseline(diags []Diagnostic, root string, base map[string]int) (fresh []Diagnostic, stale []string) {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		key := d.Key(root)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// WriteBaseline renders diags as a baseline file.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	var b strings.Builder
+	b.WriteString("# cwxlint findings baseline: accepted pre-existing findings, one per line.\n")
+	b.WriteString("# Regenerate with `go run ./cmd/cwxlint -update-baseline`.\n")
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, d.Key(root))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// --- shared type helpers ----------------------------------------------------------
+
+// calleeFunc resolves the function or method a call dispatches to, or
+// nil for builtins, conversions and calls of function-typed values.
+func calleeFunc(p *pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.pkg.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// recvTypeName returns the bare type name of a method's receiver ("" for
+// plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedType dereferences pointers and returns the named type of t, if any.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Name() != name {
+		return false
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkgPath
+}
+
+// exprText renders a short source-ish form of an expression for
+// messages, without line numbers so baseline keys stay stable.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation from a `// want `+"`regex`"+` comment in a
+// testdata file. The regex is matched against "analyzer: message".
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runTestdata loads one testdata package, runs the full analyzer suite
+// over it, and diffs the findings against the file's want comments in
+// both directions: every want must be hit, every finding must be wanted.
+func runTestdata(t *testing.T, name string, clockScoped bool) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	cfg := Config{Module: name, ClockScope: []string{"lint-testdata/none"}}
+	if clockScoped {
+		cfg.ClockScope = []string{name}
+	}
+	diags := Run([]*Package{pkg}, cfg)
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing finding at %s:%d matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts the want comments from a loaded package. The
+// expected form is: // want `regex` (one or more backtick-quoted
+// regexes per comment).
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				parts := strings.Split(rest, "`")
+				if len(parts) < 3 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for i := 1; i+1 < len(parts); i += 2 {
+					re, err := regexp.Compile(parts[i])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("testdata package has no want comments")
+	}
+	return wants
+}
+
+func TestHotpathAnalyzer(t *testing.T)   { runTestdata(t, "hotpath", false) }
+func TestClockdetAnalyzer(t *testing.T)  { runTestdata(t, "clockdet", true) }
+func TestLockscopeAnalyzer(t *testing.T) { runTestdata(t, "lockscope", false) }
+func TestAtomicmixAnalyzer(t *testing.T) { runTestdata(t, "atomicmix", false) }
+
+// TestClockScopeDisabled proves clockdet is scope-gated: the same wall
+// clock-ridden testdata is silent when its package is out of scope.
+func TestClockScopeDisabled(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "clockdet"), "clockdet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, Config{Module: "clockdet", ClockScope: []string{"lint-testdata/none"}})
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", diags)
+	}
+}
+
+// TestBaselineRoundTrip exercises the baseline mechanics on synthetic
+// diagnostics: filtering, multiset semantics and stale detection.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	mk := func(file, analyzer, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename = filepath.Join(root, file)
+		return d
+	}
+	accepted := []Diagnostic{
+		mk("a.go", "clockdet", "wall clock"),
+		mk("a.go", "clockdet", "wall clock"), // same key twice: multiset
+		mk("b.go", "hotpath", "fmt allocates"),
+	}
+	path := filepath.Join(root, BaselineName)
+	if err := WriteBaseline(path, root, accepted); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["clockdet: a.go: wall clock"]; got != 2 {
+		t.Fatalf("multiset count = %d, want 2", got)
+	}
+
+	// Current run: one of the two a.go findings is gone (stale), and a
+	// brand-new finding appeared (fresh).
+	now := []Diagnostic{
+		mk("a.go", "clockdet", "wall clock"),
+		mk("b.go", "hotpath", "fmt allocates"),
+		mk("c.go", "lockscope", "pool leak"),
+	}
+	fresh, stale := ApplyBaseline(now, root, base)
+	if len(fresh) != 1 || fresh[0].Key(root) != "lockscope: c.go: pool leak" {
+		t.Fatalf("fresh = %v, want the c.go finding", fresh)
+	}
+	if len(stale) != 1 || stale[0] != "clockdet: a.go: wall clock" {
+		t.Fatalf("stale = %v, want one a.go entry", stale)
+	}
+
+	// Missing baseline file reads as empty.
+	empty, err := ReadBaseline(filepath.Join(root, "nope"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing baseline: %v %v", empty, err)
+	}
+}
+
+// TestRepoClean runs the full suite over this repository exactly as
+// `make lint` does: with the checked-in baseline applied, the tree must
+// be free of fresh findings and the baseline free of stale entries.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, module, err := lintLoad(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Config{Module: module})
+	base, err := ReadBaseline(filepath.Join(root, BaselineName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := ApplyBaseline(diags, root, base)
+	for _, d := range fresh {
+		t.Errorf("fresh finding: %s", d)
+	}
+	for _, k := range stale {
+		t.Errorf("stale baseline entry: %s", k)
+	}
+	if len(pkgs) < 10 {
+		t.Errorf("loaded only %d packages; loader is missing part of the module", len(pkgs))
+	}
+}
+
+// lintLoad is Load with a friendlier test failure message.
+func lintLoad(root string) ([]*Package, string, error) {
+	pkgs, module, err := Load(root)
+	if err != nil {
+		return nil, "", fmt.Errorf("Load(%s): %w", root, err)
+	}
+	return pkgs, module, nil
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path ("clusterworx/internal/core")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks the module's packages from source, resolving
+// standard-library imports through compiled export data produced by
+// `go list -export`. It deliberately avoids golang.org/x/tools: the
+// repository has zero external modules and the linter must not add one.
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	exports map[string]string
+	gc      types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load type-checks every non-test package under root (skipping testdata
+// and hidden directories) and returns them sorted by import path.
+func Load(root string) ([]*Package, string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, "", err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, "", err
+	}
+	exports, err := exportData(root, "./...")
+	if err != nil {
+		return nil, "", err
+	}
+	l := newLoader(token.NewFileSet(), root, module, exports)
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, "", err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, "", err
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.loadLocal(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, module, nil
+}
+
+// LoadDir type-checks a single directory (outside the module, e.g. a
+// testdata package) under a synthetic import path. Its imports must be
+// standard library.
+func LoadDir(dir, path string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		exports, err = exportData(dir, imports...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l := newLoader(fset, dir, path, exports)
+	return l.check(path, dir, files)
+}
+
+func newLoader(fset *token.FileSet, root, module string, exports map[string]string) *loader {
+	l := &loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		exports: exports,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q (go list -export)", path)
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+// Import implements types.Importer: module-local packages come from
+// source, everything else from compiled export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) loadLocal(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// parseDir parses the buildable non-test Go files of dir, selected with
+// go/build so constrained files (GOOS tags etc.) are handled the same
+// way the compiler handles them.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs walks root for directories holding non-test Go files,
+// skipping hidden directories and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// exportData asks the go tool for compiled export data of the named
+// patterns and their dependencies, returning importPath -> archive file.
+// This is how the linter type-checks against the standard library
+// without depending on golang.org/x/tools.
+func exportData(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list -export: %v\n%s", err, errb.String())
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok || file == "" {
+			continue
+		}
+		exports[path] = file
+	}
+	return exports, nil
+}

@@ -1,0 +1,28 @@
+// Package atomicmix is analyzer testdata: a field published with
+// sync/atomic must never be touched bare.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  uint64
+	plain uint64
+}
+
+func (s *stats) hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+func (s *stats) raced() uint64 {
+	s.hits = 0    // want `atomicmix: struct field hits is accessed via sync/atomic elsewhere`
+	return s.hits // want `atomicmix: struct field hits is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) fine() uint64 {
+	s.plain++
+	return s.plain
+}

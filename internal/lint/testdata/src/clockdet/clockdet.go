@@ -1,0 +1,40 @@
+// Package clockdet is analyzer testdata: wall-clock and global-rand use
+// in a simulation-scoped package.
+package clockdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Time {
+	return time.Now() // want `clockdet: time.Now bypasses the virtual clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `clockdet: time.Sleep bypasses the virtual clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `clockdet: time.Since bypasses the virtual clock`
+}
+
+func scheduled(ch chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want `clockdet: time.After bypasses the virtual clock`
+	case <-ch:
+	}
+}
+
+func allowed() time.Time {
+	return time.Now() //cwx:allow clockdet -- testdata: intentional wall-clock telemetry
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `clockdet: global math/rand Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,94 @@
+// Package lockscope is analyzer testdata: re-entrant entry points called
+// under a lock, and sync.Pool Get/Put pairing.
+package lockscope
+
+import "sync"
+
+type Engine struct{}
+
+func (e *Engine) Observe(node string, v float64) {}
+
+func (e *Engine) ObserveMap(node string, m map[string]float64) {}
+
+type Notifier struct{}
+
+func (n *Notifier) EventTriggered(rule, node string) {}
+
+func (n *Notifier) EventCleared(rule, node string) {}
+
+type record struct {
+	mu     sync.Mutex
+	seen   sync.RWMutex
+	engine *Engine
+	notif  *Notifier
+	plugin func(node string)
+	value  float64
+}
+
+func underLock(r *record) {
+	r.mu.Lock()
+	r.engine.Observe("node042", r.value)          // want `lockscope: event engine Observe called while holding r.mu`
+	r.notif.EventTriggered("cpu-high", "node042") // want `lockscope: notifier EventTriggered called while holding r.mu`
+	r.plugin("node042")                           // want `lockscope: func-valued field plugin called while holding r.mu`
+	r.mu.Unlock()
+}
+
+func underRLock(r *record) {
+	r.seen.RLock()
+	r.notif.EventCleared("cpu-high", "node042") // want `lockscope: notifier EventCleared called while holding r.seen`
+	r.seen.RUnlock()
+}
+
+// unlockFirst is the sanctioned pattern: snapshot under the lock,
+// release, then call out.
+func unlockFirst(r *record) {
+	r.mu.Lock()
+	v := r.value
+	r.mu.Unlock()
+	r.engine.Observe("node042", v)
+}
+
+func underDeferredLock(r *record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engine.Observe("node042", r.value) // want `lockscope: event engine Observe called while holding r.mu`
+}
+
+// closureEscapes: the literal runs after the lock region, so its body is
+// analyzed with no locks held.
+func closureEscapes(r *record) func() {
+	r.mu.Lock()
+	f := func() { r.engine.Observe("node042", r.value) }
+	r.mu.Unlock()
+	return f
+}
+
+// --- sync.Pool pairing -------------------------------------------------
+
+var bufPool sync.Pool
+
+func pooledDefer() int {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	return len(buf)
+}
+
+func pooledHandoff() []byte {
+	buf := bufPool.Get().([]byte)
+	return buf
+}
+
+func pooledExplicit(cond bool) int {
+	buf := bufPool.Get().([]byte)
+	if cond {
+		return 1 // want `lockscope: return without bufPool.Put for the value from bufPool.Get`
+	}
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}
+
+func pooledLeak() {
+	buf := bufPool.Get().([]byte) // want `lockscope: bufPool.Get without a matching bufPool.Put`
+	_ = buf
+}

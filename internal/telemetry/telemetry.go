@@ -74,6 +74,8 @@ func (c *Counter) Add(n int64) { c.AddAt(0, n) }
 func (c *Counter) IncAt(stripe int) { c.AddAt(stripe, 1) }
 
 // AddAt adds n on the given stripe (folded with a mask).
+//
+//cwx:hotpath
 func (c *Counter) AddAt(stripe int, n int64) {
 	if !enabled.Load() {
 		return
@@ -96,6 +98,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//cwx:hotpath
 func (g *Gauge) Set(v float64) {
 	if !enabled.Load() {
 		return
@@ -132,6 +136,8 @@ type Histogram struct {
 func (h *Histogram) Observe(v int64) { h.ObserveAt(0, v) }
 
 // ObserveAt records v on the given stripe (folded with a mask).
+//
+//cwx:hotpath
 func (h *Histogram) ObserveAt(stripe int, v int64) {
 	if !enabled.Load() {
 		return
@@ -144,6 +150,8 @@ func (h *Histogram) ObserveAt(stripe int, v int64) {
 
 // bucketOf maps a value to its bucket index with one bit-length
 // instruction — no branches per bucket, no allocation.
+//
+//cwx:hotpath
 func bucketOf(v int64) int {
 	if v <= 0 {
 		return 0

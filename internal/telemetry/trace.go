@@ -68,6 +68,8 @@ type Span struct {
 
 // Record stores one stage measurement. Safe on a nil span, so callers
 // may hold an optional slot.
+//
+//cwx:hotpath
 func (sp *Span) Record(stage Stage, d time.Duration, size int64) {
 	if sp == nil || !enabled.Load() {
 		return

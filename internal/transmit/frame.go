@@ -64,6 +64,8 @@ type Frame struct {
 // MarshalFrame renders f into the wire payload form, appending to dst.
 // Frames with Seq 0 use the legacy name-only header so old receivers
 // still parse them.
+//
+//cwx:hotpath
 func MarshalFrame(dst []byte, f Frame) []byte {
 	dst = append(dst, f.Node...)
 	if f.Seq > 0 {
@@ -130,9 +132,12 @@ func ParseFrame(payload []byte) (Frame, error) {
 }
 
 // validNodeName reports whether name looks like a hostname rather than
-// frame corruption: non-empty printable ASCII with no whitespace.
+// frame corruption: non-empty printable ASCII with no whitespace, and not
+// beginning with '!' — that byte marks control frames, so a node named
+// "!x" would marshal to a payload that reads back as a control frame
+// (found by FuzzParseFrame: " !" parsed to node "!").
 func validNodeName(name string) bool {
-	if len(name) == 0 {
+	if len(name) == 0 || name[0] == '!' {
 		return false
 	}
 	for i := 0; i < len(name); i++ {
@@ -147,6 +152,8 @@ func validNodeName(name string) bool {
 const resyncPrefix = "!resync "
 
 // MarshalResync renders a resync request for node, appending to dst.
+//
+//cwx:hotpath
 func MarshalResync(dst []byte, node string) []byte {
 	return append(append(dst, resyncPrefix...), node...)
 }

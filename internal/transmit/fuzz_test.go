@@ -1,0 +1,142 @@
+package transmit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"clusterworx/internal/consolidate"
+)
+
+// fuzzSeedFrames are well-formed frames covering every header form and
+// payload shape, so the fuzzer starts from deep in the grammar.
+func fuzzSeedFrames() []Frame {
+	values := []consolidate.Value{
+		{Name: "cpu.load.1min", Kind: consolidate.Dynamic, Num: 1.25},
+		{Name: "mem.free.kb", Kind: consolidate.Dynamic, Num: 191316},
+		{Name: "os.release", Kind: consolidate.Static, IsText: true, Text: "2.4.18-27.7.x smp"},
+	}
+	return []Frame{
+		{Node: "node042", Seq: 0, Kind: FrameDelta, Values: values},
+		{Node: "node042", Seq: 7, Kind: FrameDelta, Values: values},
+		{Node: "node042", Seq: 8, Kind: FrameSnapshot, Values: values},
+		{Node: "n1", Seq: 1, Kind: FrameDelta, Values: nil},
+	}
+}
+
+// fuzzMalformedPayloads is the malformed-frame corpus from
+// TestParseFrameRejectsMalformed, reused as fuzz seeds.
+func fuzzMalformedPayloads() []string {
+	return []string{
+		"",
+		"node042 7\n",
+		"node042 7 D extra\n",
+		"node042 0 D\n",
+		"node042 seven D\n",
+		"node042 -3 D\n",
+		"node042 7 X\n",
+		"!resync node042",
+		"no\x01de\n",
+		"node042 7 D\ncpu.load\n",
+		"node042\nos.release S t \"Linu\n",
+	}
+}
+
+// FuzzParseFrame asserts the parser's contract on arbitrary payloads: it
+// never panics, never accepts a garbage node name, and every accepted
+// frame survives a marshal→parse→marshal fixpoint (the canonical form is
+// stable, so the server and agent agree on what was said).
+func FuzzParseFrame(f *testing.F) {
+	for _, fr := range fuzzSeedFrames() {
+		f.Add(MarshalFrame(nil, fr))
+	}
+	for _, s := range fuzzMalformedPayloads() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		f0, err := ParseFrame(payload)
+		if err != nil {
+			return
+		}
+		if !validNodeName(f0.Node) {
+			t.Fatalf("accepted invalid node name %q", f0.Node)
+		}
+		if f0.Kind != FrameDelta && f0.Kind != FrameSnapshot {
+			t.Fatalf("accepted unknown frame kind %v", f0.Kind)
+		}
+		if f0.Seq == 0 && f0.Kind != FrameDelta {
+			t.Fatalf("unsequenced frame with kind %v", f0.Kind)
+		}
+		wire1 := MarshalFrame(nil, f0)
+		f1, err := ParseFrame(wire1)
+		if err != nil {
+			t.Fatalf("remarshaled frame does not parse: %v\npayload %q\nwire %q", err, payload, wire1)
+		}
+		if f1.Node != f0.Node || f1.Seq != f0.Seq || f1.Kind != f0.Kind || len(f1.Values) != len(f0.Values) {
+			t.Fatalf("roundtrip changed the frame: %+v -> %+v", f0, f1)
+		}
+		// Byte-level fixpoint instead of field comparison for the values:
+		// it holds for every accepted payload, including NaN numerics
+		// (which compare unequal to themselves) and non-canonical float
+		// spellings in the input.
+		if wire2 := MarshalFrame(nil, f1); !bytes.Equal(wire1, wire2) {
+			t.Fatalf("canonical form is not a fixpoint:\nfirst  %q\nsecond %q", wire1, wire2)
+		}
+	})
+}
+
+// FuzzReadWireValues drives the byte-level framing layer (header parse,
+// length bound, optional deflate) and then the payload parser over
+// arbitrary wire bytes: no panics, no oversized payloads, and whatever
+// decodes cleanly must satisfy the ParseFrame contract.
+func FuzzReadWireValues(f *testing.F) {
+	// Well-formed wire in both modes.
+	for _, compress := range []bool{false, true} {
+		var wire bytes.Buffer
+		w := NewWriter(&wire, compress)
+		for _, fr := range fuzzSeedFrames() {
+			if err := w.WriteFrame(MarshalFrame(nil, fr)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		f.Add(wire.Bytes())
+	}
+	// Corrupt wire: bad magic, truncated header, oversized length field,
+	// length beyond the body, flipped byte inside a compressed body.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 'a', 'b', 'c', 'd'})
+	f.Add([]byte{frameMagic, 0x00, 0x00})
+	huge := []byte{frameMagic, 0x00, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(huge[2:], MaxFrameSize+1)
+	f.Add(huge)
+	f.Add([]byte{frameMagic, 0x00, 0x00, 0x00, 0x00, 0x10, 'x'})
+	var cw bytes.Buffer
+	w := NewWriter(&cw, true)
+	if err := w.WriteFrame(bytes.Repeat([]byte("cpu.load.1min D n 1.25\n"), 64)); err != nil {
+		f.Fatal(err)
+	}
+	corrupt := cw.Bytes()
+	if len(corrupt) > headerSize {
+		corrupt[headerSize] ^= 0x40
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		r := NewReader(bytes.NewReader(wire))
+		for {
+			payload, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("ReadFrame returned %d bytes, above MaxFrameSize", len(payload))
+			}
+			fr, err := ParseFrame(payload)
+			if err != nil {
+				continue
+			}
+			if !validNodeName(fr.Node) {
+				t.Fatalf("framing layer delivered invalid node name %q", fr.Node)
+			}
+		}
+	})
+}

@@ -99,6 +99,8 @@ func NewWriter(w io.Writer, compress bool) *Writer {
 }
 
 // WriteFrame sends one payload.
+//
+//cwx:hotpath
 func (t *Writer) WriteFrame(p []byte) error {
 	if len(p) > MaxFrameSize {
 		return ErrFrameSize
@@ -113,10 +115,10 @@ func (t *Writer) WriteFrame(p []byte) error {
 		d.buf.Reset()
 		d.comp.Reset(&d.buf)
 		if _, err := d.comp.Write(p); err != nil {
-			return fmt.Errorf("transmit: compress: %w", err)
+			return fmt.Errorf("transmit: compress: %w", err) //cwx:allow hotpath -- cold error path
 		}
 		if err := d.comp.Close(); err != nil {
-			return fmt.Errorf("transmit: compress: %w", err)
+			return fmt.Errorf("transmit: compress: %w", err) //cwx:allow hotpath -- cold error path
 		}
 		// Raw fallback: ship the original bytes whenever deflate did not
 		// strictly shrink them (see NewWriter).
@@ -166,6 +168,8 @@ func NewReader(r io.Reader) *Reader {
 
 // ReadFrame returns the next payload, decompressed if needed. The returned
 // slice is valid until the next call.
+//
+//cwx:hotpath
 func (t *Reader) ReadFrame() ([]byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
@@ -193,11 +197,11 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 	defer inflaterPool.Put(fr)
 	t.br.Reset(body)
 	if err := fr.(flate.Resetter).Reset(&t.br, nil); err != nil {
-		return nil, fmt.Errorf("transmit: decompress: %w", err)
+		return nil, fmt.Errorf("transmit: decompress: %w", err) //cwx:allow hotpath -- cold error path
 	}
 	out, err := readAllInto(t.dbuf[:0], fr)
 	if err != nil {
-		return nil, fmt.Errorf("transmit: decompress: %w", err)
+		return nil, fmt.Errorf("transmit: decompress: %w", err) //cwx:allow hotpath -- cold error path
 	}
 	t.dbuf = out
 	mFramesRead.Inc()
@@ -206,6 +210,8 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 
 // readAllInto is io.ReadAll growing dst in place, so the Reader's
 // decompression scratch is reused across frames.
+//
+//cwx:hotpath
 func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
 	for {
 		if len(dst) == cap(dst) {
@@ -229,6 +235,8 @@ func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
 
 // MarshalValues renders a value batch into the wire text form, appending
 // to dst.
+//
+//cwx:hotpath
 func MarshalValues(dst []byte, values []consolidate.Value) []byte {
 	for _, v := range values {
 		dst = append(dst, v.Name...)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package clusterworx
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package clusterworx
+
+// raceEnabled gates tests whose assertions are meaningless under the
+// race detector (allocation counts include race-runtime bookkeeping).
+const raceEnabled = true
