@@ -53,6 +53,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/transmit/ -fuzz FuzzParseFrame -fuzztime 10s -run NONE
 	$(GO) test ./internal/transmit/ -fuzz FuzzReadWireValues -fuzztime 10s -run NONE
+	$(GO) test ./internal/history/ -fuzz FuzzBlockCodec -fuzztime 10s -run NONE
 
 # Fault-injection suite for the loss-tolerant delta protocol: seeded
 # loss/blackhole/partition schedules over simnet, under the race

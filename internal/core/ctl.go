@@ -44,6 +44,7 @@ import (
 //	telemetry                   self-monitoring metrics (Prometheus text)
 //	trace [node]                latest pipeline span breakdown per node
 //	selfmon                     meta-monitor series panel (sparklines)
+//	histmem [n]                 history memory ledger (top n series, default 20)
 //	sync                        per-node delta-protocol sync state
 
 // ServeCtl accepts control connections until the listener closes.
@@ -347,6 +348,20 @@ func (s *Server) HandleCtl(line string) string {
 
 	case "selfmon":
 		out := dashboard.TelemetryPanel(s.hist, MetaNodeName, 0, s.now(), 32)
+		return "OK\n" + strings.TrimRight(out, "\n")
+
+	case "histmem":
+		n := 20
+		if len(fields) == 2 {
+			parsed, err := strconv.Atoi(fields[1])
+			if err != nil || parsed < 1 {
+				return "ERR usage: histmem [n]"
+			}
+			n = parsed
+		} else if len(fields) > 2 {
+			return "ERR usage: histmem [n]"
+		}
+		out := dashboard.HistoryFootprint(s.hist, n)
 		return "OK\n" + strings.TrimRight(out, "\n")
 
 	case "bios":

@@ -70,6 +70,28 @@ func TestCtlCorrelate(t *testing.T) {
 	}
 }
 
+func TestCtlHistMem(t *testing.T) {
+	sim := bootSim(t, 2)
+	sim.Advance(5 * time.Minute)
+	resp := sim.Server.HandleCtl("histmem")
+	if !strings.HasPrefix(resp, "OK") {
+		t.Fatalf("histmem: %s", firstLine(resp))
+	}
+	for _, want := range []string{"B/sample", "node000", "total:", "vs raw ring"} {
+		if !strings.Contains(resp, want) {
+			t.Fatalf("histmem missing %q:\n%s", want, resp)
+		}
+	}
+	if resp := sim.Server.HandleCtl("histmem 1"); !strings.Contains(resp, "more series") {
+		t.Fatalf("histmem 1 did not truncate:\n%s", resp)
+	}
+	for _, bad := range []string{"histmem 0", "histmem x", "histmem 1 2"} {
+		if resp := sim.Server.HandleCtl(bad); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q -> %q", bad, firstLine(resp))
+		}
+	}
+}
+
 func TestCtlBIOS(t *testing.T) {
 	sim := bootSim(t, 2)
 	resp := sim.Server.HandleCtl("bios settings node000")

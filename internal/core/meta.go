@@ -75,5 +75,6 @@ func (src serverVitalsSource) Collect(dst []consolidate.Value) ([]consolidate.Va
 		consolidate.NumValue("cwx.server.nodes.down", d, float64(down)),
 		consolidate.NumValue("cwx.server.goroutines", d, float64(runtime.NumGoroutine())),
 		consolidate.NumValue("cwx.server.heap.kb", d, float64(ms.HeapAlloc/1024)),
+		consolidate.NumValue("cwx.server.history.kb", d, float64(src.s.hist.Bytes()/1024)),
 	), nil
 }

@@ -213,6 +213,73 @@ func fmtT(d time.Duration) string {
 	return d.Round(time.Second).String()
 }
 
+// HistoryFootprint renders the history engine's memory ledger: per-series
+// point counts, compressed bytes, and bytes/sample, largest first, with a
+// cluster total line that states the compression ratio against the naive
+// 16 bytes/sample ring the engine replaced. This is the administrator's
+// answer to "what does keeping N days of history actually cost".
+func HistoryFootprint(store *history.Store, maxRows int) string {
+	type row struct {
+		node, metric string
+		points       int
+		bytes        int64
+	}
+	var rows []row
+	var totalPoints int
+	var totalBytes int64
+	for _, nodeName := range store.Nodes() {
+		for _, metric := range store.Metrics(nodeName) {
+			s := store.Series(nodeName, metric)
+			if s == nil {
+				continue
+			}
+			r := row{node: nodeName, metric: metric, points: s.Len(), bytes: s.Bytes()}
+			rows = append(rows, r)
+			totalPoints += r.points
+			totalBytes += r.bytes
+		}
+	}
+	if len(rows) == 0 {
+		return "(no data)\n"
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].bytes != rows[j].bytes {
+			return rows[i].bytes > rows[j].bytes
+		}
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].metric < rows[j].metric
+	})
+	shown := rows
+	if maxRows > 0 && len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-12s %-20s %8s %10s %9s\n", "node", "metric", "points", "bytes", "B/sample")
+	for _, r := range shown {
+		per := 0.0
+		if r.points > 0 {
+			per = float64(r.bytes) / float64(r.points)
+		}
+		fmt.Fprintf(&out, "%-12s %-20s %8d %10d %9.2f\n", r.node, r.metric, r.points, r.bytes, per)
+	}
+	if len(shown) < len(rows) {
+		fmt.Fprintf(&out, "... and %d more series\n", len(rows)-len(shown))
+	}
+	if totalPoints > 0 {
+		per := float64(totalBytes) / float64(totalPoints)
+		naive := float64(totalPoints) * 16
+		ratio := 1.0
+		if totalBytes > 0 {
+			ratio = naive / float64(totalBytes)
+		}
+		fmt.Fprintf(&out, "total: %d series, %d points, %d bytes (%.2f B/sample, %.1fx vs raw ring)\n",
+			len(rows), totalPoints, totalBytes, per, ratio)
+	}
+	return out.String()
+}
+
 // Efficiency computes cluster utilization over a window — the paper's
 // introduction lists "cluster efficiency" first among the administrator's
 // concerns. It is derived from each node's cpu.idle.pct history: a node's

@@ -169,3 +169,34 @@ func TestEfficiency(t *testing.T) {
 		t.Fatalf("empty report = %q", got)
 	}
 }
+
+func TestHistoryFootprint(t *testing.T) {
+	store := history.NewStore(0)
+	for i := 0; i < 2000; i++ {
+		ts := time.Duration(i) * time.Second
+		store.Append("node000", "load.1", ts, float64(i%8))
+		store.Append("node000", "mem.free.kb", ts, 1e6)
+		store.Append("node001", "load.1", ts, 0.5)
+	}
+	out := HistoryFootprint(store, 0)
+	for _, want := range []string{"node000", "node001", "load.1", "mem.free.kb", "B/sample", "total:", "vs raw ring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("footprint missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+3+1 { // header + three series + total
+		t.Fatalf("footprint has %d lines:\n%s", len(lines), out)
+	}
+	// Rows are ordered largest-bytes first; totals reconcile with the store.
+	if !strings.HasPrefix(lines[len(lines)-1], "total: 3 series, 6000 points") {
+		t.Fatalf("total line: %q", lines[len(lines)-1])
+	}
+	truncated := HistoryFootprint(store, 1)
+	if !strings.Contains(truncated, "and 2 more series") {
+		t.Fatalf("maxRows=1 did not truncate:\n%s", truncated)
+	}
+	if out := HistoryFootprint(history.NewStore(0), 5); out != "(no data)\n" {
+		t.Fatalf("empty store: %q", out)
+	}
+}

@@ -1,0 +1,360 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refRing is the naive reference model: the pre-block-engine
+// implementation, a raw []Point ring with O(points) scans. The
+// differential test drives random append/query sequences through both
+// engines and asserts the block engine is observationally identical.
+type refRing struct {
+	buf   []Point
+	start int
+	size  int
+}
+
+func newRefRing(capacity int) *refRing { return &refRing{buf: make([]Point, capacity)} }
+
+func (r *refRing) at(i int) Point { return r.buf[(r.start+i)%len(r.buf)] }
+
+func (r *refRing) append(t time.Duration, v float64) {
+	if r.size > 0 && t < r.at(r.size-1).T {
+		return // out of order: dropped
+	}
+	if r.size < len(r.buf) {
+		r.buf[(r.start+r.size)%len(r.buf)] = Point{T: t, V: v}
+		r.size++
+		return
+	}
+	r.buf[r.start] = Point{T: t, V: v}
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *refRing) rng(t0, t1 time.Duration) []Point {
+	var out []Point
+	for i := 0; i < r.size; i++ {
+		p := r.at(i)
+		if p.T >= t0 && p.T <= t1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *refRing) stats(t0, t1 time.Duration) Stats {
+	var st Stats
+	for i := 0; i < r.size; i++ {
+		p := r.at(i)
+		if p.T < t0 || p.T > t1 {
+			continue
+		}
+		if st.N == 0 {
+			st.Min, st.Max, st.First = p.V, p.V, p
+		}
+		if p.V < st.Min {
+			st.Min = p.V
+		}
+		if p.V > st.Max {
+			st.Max = p.V
+		}
+		st.Mean += p.V
+		st.LastPoint = p
+		st.N++
+	}
+	if st.N > 0 {
+		st.Mean /= float64(st.N)
+	}
+	return st
+}
+
+func (r *refRing) trend(t0, t1 time.Duration) (float64, bool) {
+	pts := r.rng(t0, t1)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for _, p := range pts {
+		x := p.T.Hours()
+		sumX += x
+		sumY += p.V
+		sumXY += x * p.V
+		sumXX += x * x
+	}
+	n := float64(len(pts))
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sumXY - sumX*sumY) / den, true
+}
+
+func (r *refRing) downsample(t0, t1 time.Duration, n int) []Point {
+	if n <= 0 || t1 <= t0 {
+		return nil
+	}
+	width := (t1 - t0) / time.Duration(n)
+	if width <= 0 {
+		return nil
+	}
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, p := range r.rng(t0, t1) {
+		b := int((p.T - t0) / width)
+		if b >= n {
+			b = n - 1
+		}
+		sums[b] += p.V
+		counts[b]++
+	}
+	var out []Point
+	for b := 0; b < n; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		out = append(out, Point{T: t0 + width*time.Duration(b) + width/2, V: sums[b] / float64(counts[b])})
+	}
+	return out
+}
+
+// eqVal reports observational equality of two sample values: NaN matches
+// NaN, everything else compares exactly (±Inf included).
+func eqVal(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// approxVal allows the tiny reassociation drift of summary-merged sums
+// (block subtotals are grouped, the naive scan is flat).
+func approxVal(a, b float64) bool {
+	if eqVal(a, b) {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// specialValues are the adversarial float64s mixed into the stream.
+var specialValues = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1),
+	5e-324, -5e-324, 1e-310, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+}
+
+// TestDifferentialEngineVsNaiveRing drives random append/query sequences
+// against the compressed block engine and the naive reference ring,
+// asserting identical Range/Stats/Downsample/Trend/Len/Last results —
+// including across seal boundaries, point-exact eviction, out-of-order
+// drops, and NaN/±Inf/denormal values. Mean and Trend tolerate the
+// reassociation drift inherent to O(blocks) summary merging; everything
+// else must match exactly.
+func TestDifferentialEngineVsNaiveRing(t *testing.T) {
+	capacities := []int{5, 32, 100, 600, 1500}
+	for _, capacity := range capacities {
+		capacity := capacity
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xC0FFEE + capacity)))
+			s := NewSeries(capacity)
+			ref := newRefRing(capacity)
+			now := time.Duration(0)
+			appends := 0
+			for round := 0; round < 40; round++ {
+				// A burst of appends: mostly monotone with jittered
+				// cadence, some equal timestamps, occasional out-of-order
+				// (dropped by both), values quantized with specials mixed in.
+				burst := rng.Intn(3*headCapacity/2) + 1
+				for i := 0; i < burst; i++ {
+					var step time.Duration
+					switch rng.Intn(10) {
+					case 0:
+						step = 0 // equal timestamp: allowed
+					case 1:
+						step = -time.Duration(rng.Intn(5000)+1) * time.Millisecond // out of order: dropped
+					default:
+						step = time.Duration(rng.Intn(2000)+1) * time.Millisecond
+					}
+					ts := now + step
+					if step > 0 {
+						now = ts
+					}
+					var v float64
+					switch rng.Intn(8) {
+					case 0:
+						v = specialValues[rng.Intn(len(specialValues))]
+					case 1:
+						v = rng.NormFloat64() * 1e6
+					default:
+						v = 40 + float64(rng.Intn(64))*0.5 // quantized monitor reading
+					}
+					s.Append(ts, v)
+					ref.append(ts, v)
+					appends++
+				}
+				checkDifferential(t, s, ref, rng, now)
+			}
+			if appends <= capacity {
+				t.Fatalf("generator never exercised eviction (appends=%d cap=%d)", appends, capacity)
+			}
+		})
+	}
+}
+
+func checkDifferential(t *testing.T, s *Series, ref *refRing, rng *rand.Rand, now time.Duration) {
+	t.Helper()
+	if s.Len() != ref.size {
+		t.Fatalf("Len = %d, ref %d", s.Len(), ref.size)
+	}
+	gotLast, gotOK := s.Last()
+	if ref.size == 0 {
+		if gotOK {
+			t.Fatal("Last ok on empty series")
+		}
+	} else {
+		wantLast := ref.at(ref.size - 1)
+		if !gotOK || gotLast.T != wantLast.T || !eqVal(gotLast.V, wantLast.V) {
+			t.Fatalf("Last = %v,%v want %v", gotLast, gotOK, wantLast)
+		}
+	}
+	for q := 0; q < 6; q++ {
+		t0, t1 := randWindow(rng, now)
+		gotR, wantR := s.Range(t0, t1), ref.rng(t0, t1)
+		if len(gotR) != len(wantR) {
+			t.Fatalf("Range(%v,%v) len %d, ref %d", t0, t1, len(gotR), len(wantR))
+		}
+		for i := range gotR {
+			if gotR[i].T != wantR[i].T || !eqVal(gotR[i].V, wantR[i].V) {
+				t.Fatalf("Range(%v,%v)[%d] = %v, ref %v", t0, t1, i, gotR[i], wantR[i])
+			}
+		}
+
+		gotS, wantS := s.Stats(t0, t1), ref.stats(t0, t1)
+		if gotS.N != wantS.N ||
+			!eqVal(gotS.Min, wantS.Min) || !eqVal(gotS.Max, wantS.Max) ||
+			gotS.First != wantS.First && !(gotS.First.T == wantS.First.T && eqVal(gotS.First.V, wantS.First.V)) ||
+			gotS.LastPoint.T != wantS.LastPoint.T || !eqVal(gotS.LastPoint.V, wantS.LastPoint.V) {
+			t.Fatalf("Stats(%v,%v) = %+v, ref %+v", t0, t1, gotS, wantS)
+		}
+		if !approxVal(gotS.Mean, wantS.Mean) {
+			t.Fatalf("Stats(%v,%v).Mean = %v, ref %v", t0, t1, gotS.Mean, wantS.Mean)
+		}
+
+		n := rng.Intn(64) + 1
+		gotD, wantD := s.Downsample(t0, t1, n), ref.downsample(t0, t1, n)
+		if len(gotD) != len(wantD) {
+			t.Fatalf("Downsample(%v,%v,%d) len %d, ref %d", t0, t1, n, len(gotD), len(wantD))
+		}
+		for i := range gotD {
+			if gotD[i].T != wantD[i].T || !eqVal(gotD[i].V, wantD[i].V) {
+				t.Fatalf("Downsample(%v,%v,%d)[%d] = %v, ref %v", t0, t1, n, i, gotD[i], wantD[i])
+			}
+		}
+
+		// Trend: only assert when the window has two distinct timestamps —
+		// with all-identical x the determinant is an exact fp zero for the
+		// flat scan but may round to ±ε when merged from block moments.
+		if distinctTimestamps(wantR) >= 2 {
+			gotTr, gotOK := s.Trend(t0, t1)
+			wantTr, wantOK := ref.trend(t0, t1)
+			if gotOK != wantOK {
+				t.Fatalf("Trend(%v,%v) ok = %v, ref %v", t0, t1, gotOK, wantOK)
+			}
+			if gotOK && !eqVal(gotTr, wantTr) && !trendClose(gotTr, wantTr) {
+				t.Fatalf("Trend(%v,%v) = %v, ref %v", t0, t1, gotTr, wantTr)
+			}
+		}
+	}
+}
+
+func randWindow(rng *rand.Rand, now time.Duration) (time.Duration, time.Duration) {
+	switch rng.Intn(8) {
+	case 0:
+		return 0, now + time.Hour // everything
+	case 1:
+		hi := time.Duration(rng.Int63n(int64(now) + 1))
+		return hi + time.Second, hi // inverted: empty
+	default:
+		a := time.Duration(rng.Int63n(int64(now) + 1))
+		b := time.Duration(rng.Int63n(int64(now) + 1))
+		if a > b {
+			a, b = b, a
+		}
+		return a, b
+	}
+}
+
+func distinctTimestamps(pts []Point) int {
+	n := 0
+	for i, p := range pts {
+		if i == 0 || p.T != pts[i-1].T {
+			n++
+		}
+	}
+	return n
+}
+
+// trendClose tolerates least-squares cancellation amplified by moment
+// merging: slopes must agree to 1e-6 relative (or absolutely when tiny).
+func trendClose(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-6*scale || math.Abs(a-b) <= 1e-9
+}
+
+// TestSummaryFastPath pins the acceptance criterion that Stats over a
+// long series is answered from block summaries: a full-range query over
+// a fully sealed chain must decode zero blocks, and a narrow window must
+// decode at most the two straddling blocks (plus the trimmed front
+// block when eviction has started).
+func TestSummaryFastPath(t *testing.T) {
+	const capacity = 16 * headCapacity
+	s := NewSeries(capacity)
+	for i := 0; i < capacity; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i%17))
+	}
+	full := time.Duration(capacity) * time.Second
+
+	d0, h0 := mDecodes.Load(), mSummaryHits.Load()
+	st := s.Stats(0, full)
+	if st.N != capacity {
+		t.Fatalf("Stats.N = %d, want %d", st.N, capacity)
+	}
+	if dec := mDecodes.Load() - d0; dec != 0 {
+		t.Fatalf("full-range Stats decoded %d blocks, want 0 (summary path)", dec)
+	}
+	// 15 sealed blocks: the final headCapacity points are still mutable head.
+	if hits := mSummaryHits.Load() - h0; hits != 15 {
+		t.Fatalf("full-range Stats summary hits = %d, want 15", hits)
+	}
+
+	// A window straddling two blocks: exactly those two decode.
+	d0 = mDecodes.Load()
+	mid := time.Duration(headCapacity) * time.Second
+	s.Stats(mid-10*time.Second, mid+10*time.Second)
+	if dec := mDecodes.Load() - d0; dec != 2 {
+		t.Fatalf("straddling Stats decoded %d blocks, want 2", dec)
+	}
+
+	// Trend rides the same moments: full range decodes nothing.
+	d0 = mDecodes.Load()
+	if _, ok := s.Trend(0, full); !ok {
+		t.Fatal("Trend not ok")
+	}
+	if dec := mDecodes.Load() - d0; dec != 0 {
+		t.Fatalf("full-range Trend decoded %d blocks, want 0", dec)
+	}
+
+	// Once eviction trims the front block, it is the only extra decode.
+	s.Append(time.Duration(capacity)*time.Second, 1)
+	d0 = mDecodes.Load()
+	s.Stats(0, full+time.Hour)
+	if dec := mDecodes.Load() - d0; dec != 1 {
+		t.Fatalf("trimmed-front Stats decoded %d blocks, want 1", dec)
+	}
+}

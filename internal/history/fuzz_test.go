@@ -1,0 +1,73 @@
+package history
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzBlockCodec exercises the sealed-block codec from both ends. The
+// input bytes are interpreted as a raw point stream (16 bytes per point:
+// int64 timestamp, float64 bits) which must encode and decode back
+// bit-exactly; the same bytes are then fed to the decoder directly as a
+// hostile compressed stream, which must terminate without panicking
+// regardless of content.
+func FuzzBlockCodec(f *testing.F) {
+	seed := func(ts []int64, vs []float64) {
+		b := make([]byte, 0, len(ts)*16)
+		for i := range ts {
+			b = binary.LittleEndian.AppendUint64(b, uint64(ts[i]))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(vs[i]))
+		}
+		f.Add(b)
+	}
+	sec := int64(time.Second)
+	seed([]int64{0, sec, 2 * sec, 3 * sec}, []float64{7, 7, 7, 7})
+	seed([]int64{0, 1, 2, 3, 4, 5},
+		[]float64{math.NaN(), math.Inf(1), math.Inf(-1), 5e-324, math.Copysign(0, -1), math.MaxFloat64})
+	seed([]int64{100, 5, -30, math.MaxInt64, math.MinInt64, 0}, []float64{1, 2, 3, 4, 5, 6})
+	seed([]int64{9, 9, 9}, []float64{1e-310, -1e-310, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Roundtrip: any point stream, however adversarial its bit
+		// patterns or timestamp ordering, must survive encode/decode.
+		if n := len(data) / 16; n > 0 {
+			ts := make([]int64, n)
+			vs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				ts[i] = int64(binary.LittleEndian.Uint64(data[i*16:]))
+				vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+			}
+			enc := encodeBlock(ts, vs)
+			it := newBlockIter(enc, n)
+			for i := 0; i < n; i++ {
+				gt, gv, ok := it.next()
+				if !ok {
+					t.Fatalf("decode stopped at %d/%d", i, n)
+				}
+				if gt != ts[i] || math.Float64bits(gv) != math.Float64bits(vs[i]) {
+					t.Fatalf("point %d: got (%d, %x), want (%d, %x)",
+						i, gt, math.Float64bits(gv), ts[i], math.Float64bits(vs[i]))
+				}
+			}
+			if _, _, ok := it.next(); ok || it.failed() {
+				t.Fatalf("clean stream: extra point or failure (failed=%v)", it.failed())
+			}
+		}
+
+		// Hostile decode: arbitrary bytes with an inflated count must
+		// terminate within the count bound and never panic.
+		it := newBlockIter(data, 1<<14)
+		decoded := 0
+		for {
+			if _, _, ok := it.next(); !ok {
+				break
+			}
+			if decoded++; decoded > 1<<14 {
+				t.Fatal("decoder exceeded its count bound")
+			}
+		}
+	})
+}

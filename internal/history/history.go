@@ -4,14 +4,29 @@
 // interval, analyze the relationships between monitored values, or compare
 // performance between nodes."
 //
-// Each (node, metric) pair owns a bounded ring of points; queries provide
-// ranges, aggregate statistics, bucketed downsampling for charts, and a
-// least-squares trend for capacity prediction.
+// Each (node, metric) pair owns a compressed block-based series: a small
+// mutable head block takes appends allocation-free, and every time it
+// fills it is sealed into an immutable block compressed with
+// delta-of-delta timestamps and XOR-coded values (block.go), carrying a
+// precomputed summary (count, min, max, sum, first/last, trend moments).
+// Aggregate queries — Stats, Compare, Trend — merge summaries in
+// O(blocks) and decode only the at-most-two blocks straddling the query
+// boundaries; Range and Downsample prune non-overlapping blocks by
+// summary and stream-decode the rest without materializing intermediate
+// slices. Sealed blocks are immutable, so queries run on a snapshot
+// taken under the series lock and do all decoding with no lock held:
+// a dashboard scan never stalls agent ingest.
+//
+// Retention is point-exact: a series holds the last `capacity` points,
+// logically trimming the oldest sealed block one point at a time (the
+// block's bytes go away when its last point expires), so the engine is
+// observationally identical to a plain ring of `capacity` points.
 package history
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clusterworx/internal/telemetry"
@@ -19,12 +34,28 @@ import (
 
 // Self-monitoring series for the history store. Appends ride the store's
 // node-name hash as their counter stripe, so 64 concurrent agents do not
-// serialize on one counter cache line.
+// serialize on one counter cache line. The seal/decode counters make the
+// summary fast path observable: a healthy dashboard workload shows
+// summary hits growing much faster than block decodes.
 var (
-	mAppends    = telemetry.Default().Counter("cwx_history_appends_total")
-	mDropped    = telemetry.Default().Counter("cwx_history_dropped_total")
-	mDownsample = telemetry.Default().Counter("cwx_history_downsample_total")
+	mAppends     = telemetry.Default().Counter("cwx_history_appends_total")
+	mDropped     = telemetry.Default().Counter("cwx_history_dropped_total")
+	mDownsample  = telemetry.Default().Counter("cwx_history_downsample_total")
+	mSealed      = telemetry.Default().Counter("cwx_history_blocks_sealed_total")
+	mSummaryHits = telemetry.Default().Counter("cwx_history_summary_hits_total")
+	mDecodes     = telemetry.Default().Counter("cwx_history_block_decodes_total")
 )
+
+// storeBytes tracks the process-wide history footprint (head blocks plus
+// sealed compressed blocks), exposed as the cwx_history_bytes gauge so
+// the meta-monitor charts its own retention cost.
+var storeBytes atomic.Int64
+
+func init() {
+	telemetry.Default().GaugeFunc("cwx_history_bytes", func() float64 {
+		return float64(storeBytes.Load())
+	})
+}
 
 // Point is one sample.
 type Point struct {
@@ -32,82 +63,222 @@ type Point struct {
 	V float64
 }
 
-// DefaultCapacity is the per-series ring size.
+// DefaultCapacity is the per-series retained point count.
 const DefaultCapacity = 4096
 
-// Series is a bounded time-ordered sample ring, safe for concurrent use:
-// every method takes the series lock, so chart queries and the dashboard's
-// cross-node Compare never race appends from concurrent agent ingest.
+// headCapacity is the mutable head block's size: big enough that sealing
+// (the only allocating step) amortizes to ~2 allocations per 512
+// appends, small enough that the uncompressed head stays a few KiB.
+const headCapacity = 512
+
+// Series is a bounded time-ordered sample store, safe for concurrent
+// use: appends mutate only the head block under the series lock, and
+// queries snapshot the sealed-block chain (immutable) plus a copy of the
+// head under that lock, then decode and aggregate with no lock held.
 type Series struct {
-	mu    sync.Mutex
-	buf   []Point
-	start int
-	size  int
+	mu       sync.Mutex
+	capacity int
+
+	// Mutable head block: parallel raw arrays, filled left to right.
+	// Appending here is the //cwx:hotpath — no allocation, no encoding.
+	headT   []int64
+	headV   []float64
+	headLen int
+
+	// Sealed immutable blocks, oldest first. trim is the count of
+	// logically expired points at the front of blocks[0].
+	blocks []*block
+	trim   int
+
+	total int   // stored points across blocks (minus trim) and head
+	lastT int64 // timestamp of the most recently appended point
+	bytes int64 // accounted footprint: head arrays + sealed blocks
 }
 
-// NewSeries returns a ring holding the last capacity points.
+// NewSeries returns a series retaining the last capacity points.
 func NewSeries(capacity int) *Series {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Series{buf: make([]Point, capacity)}
+	headCap := headCapacity
+	if capacity < headCap {
+		headCap = capacity
+	}
+	s := &Series{
+		capacity: capacity,
+		headT:    make([]int64, headCap),
+		headV:    make([]float64, headCap),
+		bytes:    int64(headCap) * 16,
+	}
+	storeBytes.Add(s.bytes)
+	return s
 }
 
 // Append adds a point. Out-of-order appends (clock skew after an agent
-// restart) are dropped rather than corrupting the ring's ordering.
+// restart) are dropped rather than corrupting the series' ordering. The
+// steady-state path writes two words into the head block; once per
+// headCapacity appends the head is sealed into a compressed block.
 //
 //cwx:hotpath
 func (s *Series) Append(t time.Duration, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.size > 0 && t < s.at(s.size-1).T {
+	if s.total > 0 && int64(t) < s.lastT {
 		mDropped.Inc()
 		return
 	}
-	if s.size < len(s.buf) {
-		*s.slot(s.size) = Point{T: t, V: v}
-		s.size++
-		return
+	if s.headLen == len(s.headT) {
+		s.sealHeadLocked()
 	}
-	*s.slot(0) = Point{T: t, V: v}
-	s.start = (s.start + 1) % len(s.buf)
+	s.headT[s.headLen] = int64(t)
+	s.headV[s.headLen] = v
+	s.headLen++
+	s.lastT = int64(t)
+	s.total++
+	if s.total > s.capacity {
+		s.evictOneLocked()
+	}
 }
 
-func (s *Series) slot(i int) *Point { return &s.buf[(s.start+i)%len(s.buf)] }
+// sealHeadLocked compresses the full head into an immutable block and
+// resets the head. Caller holds s.mu.
+func (s *Series) sealHeadLocked() {
+	ts, vs := s.headT[:s.headLen], s.headV[:s.headLen]
+	b := &block{data: encodeBlock(ts, vs), sum: summarize(ts, vs)}
+	s.blocks = append(s.blocks, b)
+	s.headLen = 0
+	delta := int64(len(b.data)) + blockOverheadBytes
+	s.bytes += delta
+	storeBytes.Add(delta)
+	mSealed.Inc()
+}
 
-func (s *Series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
+// evictOneLocked expires the oldest stored point: the front block's trim
+// advances, and when every point in it has expired the block's bytes are
+// released. Caller holds s.mu; blocks is never empty here because the
+// head alone can hold at most capacity points.
+func (s *Series) evictOneLocked() {
+	b := s.blocks[0]
+	s.trim++
+	s.total--
+	if s.trim == b.sum.count {
+		delta := int64(len(b.data)) + blockOverheadBytes
+		s.bytes -= delta
+		storeBytes.Add(-delta)
+		s.blocks = s.blocks[1:]
+		s.trim = 0
+	}
+}
 
 // Len returns the number of stored points.
 func (s *Series) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.size
+	return s.total
+}
+
+// Bytes returns the series' accounted memory footprint: the head
+// block's raw arrays plus every sealed block's compressed bytes and
+// bookkeeping.
+func (s *Series) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
 }
 
 // Last returns the most recent point.
 func (s *Series) Last() (Point, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.size == 0 {
-		return Point{}, false
+	if s.headLen > 0 {
+		return Point{T: time.Duration(s.headT[s.headLen-1]), V: s.headV[s.headLen-1]}, true
 	}
-	return s.at(s.size - 1), true
+	if len(s.blocks) > 0 {
+		sum := &s.blocks[len(s.blocks)-1].sum
+		return Point{T: time.Duration(sum.lastT), V: sum.lastV}, true
+	}
+	return Point{}, false
+}
+
+// qsnap is a point-in-time view of a series: the sealed chain (immutable
+// contents), the front trim, and a copy of the head. Everything after
+// the snapshot — decoding, merging, bucketing — runs without the series
+// lock, so queries never stall appends.
+type qsnap struct {
+	blocks []*block
+	trim   int
+	head   []Point
+}
+
+func (s *Series) snapshot() qsnap {
+	s.mu.Lock()
+	q := qsnap{blocks: s.blocks, trim: s.trim, head: make([]Point, s.headLen)}
+	for i := 0; i < s.headLen; i++ {
+		q.head[i] = Point{T: time.Duration(s.headT[i]), V: s.headV[i]}
+	}
+	s.mu.Unlock()
+	return q
+}
+
+// blockTrim returns the effective trim for block i (only the oldest
+// block can be partially expired).
+func (q *qsnap) blockTrim(i int) int {
+	if i == 0 {
+		return q.trim
+	}
+	return 0
+}
+
+// decodeBlock streams b's points with t0 <= T <= t1 into fn, skipping
+// the first trim points. Points within a block are time-ordered, so the
+// scan stops at the first point past t1.
+func decodeBlock(b *block, trim int, t0, t1 int64, fn func(t int64, v float64)) {
+	mDecodes.Inc()
+	it := newBlockIter(b.data, b.sum.count)
+	for j := 0; j < trim; j++ {
+		it.next()
+	}
+	for {
+		t, v, ok := it.next()
+		if !ok || t > t1 {
+			return
+		}
+		if t >= t0 {
+			fn(t, v)
+		}
+	}
+}
+
+// each streams every stored point with t0 <= T <= t1 into fn in time
+// order. Blocks entirely outside the window are pruned by summary alone;
+// overlapping blocks are decoded.
+func (q *qsnap) each(t0, t1 time.Duration, fn func(t int64, v float64)) {
+	lo, hi := int64(t0), int64(t1)
+	for i, b := range q.blocks {
+		if b.sum.lastT < lo {
+			mSummaryHits.Inc()
+			continue
+		}
+		if b.sum.firstT > hi {
+			mSummaryHits.Inc()
+			break
+		}
+		decodeBlock(b, q.blockTrim(i), lo, hi, fn)
+	}
+	for _, p := range q.head {
+		if t := int64(p.T); t >= lo && t <= hi {
+			fn(t, p.V)
+		}
+	}
 }
 
 // Range returns the points with t0 <= T <= t1, oldest first.
 func (s *Series) Range(t0, t1 time.Duration) []Point {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rangeLocked(t0, t1)
-}
-
-func (s *Series) rangeLocked(t0, t1 time.Duration) []Point {
-	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
-	hi := sort.Search(s.size, func(i int) bool { return s.at(i).T > t1 })
-	out := make([]Point, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, s.at(i))
-	}
+	q := s.snapshot()
+	var out []Point
+	q.each(t0, t1, func(t int64, v float64) {
+		out = append(out, Point{T: time.Duration(t), V: v})
+	})
 	return out
 }
 
@@ -120,63 +291,131 @@ type Stats struct {
 	LastPoint Point
 }
 
-// Stats computes aggregates over a range.
+// Stats computes aggregates over a range in O(blocks): sealed blocks
+// fully inside the window are merged from their precomputed summaries;
+// only the at-most-two blocks straddling the window boundaries (plus a
+// partially expired front block) are decoded.
 func (s *Series) Stats(t0, t1 time.Duration) Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	q := s.snapshot()
 	var st Stats
-	lo := sort.Search(s.size, func(i int) bool { return s.at(i).T >= t0 })
-	for i := lo; i < s.size; i++ {
-		p := s.at(i)
-		if p.T > t1 {
-			break
-		}
+	var sum float64
+	add := func(t int64, v float64) {
 		if st.N == 0 {
-			st.Min, st.Max, st.First = p.V, p.V, p
+			st.Min, st.Max, st.First = v, v, Point{T: time.Duration(t), V: v}
 		}
-		if p.V < st.Min {
-			st.Min = p.V
+		if v < st.Min {
+			st.Min = v
 		}
-		if p.V > st.Max {
-			st.Max = p.V
+		if v > st.Max {
+			st.Max = v
 		}
-		st.Mean += p.V
-		st.LastPoint = p
+		sum += v
+		st.LastPoint = Point{T: time.Duration(t), V: v}
 		st.N++
 	}
+	lo, hi := int64(t0), int64(t1)
+	for i, b := range q.blocks {
+		switch {
+		case b.sum.lastT < lo:
+			mSummaryHits.Inc()
+			continue
+		case b.sum.firstT > hi:
+			mSummaryHits.Inc()
+		case q.blockTrim(i) == 0 && b.sum.firstT >= lo && b.sum.lastT <= hi:
+			// Fully covered: merge the summary. Initializing from firstV
+			// and folding the NaN-skipping minV/maxV reproduces exactly
+			// the per-point scan's result (see summary docs).
+			mSummaryHits.Inc()
+			if st.N == 0 {
+				st.Min, st.Max = b.sum.firstV, b.sum.firstV
+				st.First = Point{T: time.Duration(b.sum.firstT), V: b.sum.firstV}
+			}
+			if b.sum.minV < st.Min {
+				st.Min = b.sum.minV
+			}
+			if b.sum.maxV > st.Max {
+				st.Max = b.sum.maxV
+			}
+			sum += b.sum.sumV
+			st.LastPoint = Point{T: time.Duration(b.sum.lastT), V: b.sum.lastV}
+			st.N += b.sum.count
+			continue
+		default:
+			decodeBlock(b, q.blockTrim(i), lo, hi, add)
+			continue
+		}
+		break // firstT > t1: later blocks are entirely past the window
+	}
+	for _, p := range q.head {
+		if t := int64(p.T); t >= lo && t <= hi {
+			add(t, p.V)
+		}
+	}
 	if st.N > 0 {
-		st.Mean /= float64(st.N)
+		st.Mean = sum / float64(st.N)
 	}
 	return st
 }
 
 // Trend returns the least-squares slope over [t0, t1] in value units per
 // hour — the "predict future computing needs" primitive. ok is false with
-// fewer than two points or zero time spread.
+// fewer than two points or zero time spread. Like Stats, fully covered
+// blocks contribute their precomputed moments, so the fit is O(blocks)
+// plus the boundary decodes.
 func (s *Series) Trend(t0, t1 time.Duration) (perHour float64, ok bool) {
-	pts := s.Range(t0, t1)
-	if len(pts) < 2 {
+	q := s.snapshot()
+	var n int
+	var sumX, sumY, sumXY, sumXX float64
+	add := func(t int64, v float64) {
+		x := time.Duration(t).Hours()
+		sumX += x
+		sumY += v
+		sumXY += x * v
+		sumXX += x * x
+		n++
+	}
+	lo, hi := int64(t0), int64(t1)
+	for i, b := range q.blocks {
+		switch {
+		case b.sum.lastT < lo:
+			mSummaryHits.Inc()
+			continue
+		case b.sum.firstT > hi:
+			mSummaryHits.Inc()
+		case q.blockTrim(i) == 0 && b.sum.firstT >= lo && b.sum.lastT <= hi:
+			mSummaryHits.Inc()
+			sumX += b.sum.sumX
+			sumY += b.sum.sumV
+			sumXY += b.sum.sumXY
+			sumXX += b.sum.sumXX
+			n += b.sum.count
+			continue
+		default:
+			decodeBlock(b, q.blockTrim(i), lo, hi, add)
+			continue
+		}
+		break
+	}
+	for _, p := range q.head {
+		if t := int64(p.T); t >= lo && t <= hi {
+			add(t, p.V)
+		}
+	}
+	if n < 2 {
 		return 0, false
 	}
-	var sumX, sumY, sumXY, sumXX float64
-	for _, p := range pts {
-		x := p.T.Hours()
-		sumX += x
-		sumY += p.V
-		sumXY += x * p.V
-		sumXX += x * x
-	}
-	n := float64(len(pts))
-	den := n*sumXX - sumX*sumX
+	nf := float64(n)
+	den := nf*sumXX - sumX*sumX
 	if den == 0 {
 		return 0, false
 	}
-	return (n*sumXY - sumX*sumY) / den, true
+	return (nf*sumXY - sumX*sumY) / den, true
 }
 
 // Downsample buckets [t0, t1] into n equal intervals and returns the mean
 // of each non-empty bucket, timestamped at the bucket midpoint — the chart
-// renderer's input.
+// renderer's input. Points stream straight from the compressed blocks
+// into the bucket accumulators; no intermediate range slice is built.
 func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 	if n <= 0 || t1 <= t0 {
 		return nil
@@ -186,18 +425,17 @@ func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 		return nil
 	}
 	mDownsample.Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	q := s.snapshot()
 	sums := make([]float64, n)
 	counts := make([]int, n)
-	for _, p := range s.rangeLocked(t0, t1) {
-		b := int((p.T - t0) / width)
+	q.each(t0, t1, func(t int64, v float64) {
+		b := int((time.Duration(t) - t0) / width)
 		if b >= n {
 			b = n - 1
 		}
-		sums[b] += p.V
+		sums[b] += v
 		counts[b]++
-	}
+	})
 	out := make([]Point, 0, n)
 	for b := 0; b < n; b++ {
 		if counts[b] == 0 {
@@ -224,8 +462,8 @@ type storeStripe struct {
 // Store maps (node, metric) to series, lock-striped by node name so
 // concurrent appends for different nodes never contend. The store is safe
 // for fully concurrent use: the stripe lock guards map membership and the
-// per-series lock guards each ring, so reads (Series queries, Compare)
-// may freely race appends from agent ingest.
+// per-series lock guards each head block, so reads (Series queries,
+// Compare) may freely race appends from agent ingest.
 type Store struct {
 	capacity int
 	stripes  [storeStripes]storeStripe
@@ -324,19 +562,56 @@ func (st *Store) Metrics(nodeName string) []string {
 	return out
 }
 
-// Compare returns each node's Stats for one metric over a range — the
-// "compare performance between nodes" view.
-func (st *Store) Compare(metric string, t0, t1 time.Duration) map[string]Stats {
-	out := make(map[string]Stats)
+// Bytes returns the store's accounted history footprint across every
+// series.
+func (st *Store) Bytes() int64 {
+	var total int64
+	for _, s := range st.snapshotSeries("") {
+		total += s.series.Bytes()
+	}
+	return total
+}
+
+// namedSeries pairs a series with its owning node for lock-free
+// post-processing after the stripe locks are released.
+type namedSeries struct {
+	node   string
+	series *Series
+}
+
+// snapshotSeries collects series pointers under each stripe's read lock
+// and releases it before any per-series work happens. metric == ""
+// collects every series. This keeps cross-node queries (Compare,
+// Bytes) from stalling new-series creation during ingest: the stripe
+// lock is held only for the map walk, never across Stats.
+func (st *Store) snapshotSeries(metric string) []namedSeries {
+	out := make([]namedSeries, 0, 64)
 	for i := range st.stripes {
 		sp := &st.stripes[i]
 		sp.mu.RLock()
 		for nodeName, byMetric := range sp.series {
-			if s, ok := byMetric[metric]; ok {
-				out[nodeName] = s.Stats(t0, t1)
+			if metric == "" {
+				for _, s := range byMetric {
+					out = append(out, namedSeries{nodeName, s})
+				}
+			} else if s, ok := byMetric[metric]; ok {
+				out = append(out, namedSeries{nodeName, s})
 			}
 		}
 		sp.mu.RUnlock()
+	}
+	return out
+}
+
+// Compare returns each node's Stats for one metric over a range — the
+// "compare performance between nodes" view. Series pointers are
+// snapshotted under the stripe locks and aggregated after release, so a
+// cluster-wide comparison never blocks a new node's first sample.
+func (st *Store) Compare(metric string, t0, t1 time.Duration) map[string]Stats {
+	series := st.snapshotSeries(metric)
+	out := make(map[string]Stats, len(series))
+	for _, ns := range series {
+		out[ns.node] = ns.series.Stats(t0, t1)
 	}
 	return out
 }

@@ -77,6 +77,81 @@ func TestLoadMergesIntoExisting(t *testing.T) {
 	}
 }
 
+// TestSaveLoadV2Exact pins the v2 promise: the block format round-trips
+// sealed blocks, trim state, and head points bit-exactly — including
+// NaN, ±Inf, denormals, and values the old %.6f text format destroyed.
+func TestSaveLoadV2Exact(t *testing.T) {
+	const capacity = 3 * headCapacity / 2 // one sealed block + partial head
+	st := NewStore(capacity)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 5e-324, math.Copysign(0, -1), 0.30000000000000004}
+	for i := 0; i < capacity+40; i++ { // overfill so trim state persists too
+		v := 40 + float64(i%32)*0.5
+		if i%97 == 0 {
+			v = specials[(i/97)%len(specials)]
+		}
+		st.Append("n", "m", time.Duration(i)*time.Second+time.Duration(i%7)*time.Millisecond, v)
+	}
+	var buf bytes.Buffer
+	if err := st.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), persistHeaderV2+"\n") {
+		t.Fatalf("SaveTo wrote header %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	back := NewStore(capacity)
+	if err := back.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	orig := st.Series("n", "m").Range(0, 1<<62)
+	got := back.Series("n", "m").Range(0, 1<<62)
+	if len(orig) != len(got) {
+		t.Fatalf("points %d vs %d", len(orig), len(got))
+	}
+	for i := range orig {
+		if orig[i].T != got[i].T || math.Float64bits(orig[i].V) != math.Float64bits(got[i].V) {
+			t.Fatalf("point %d: %+v vs %+v (bit-exactness broke)", i, orig[i], got[i])
+		}
+	}
+}
+
+// TestLoadV1Compat proves snapshots from before the block engine still load.
+func TestLoadV1Compat(t *testing.T) {
+	in := persistHeader + "\n" +
+		"series \"node a\" \"load.1\" 3\n" +
+		"1.000000 0.50\n2.000000 0.75\n3.000000 1.25\n"
+	st := NewStore(16)
+	if err := st.LoadFrom(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	pts := st.Series("node a", "load.1").Range(0, 1<<62)
+	if len(pts) != 3 || pts[2].V != 1.25 || pts[0].T != time.Second {
+		t.Fatalf("v1 load = %v", pts)
+	}
+}
+
+func TestLoadV2Errors(t *testing.T) {
+	cases := []string{
+		persistHeaderV2 + "\nnot a series line\n",
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\n",                       // truncated: no block line
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\nblock 2 0 AAAA\n",       // block bytes too short for count
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\nblock 4 0 !!!!\n",       // bad base64
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\nblock 0 0 AAAA\n",       // zero count
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\nblock 2 5 AAAA\n",       // trim >= count
+		persistHeaderV2 + "\nseries \"n\" \"m\" 1 0\nblock 9999999 0 AAAA\n", // count over bound
+		persistHeaderV2 + "\nseries \"n\" \"m\" 0 1\n",                       // truncated: no head line
+		persistHeaderV2 + "\nseries \"n\" \"m\" 0 1\nbadpoint\n",             // unsplittable head point
+		persistHeaderV2 + "\nseries \"n\" \"m\" 0 1\nx 1\n",                  // bad timestamp
+		persistHeaderV2 + "\nseries \"n\" \"m\" 0 1\n1 x\n",                  // bad value
+		persistHeaderV2 + "\nseries \"n\" \"m\" -1 0\n",                      // negative counts
+	}
+	for _, c := range cases {
+		st := NewStore(8)
+		if err := st.LoadFrom(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadFrom(%q) succeeded", c)
+		}
+	}
+}
+
 // Property: save/load preserves every series' point count and last value
 // for arbitrary stores.
 func TestPropertyPersistRoundTrip(t *testing.T) {
