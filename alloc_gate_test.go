@@ -6,6 +6,8 @@ package clusterworx
 
 import (
 	"bytes"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,6 +107,56 @@ func TestAllocGateHistoryBytesPerSample(t *testing.T) {
 	}
 	if perSample := float64(s.Bytes()) / float64(s.Len()); perSample > 2.0 {
 		t.Fatalf("history stores monitor stream at %.2f B/sample, want <= 2", perSample)
+	}
+}
+
+// TestAllocGateServeHit pins the serving plane's cached read path (E20's
+// shape) at zero allocations: with the generation unmoved, every ctl
+// verb answers with a prebuilt string via an atomic pointer load, and
+// Status() shares one immutable row slice across readers. The clock is
+// frozen so the status snapshot's liveness deadline never passes inside
+// the measurement.
+func TestAllocGateServeHit(t *testing.T) {
+	skipUnderRace(t)
+	now := int64(time.Second)
+	srv := core.NewServer(core.ServerConfig{
+		Cluster: "allocgate",
+		Now:     func() time.Duration { return time.Duration(atomic.LoadInt64(&now)) },
+	})
+	names := ingestNodeNames()
+	full := ingestFullSet()
+	for _, name := range names {
+		srv.HandleValues(name, full)
+	}
+	reqs := []string{
+		"status",
+		"nodes",
+		"values " + names[0],
+		"compare metric.00",
+		"chart " + names[1] + " metric.01",
+		"spark " + names[2] + " metric.02",
+		"sync",
+	}
+	for _, req := range reqs {
+		req := req
+		if resp := srv.HandleCtl(req); !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("%s failed: %.80s", req, resp)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			srv.HandleCtl(req)
+		})
+		if allocs != 0 {
+			t.Fatalf("cached %q allocates %.1f times per hit, want 0", req, allocs)
+		}
+	}
+	srv.Status() // warm the snapshot the API path shares
+	allocs := testing.AllocsPerRun(200, func() {
+		if rows := srv.Status(); len(rows) != len(names) {
+			t.Fatalf("status rows = %d, want %d", len(rows), len(names))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Status() allocates %.1f times per call, want 0", allocs)
 	}
 }
 

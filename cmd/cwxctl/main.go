@@ -7,6 +7,13 @@
 //	cwxctl power cycle node003
 //	cwxctl console node003
 //	cwxctl eventlog
+//
+// "cwxctl watch <verb>" holds the connection open and lets the server
+// push change-only diffs (no polling — the screen redraws only when the
+// view actually changed):
+//
+//	cwxctl watch status
+//	cwxctl watch compare load.1
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"clusterworx/internal/core"
+	"clusterworx/internal/serve"
 )
 
 func main() {
@@ -35,6 +43,7 @@ requests:
   clone <imageID> <node...> | images | efficiency
   rules | eventlog [n] | ping
   telemetry | trace [node] | selfmon | sync
+  watch <verb> [args]   server-pushed change-only stream
 `)
 		flag.PrintDefaults()
 	}
@@ -52,6 +61,10 @@ requests:
 	defer client.Close()
 
 	req := strings.Join(flag.Args(), " ")
+	if strings.EqualFold(flag.Arg(0), "watch") {
+		runWatch(client, req)
+		return
+	}
 	for {
 		resp, err := client.Do(req)
 		if err != nil {
@@ -71,5 +84,43 @@ requests:
 		// Watch mode: clear the screen and redraw, like watch(1).
 		fmt.Printf("\x1b[2J\x1b[H%s  (every %s)\n\n%s\n", req, *watch, resp)
 		time.Sleep(*watch)
+	}
+}
+
+// runWatch enters streaming mode: the server pushes an initial snapshot
+// and then one block per actual change — UPDATE diffs are folded into a
+// local view, RESYNC/REFRESH replace it — and the screen redraws only
+// when something changed.
+func runWatch(client *core.CtlClient, req string) {
+	if err := client.Send(req); err != nil {
+		fmt.Fprintln(os.Stderr, "cwxctl:", err)
+		os.Exit(1)
+	}
+	var v serve.View
+	for {
+		block, err := client.ReadBlock()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cwxctl: stream ended:", err)
+			os.Exit(1)
+		}
+		if strings.HasPrefix(block, "ERR") {
+			fmt.Fprintln(os.Stderr, "cwxctl: server:", strings.TrimPrefix(strings.TrimPrefix(block, "ERR"), " "))
+			os.Exit(1)
+		}
+		kind, gen, lines, err := serve.ParseBlock(block)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cwxctl:", err)
+			os.Exit(1)
+		}
+		switch kind {
+		case serve.BlockUpdate:
+			if err := v.Apply(lines); err != nil {
+				fmt.Fprintln(os.Stderr, "cwxctl: corrupt diff:", err)
+				os.Exit(1)
+			}
+		default: // initial "OK", RESYNC, REFRESH: full rendering
+			v.SetFull(lines)
+		}
+		fmt.Printf("\x1b[2J\x1b[H%s  (streaming, gen %d)\n\n%s\n", req, gen, v.Render())
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"clusterworx/internal/clock"
 	"clusterworx/internal/cloning"
 	"clusterworx/internal/core"
 	"clusterworx/internal/events"
@@ -78,8 +79,22 @@ func main() {
 		}()
 		log.Printf("cwxd: hosting %d simulated nodes in %d ICE boxes", *simNodes, len(sim.Boxes))
 	} else {
-		srv = core.NewServer(core.ServerConfig{Cluster: *cluster})
+		// A hardware deployment also routes the server's time source
+		// through internal/clock rather than reading the wall per call:
+		// one driver goroutine steps virtual time along wall time, so
+		// every history-window end and watch diff is computed against a
+		// single monotone timeline — the same code path the simulation
+		// exercises deterministically.
+		clk := clock.New()
+		srv = core.NewServer(core.ServerConfig{Cluster: *cluster, Now: clk.Now})
 		installRules(srv, *rulesFile)
+		go func() {
+			t0 := time.Now()
+			const step = 100 * time.Millisecond
+			for range time.Tick(step) {
+				clk.RunUntil(time.Since(t0))
+			}
+		}()
 	}
 
 	if *histFile != "" {

@@ -22,6 +22,7 @@ import (
 	"clusterworx/internal/events"
 	"clusterworx/internal/experiments"
 	"clusterworx/internal/image"
+	"clusterworx/internal/serve"
 )
 
 func main() {
@@ -159,6 +160,8 @@ func runCluster(nodes int, dur time.Duration) error {
 	fmt.Printf("\n%s\n", sim.Server.HandleCtl("status"))
 	fmt.Printf("\n%s\n", sim.Server.HandleCtl("efficiency"))
 	fmt.Printf("\n%s\n", sim.Server.HandleCtl("eventlog"))
+	st := serve.ReadStats()
+	fmt.Printf("\nserving plane: %d hits, %d rebuilds, %d coalesced\n", st.Hits, st.Misses, st.Coalesced)
 	if sim.Mailer != nil {
 		fmt.Printf("\nnotifications sent: %d\n", sim.Mailer.Count())
 		for _, m := range sim.Mailer.Messages() {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"clusterworx/internal/dashboard"
+	"clusterworx/internal/serve"
 	"clusterworx/internal/telemetry"
 )
 
@@ -46,6 +48,21 @@ import (
 //	selfmon                     meta-monitor series panel (sparklines)
 //	histmem [n]                 history memory ledger (top n series, default 20)
 //	sync                        per-node delta-protocol sync state
+//	watch <verb> [args]         subscribe to a view; the server pushes a
+//	                            block whenever it changes (streaming
+//	                            connections only). Key-sorted views
+//	                            (status, nodes, values, compare, selfmon,
+//	                            sync) push change-only "UPDATE" diffs;
+//	                            efficiency and chart push "REFRESH" full
+//	                            renderings; after a slow-consumer overflow
+//	                            the next push is a full "RESYNC". Send
+//	                            "quit" to stop watching.
+//
+// Read verbs answer from the serving plane (internal/serve): renderings
+// are cached behind generation gates and a hit returns the prebuilt
+// string without parsing, locking, or allocating. HandleCtlUncached
+// bypasses the plane (the benchmarks' ablation and the differential
+// test's oracle).
 
 // ServeCtl accepts control connections until the listener closes.
 func (s *Server) ServeCtl(l net.Listener) error {
@@ -79,15 +96,162 @@ func (s *Server) serveCtlConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
+		if f := strings.Fields(line); strings.EqualFold(f[0], "watch") {
+			if s.serveWatch(sc, w, strings.Join(f[1:], " ")) {
+				return // the watch stream consumed the connection
+			}
+			continue // rejected with an ERR block; keep serving requests
+		}
 		resp := s.HandleCtl(line)
 		fmt.Fprintf(w, "%s\n.\n", strings.ReplaceAll(resp, "\n.", "\n.."))
 		w.Flush()
 	}
 }
 
+// watchMode classifies a verb for watching: diffable views are key-sorted
+// line lists (first field a stable node/metric key) pushed as change-only
+// diffs; refresh views (efficiency's value-sorted ranking, chart's grid)
+// are re-pushed wholesale when their bytes change.
+func watchMode(verb string) (diffable, ok bool) {
+	switch verb {
+	case "status", "nodes", "values", "compare", "selfmon", "sync":
+		return true, true
+	case "efficiency", "chart":
+		return false, true
+	}
+	return false, false
+}
+
+// ctlBody splits a response into its payload lines — everything below
+// the "OK" status line (ERR text is its own payload, so a view that
+// starts failing mid-watch still streams coherently).
+func ctlBody(resp string) []string {
+	lines := strings.Split(resp, "\n")
+	if lines[0] == "OK" || strings.HasPrefix(lines[0], "OK ") {
+		return lines[1:]
+	}
+	return lines
+}
+
+// serveWatch runs one watch subscription until the client sends "quit"
+// or hangs up. It reports false when the request was rejected (an ERR
+// block has been written and the request loop should continue).
+func (s *Server) serveWatch(sc *bufio.Scanner, w *bufio.Writer, inner string) bool {
+	writeBlock := func(block string) bool {
+		_, err := fmt.Fprintf(w, "%s\n.\n", strings.ReplaceAll(block, "\n.", "\n.."))
+		if err == nil {
+			err = w.Flush()
+		}
+		return err == nil
+	}
+	fields := strings.Fields(inner)
+	if len(fields) == 0 {
+		writeBlock("ERR usage: watch <verb> [args]")
+		return false
+	}
+	diffable, ok := watchMode(strings.ToLower(fields[0]))
+	if !ok {
+		writeBlock("ERR verb " + fields[0] + " is not watchable")
+		return false
+	}
+	// Subscribe before rendering the initial snapshot: a generation bump
+	// racing the snapshot then queues a notification and the first loop
+	// turn re-renders, so the client can never be left one change behind.
+	hub := s.plane.watchHub()
+	sub := hub.Register()
+	defer hub.Unregister(sub)
+	first := s.HandleCtl(inner)
+	if strings.HasPrefix(first, "ERR") {
+		writeBlock(first)
+		return false
+	}
+	// The subscription outlives the request loop; watch the connection
+	// for EOF or a "quit" line from a goroutine that owns the scanner
+	// from here on.
+	connStop := make(chan struct{})
+	go func() {
+		defer close(connStop)
+		for sc.Scan() {
+			if strings.EqualFold(strings.TrimSpace(sc.Text()), "quit") {
+				return
+			}
+		}
+	}()
+	last := ctlBody(first)
+	if !writeBlock(watchBlock("OK watch "+inner, s.Generation(), last)) {
+		return true
+	}
+	for {
+		gen, lost, ok := sub.Next(connStop)
+		if !ok {
+			return true
+		}
+		cur := ctlBody(s.HandleCtl(inner))
+		var kind string
+		var payload []string
+		switch {
+		case lost:
+			// Continuity lost (bounded queue overflowed): the client's
+			// view may have silently diverged, push the full rendering.
+			kind, payload = serve.BlockResync, cur
+			serve.NoteWatchResync()
+		case !diffable:
+			if slices.Equal(last, cur) {
+				continue
+			}
+			kind, payload = serve.BlockRefresh, cur
+		default:
+			ops := serve.Diff(last, cur)
+			if ops == nil {
+				continue // generation moved but this view did not
+			}
+			kind, payload = serve.BlockUpdate, ops
+		}
+		last = cur
+		if !writeBlock(watchBlock(kind, gen, payload)) {
+			return true
+		}
+		serve.NoteWatchPush()
+	}
+}
+
+// watchBlock assembles one pushed block: a header carrying the
+// generation, then the payload lines.
+func watchBlock(head string, gen uint64, payload []string) string {
+	var b strings.Builder
+	b.WriteString(head)
+	b.WriteString(" gen=")
+	b.WriteString(strconv.FormatUint(gen, 10))
+	for _, l := range payload {
+		b.WriteByte('\n')
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
 // HandleCtl executes one control request and returns the response block
-// (without the terminating dot line).
+// (without the terminating dot line). Read verbs answer from the serving
+// plane: the exact request line is tried against the rendering cache
+// before any parsing, so the steady-state hit costs a map read and an
+// atomic load — no fields split, no allocation.
+//
+//cwx:hotpath
 func (s *Server) HandleCtl(line string) string {
+	if resp, ok := s.plane.cached(line); ok {
+		return resp
+	}
+	return s.handleCtl(line, true)
+}
+
+// HandleCtlUncached executes one control request with the serving plane
+// bypassed: every rendering is rebuilt from the live registry and
+// history. It is the benchmarks' ablation arm and the differential
+// test's oracle — cached answers must match it byte for byte.
+func (s *Server) HandleCtlUncached(line string) string {
+	return s.handleCtl(line, false)
+}
+
+func (s *Server) handleCtl(line string, cacheable bool) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty request"
@@ -98,35 +262,27 @@ func (s *Server) HandleCtl(line string) string {
 		return "OK pong"
 
 	case "status":
-		var b strings.Builder
-		b.WriteString("OK")
-		for _, st := range s.Status() {
-			state := "DOWN"
-			if st.Alive {
-				state = "up"
-			}
-			fmt.Fprintf(&b, "\n%-12s %-5s values=%-3d load=%-6.2f temp=%-6.1f mem%%=%.1f",
-				st.Name, state, st.Values, st.Load1, st.TempC, st.MemPct)
+		if cacheable {
+			return s.plane.statusSnapshot().rendered
 		}
-		return b.String()
+		return s.plane.buildStatus().rendered
 
 	case "nodes":
-		return "OK\n" + strings.Join(s.NodeNames(), "\n")
+		if cacheable {
+			return s.plane.nodes.Get()
+		}
+		return s.plane.buildNodes()
 
 	case "values":
 		if len(fields) != 2 {
 			return "ERR usage: values <node>"
 		}
-		vals := s.NodeValues(fields[1])
-		if vals == nil {
-			return "ERR unknown node " + fields[1]
+		if cacheable {
+			if g := s.plane.ensureKeyed(line, cmd, fields); g != nil {
+				return g.Get()
+			}
 		}
-		var b strings.Builder
-		b.WriteString("OK")
-		for _, v := range vals {
-			fmt.Fprintf(&b, "\n%-28s %s", v.Name, v.Render())
-		}
-		return b.String()
+		return s.plane.buildValues(fields[1])
 
 	case "value":
 		if len(fields) != 3 {
@@ -258,31 +414,34 @@ func (s *Server) HandleCtl(line string) string {
 		if len(fields) != 3 {
 			return "ERR usage: chart <node> <metric>"
 		}
-		series := s.hist.Series(fields[1], fields[2])
-		if series == nil {
-			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		if cacheable {
+			if g := s.plane.ensureKeyed(line, cmd, fields); g != nil {
+				return g.Get()
+			}
 		}
-		last, _ := series.Last()
-		return "OK " + fields[1] + " " + fields[2] + "\n" +
-			strings.TrimRight(dashboard.Chart(series, 0, last.T, 60, 12), "\n")
+		return s.plane.buildChart(fields[1], fields[2])
 
 	case "spark":
 		if len(fields) != 3 {
 			return "ERR usage: spark <node> <metric>"
 		}
-		series := s.hist.Series(fields[1], fields[2])
-		if series == nil {
-			return fmt.Sprintf("ERR no history for %s %s", fields[1], fields[2])
+		if cacheable {
+			if g := s.plane.ensureKeyed(line, cmd, fields); g != nil {
+				return g.Get()
+			}
 		}
-		last, _ := series.Last()
-		return "OK " + dashboard.Sparkline(series, 0, last.T, 40)
+		return s.plane.buildSpark(fields[1], fields[2])
 
 	case "compare":
 		if len(fields) != 2 {
 			return "ERR usage: compare <metric>"
 		}
-		out := dashboard.CompareNodes(s.hist, fields[1], 0, s.now(), 30)
-		return "OK\n" + strings.TrimRight(out, "\n")
+		if cacheable {
+			if g := s.plane.ensureKeyed(line, cmd, fields); g != nil {
+				return g.Get()
+			}
+		}
+		return s.plane.buildCompare(fields[1])
 
 	case "correlate":
 		if len(fields) != 4 {
@@ -305,8 +464,10 @@ func (s *Server) HandleCtl(line string) string {
 		return "OK " + summary
 
 	case "efficiency":
-		out := dashboard.EfficiencyReport(s.hist, 0, s.now(), 30)
-		return "OK\n" + strings.TrimRight(out, "\n")
+		if cacheable {
+			return s.plane.efficiency.Get()
+		}
+		return s.plane.buildEfficiency()
 
 	case "telemetry":
 		var b strings.Builder
@@ -332,23 +493,16 @@ func (s *Server) HandleCtl(line string) string {
 		return "OK\n" + strings.TrimRight(renderSpans(snaps), "\n")
 
 	case "sync":
-		var b strings.Builder
-		b.WriteString("OK")
-		fmt.Fprintf(&b, "\n%-12s %8s %-8s %5s %5s %7s %5s",
-			"node", "seq", "state", "gaps", "regr", "resyncs", "snaps")
-		for _, st := range s.SyncStates() {
-			state := "synced"
-			if !st.Synced {
-				state = "DIVERGED"
-			}
-			fmt.Fprintf(&b, "\n%-12s %8d %-8s %5d %5d %7d %5d",
-				st.Node, st.Seq, state, st.Gaps, st.Regressions, st.ResyncReqs, st.Snapshots)
+		if cacheable {
+			return s.plane.syncv.Get()
 		}
-		return b.String()
+		return s.plane.buildSync()
 
 	case "selfmon":
-		out := dashboard.TelemetryPanel(s.hist, MetaNodeName, 0, s.now(), 32)
-		return "OK\n" + strings.TrimRight(out, "\n")
+		if cacheable {
+			return s.plane.selfmon.Get()
+		}
+		return s.plane.buildSelfmon()
 
 	case "histmem":
 		n := 20
@@ -395,6 +549,9 @@ func (s *Server) HandleCtl(line string) string {
 			return "ERR unknown bios verb " + fields[1]
 		}
 
+	case "watch":
+		return "ERR watch needs a streaming connection (use cwxctl watch)"
+
 	default:
 		return "ERR unknown request " + cmd
 	}
@@ -415,13 +572,17 @@ func DialCtl(addr string, timeout time.Duration) (*CtlClient, error) {
 	return &CtlClient{conn: conn, br: bufio.NewReader(conn)}, nil
 }
 
-// Do sends one request and returns the response body (first line "OK..."
-// stripped of nothing — callers get the raw block minus the dot
-// terminator). An "ERR" first line is returned as an error.
-func (c *CtlClient) Do(req string) (string, error) {
-	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
-		return "", err
-	}
+// Send writes one request line without waiting for a response. Watch
+// clients use it to enter streaming mode (and to send the "quit" that
+// leaves it); request/response callers use Do.
+func (c *CtlClient) Send(req string) error {
+	_, err := fmt.Fprintf(c.conn, "%s\n", req)
+	return err
+}
+
+// ReadBlock reads one dot-terminated block, raw: pushed watch blocks and
+// "ERR" responses are returned as content, not converted to errors.
+func (c *CtlClient) ReadBlock() (string, error) {
 	var b strings.Builder
 	for {
 		line, err := c.br.ReadString('\n')
@@ -440,7 +601,20 @@ func (c *CtlClient) Do(req string) (string, error) {
 		}
 		b.WriteString(line)
 	}
-	resp := b.String()
+	return b.String(), nil
+}
+
+// Do sends one request and returns the response body (first line "OK..."
+// stripped of nothing — callers get the raw block minus the dot
+// terminator). An "ERR" first line is returned as an error.
+func (c *CtlClient) Do(req string) (string, error) {
+	if err := c.Send(req); err != nil {
+		return "", err
+	}
+	resp, err := c.ReadBlock()
+	if err != nil {
+		return "", err
+	}
 	if strings.HasPrefix(resp, "ERR") {
 		return "", fmt.Errorf("core: server: %s", strings.TrimPrefix(strings.TrimPrefix(resp, "ERR"), " "))
 	}

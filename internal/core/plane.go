@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"clusterworx/internal/dashboard"
+	"clusterworx/internal/serve"
+	"clusterworx/internal/telemetry"
+)
+
+// The serving plane: the read side of the management server. Every hot
+// query verb (status, nodes, values, compare, chart, spark, efficiency,
+// selfmon, sync) answers from an immutable rendering cached behind a
+// serve.Gate, tagged with the generation of the data it was computed
+// from. A hit is an atomic pointer load returning a shared string — no
+// lock on the single-verb gates, no allocation, no timer anywhere:
+// validity is "the inputs have not changed", tracked by the per-shard
+// ingest generation vector in Server.
+//
+// History-windowed views (compare, efficiency, selfmon) end their window
+// at the last ingest timestamp rather than the caller's clock, so a
+// cached answer equals its uncached ablation byte for byte, and a
+// simulated run renders identically no matter when the queries land.
+//
+// The one time-dependent answer is status: a node flips DOWN purely by
+// the clock passing lastSeen+DownAfter with no ingest to move the
+// generation. The status snapshot therefore carries the earliest such
+// deadline, and its gate's Stale hook forces a rebuild once the clock
+// passes it — liveness stays exact without any background timer.
+
+// maxKeyedEntries bounds the per-argument gate table (values <node>,
+// compare <metric>, chart/spark <node> <metric>). Past the cap, new
+// argument combinations are still served — just rebuilt per request —
+// so a scanner enumerating the argument space cannot grow server
+// memory without bound.
+const maxKeyedEntries = 16384
+
+// statusSnap is one immutable status answer: the API rows, the ctl
+// rendering, and the earliest alive→DOWN flip time (0: no alive nodes).
+type statusSnap struct {
+	rows     []NodeStatus
+	rendered string
+	deadline time.Duration
+}
+
+type plane struct {
+	s *Server
+
+	status     *serve.Gate[*statusSnap]
+	nodes      *serve.Gate[string]
+	efficiency *serve.Gate[string]
+	selfmon    *serve.Gate[string]
+	syncv      *serve.Gate[string]
+
+	// keyed maps a raw request line ("values node007", "chart node3
+	// load.1") to its gate, so a hit never parses the request at all.
+	kmu   sync.RWMutex
+	keyed map[string]*serve.Gate[string]
+
+	hubOnce sync.Once
+	hub     *serve.Hub
+}
+
+func newPlane(s *Server) *plane {
+	p := &plane{s: s, keyed: make(map[string]*serve.Gate[string])}
+	p.status = &serve.Gate[*statusSnap]{
+		GenFn: s.Generation,
+		Stale: func(sn *statusSnap) bool { return sn.deadline > 0 && s.now() > sn.deadline },
+		Build: p.buildStatus,
+	}
+	// The roster only changes on registration, so the name list rides
+	// the registration generation: steady-state ingest never evicts it.
+	p.nodes = &serve.Gate[string]{GenFn: s.regGen.Load, Build: p.buildNodes}
+	p.efficiency = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildEfficiency}
+	p.selfmon = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildSelfmon}
+	p.syncv = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildSync}
+	return p
+}
+
+// lastData is the serving plane's history-window end: the ingest
+// timestamp of the most recent value anywhere in the cluster.
+func (p *plane) lastData() time.Duration { return time.Duration(p.s.lastDataNs.Load()) }
+
+// statusSnapshot returns the current generation's status snapshot,
+// rebuilding at most once per generation (or liveness deadline).
+//
+//cwx:hotpath
+func (p *plane) statusSnapshot() *statusSnap { return p.status.Get() }
+
+// cached answers a ctl request from the serving plane, keyed by the raw
+// request line so a hit does no parsing. The bool reports whether the
+// verb is served here at all; a false send the caller to the parsing
+// slow path (which also handles cacheable verbs written with unusual
+// spacing or case).
+//
+//cwx:hotpath
+func (p *plane) cached(line string) (string, bool) {
+	switch line {
+	case "status":
+		return p.status.Get().rendered, true
+	case "nodes":
+		return p.nodes.Get(), true
+	case "efficiency":
+		return p.efficiency.Get(), true
+	case "selfmon":
+		return p.selfmon.Get(), true
+	case "sync":
+		return p.syncv.Get(), true
+	}
+	p.kmu.RLock()
+	g := p.keyed[line]
+	p.kmu.RUnlock()
+	if g != nil {
+		return g.Get(), true
+	}
+	return "", false
+}
+
+// ensureKeyed returns (creating if needed) the gate for a parsed
+// argument-carrying request, registered under its raw line. Returns nil
+// when the verb takes no gate or the table is at capacity — the caller
+// then builds the answer directly, uncached.
+func (p *plane) ensureKeyed(line, verb string, fields []string) *serve.Gate[string] {
+	p.kmu.RLock()
+	g := p.keyed[line]
+	p.kmu.RUnlock()
+	if g != nil {
+		return g
+	}
+	switch verb {
+	case "values":
+		// A node's current values change only with its own stripe, so the
+		// gate rides the shard generation: ingest elsewhere is invisible.
+		node := fields[1]
+		gen := &p.s.gens[shardIndex(node)].v
+		g = &serve.Gate[string]{GenFn: gen.Load, Build: func() string { return p.buildValues(node) }}
+	case "compare":
+		metric := fields[1]
+		g = &serve.Gate[string]{GenFn: p.s.Generation, Build: func() string { return p.buildCompare(metric) }}
+	case "chart":
+		node, metric := fields[1], fields[2]
+		g = &serve.Gate[string]{GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildChart(node, metric) }}
+	case "spark":
+		node, metric := fields[1], fields[2]
+		g = &serve.Gate[string]{GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildSpark(node, metric) }}
+	default:
+		return nil
+	}
+	p.kmu.Lock()
+	if cur := p.keyed[line]; cur != nil {
+		g = cur // lost a registration race; adopt the winner
+	} else if len(p.keyed) < maxKeyedEntries {
+		p.keyed[line] = g
+	}
+	p.kmu.Unlock()
+	return g
+}
+
+// seriesGen gates a chart/spark rendering on its one series' append
+// counter, so the rendering survives ingest on every other series. The
+// high bit tags the series-generation space: entries cached while the
+// series did not yet exist ride the (low, small) global generation and
+// must not collide with series counters once it appears.
+func (p *plane) seriesGen(node, metric string) func() uint64 {
+	return func() uint64 {
+		if ser := p.s.hist.Series(node, metric); ser != nil {
+			return 1<<63 | ser.Gen()
+		}
+		return p.s.Generation()
+	}
+}
+
+// watchHub lazily creates the watch dispatcher (no goroutine, no hub at
+// all, until the first watch subscriber).
+func (p *plane) watchHub() *serve.Hub {
+	p.hubOnce.Do(func() { p.hub = serve.NewHub(p.s.Generation, &p.s.watchSig) })
+	return p.hub
+}
+
+// --- builders ---------------------------------------------------------------
+//
+// Each builder produces the exact byte string its verb historically
+// returned; the differential test asserts cached == uncached == legacy.
+
+func (p *plane) buildStatus() *statusSnap {
+	on := telemetry.On()
+	s := p.s
+	now := s.now()
+	recs := s.allRecs()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].name < recs[j].name })
+	snap := &statusSnap{rows: make([]NodeStatus, 0, len(recs))}
+	var b strings.Builder
+	b.WriteString("OK")
+	downCount := 0
+	for _, rec := range recs {
+		rec.mu.RLock()
+		st := NodeStatus{
+			Name:     rec.name,
+			Alive:    rec.seen && now-rec.lastSeen <= DownAfter,
+			LastSeen: rec.lastSeen,
+			Values:   len(rec.values),
+		}
+		// Liveness bookkeeping runs regardless of the telemetry kill
+		// switch — down/alive transitions are state, not instrumentation;
+		// only the detection counter increment is conditional.
+		if st.Alive {
+			rec.down.Store(false)
+			if d := rec.lastSeen + DownAfter; snap.deadline == 0 || d < snap.deadline {
+				snap.deadline = d
+			}
+		} else {
+			downCount++
+			if rec.seen && !rec.down.Swap(true) && on {
+				mDownDetections.Inc()
+			}
+		}
+		if v, ok := rec.values["load.1"]; ok {
+			st.Load1 = v.Num
+		}
+		if v, ok := rec.values["hw.temp.cpu"]; ok {
+			st.TempC = v.Num
+		}
+		if v, ok := rec.values["mem.used.pct"]; ok {
+			st.MemPct = v.Num
+		}
+		rec.mu.RUnlock()
+		snap.rows = append(snap.rows, st)
+		state := "DOWN"
+		if st.Alive {
+			state = "up"
+		}
+		fmt.Fprintf(&b, "\n%-12s %-5s values=%-3d load=%-6.2f temp=%-6.1f mem%%=%.1f",
+			st.Name, state, st.Values, st.Load1, st.TempC, st.MemPct)
+	}
+	gNodes.Set(float64(len(snap.rows)))
+	gNodesDown.Set(float64(downCount))
+	snap.rendered = b.String()
+	return snap
+}
+
+func (p *plane) buildNodes() string {
+	return "OK\n" + strings.Join(p.s.NodeNames(), "\n")
+}
+
+func (p *plane) buildValues(node string) string {
+	vals := p.s.NodeValues(node)
+	if vals == nil {
+		return "ERR unknown node " + node
+	}
+	var b strings.Builder
+	b.WriteString("OK")
+	for _, v := range vals {
+		fmt.Fprintf(&b, "\n%-28s %s", v.Name, v.Render())
+	}
+	return b.String()
+}
+
+func (p *plane) buildCompare(metric string) string {
+	out := dashboard.CompareNodes(p.s.hist, metric, 0, p.lastData(), 30)
+	return "OK\n" + strings.TrimRight(out, "\n")
+}
+
+func (p *plane) buildChart(node, metric string) string {
+	series := p.s.hist.Series(node, metric)
+	if series == nil {
+		return fmt.Sprintf("ERR no history for %s %s", node, metric)
+	}
+	last, _ := series.Last()
+	return "OK " + node + " " + metric + "\n" +
+		strings.TrimRight(dashboard.Chart(series, 0, last.T, 60, 12), "\n")
+}
+
+func (p *plane) buildSpark(node, metric string) string {
+	series := p.s.hist.Series(node, metric)
+	if series == nil {
+		return fmt.Sprintf("ERR no history for %s %s", node, metric)
+	}
+	last, _ := series.Last()
+	return "OK " + dashboard.Sparkline(series, 0, last.T, 40)
+}
+
+func (p *plane) buildEfficiency() string {
+	out := dashboard.EfficiencyReport(p.s.hist, 0, p.lastData(), 30)
+	return "OK\n" + strings.TrimRight(out, "\n")
+}
+
+func (p *plane) buildSelfmon() string {
+	out := dashboard.TelemetryPanel(p.s.hist, MetaNodeName, 0, p.lastData(), 32)
+	return "OK\n" + strings.TrimRight(out, "\n")
+}
+
+func (p *plane) buildSync() string {
+	var b strings.Builder
+	b.WriteString("OK")
+	fmt.Fprintf(&b, "\n%-12s %8s %-8s %5s %5s %7s %5s",
+		"node", "seq", "state", "gaps", "regr", "resyncs", "snaps")
+	for _, st := range p.s.SyncStates() {
+		state := "synced"
+		if !st.Synced {
+			state = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "\n%-12s %8d %-8s %5d %5d %7d %5d",
+			st.Node, st.Seq, state, st.Gaps, st.Regressions, st.ResyncReqs, st.Snapshots)
+	}
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"clusterworx/internal/icebox"
 	"clusterworx/internal/image"
 	"clusterworx/internal/notify"
+	"clusterworx/internal/serve"
 	"clusterworx/internal/telemetry"
 	"clusterworx/internal/transmit"
 )
@@ -54,6 +55,13 @@ type nodeShard struct {
 	nodes map[string]*nodeRec
 }
 
+// shardGen is one stripe of the ingest generation vector, padded so 64
+// concurrent agents bumping different shards never share a cache line.
+type shardGen struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
 // Server is the ClusterWorX management server.
 type Server struct {
 	now     func() time.Duration
@@ -61,6 +69,26 @@ type Server struct {
 
 	shards [ingestShards]nodeShard
 	hist   *history.Store
+
+	// The serving plane's invalidation state (PR 6). gens is the
+	// per-shard ingest generation vector: every applied frame bumps its
+	// node's stripe, and the derived global generation — the sum — moves
+	// iff any stripe moved (each stripe is monotone), so cached answers
+	// tagged with the sum are valid exactly until some input changed. No
+	// timers anywhere: validity is "the data is the same data".
+	gens [ingestShards]shardGen
+	// regGen counts node registrations only; the "nodes" verb's cache
+	// rides it so steady-state ingest never invalidates the name list.
+	regGen atomic.Uint64
+	// lastDataNs is s.now() at the most recently ingested value: the
+	// read plane's history windows end here rather than at the caller's
+	// wall clock, so a cached aggregate equals its uncached ablation
+	// byte for byte and simulated runs render deterministically.
+	lastDataNs atomic.Int64
+	// watchSig wakes the watch hub's dispatcher after a generation bump.
+	watchSig serve.Signal
+
+	plane *plane
 
 	engine   *events.Engine
 	notifier *notify.Notifier
@@ -195,7 +223,35 @@ func NewServer(cfg ServerConfig) *Server {
 		ntf = cfg.Notifier
 	}
 	s.engine = events.New(serverActuator{s}, ntf, cfg.Now)
+	s.plane = newPlane(s)
 	return s
+}
+
+// Generation is the global serving-plane generation: the sum of the
+// per-shard ingest counters. Each stripe is monotone, so the sum is
+// unchanged iff no stripe changed; a cached answer tagged with it is
+// valid exactly as long as no input anywhere has moved.
+//
+//cwx:hotpath
+func (s *Server) Generation() uint64 {
+	var g uint64
+	for i := range s.gens {
+		g += s.gens[i].v.Load()
+	}
+	return g
+}
+
+// bumpIngest publishes an ingest for nodeName's stripe to the serving
+// plane. Callers must invoke it strictly after the data mutation is
+// visible (after releasing the record lock): a reader that observes the
+// new generation then rebuilds against the new values, so a cached
+// answer can never be stale forever.
+//
+//cwx:hotpath
+func (s *Server) bumpIngest(shard uint32, now time.Duration) {
+	s.lastDataNs.Store(int64(now))
+	s.gens[shard].v.Add(1)
+	s.watchSig.Wake()
 }
 
 // Cluster returns the cluster name.
@@ -254,6 +310,11 @@ func (s *Server) node(name string) *nodeRec {
 		}
 		sh.nodes[name] = rec
 		mIngestRegistered.Inc()
+		// A registration changes every roster-derived view; readers racing
+		// this bump serialize on the stripe lock and see the new record.
+		s.regGen.Add(1)
+		s.gens[idx].v.Add(1)
+		s.watchSig.Wake()
 	}
 	return rec
 }
@@ -362,6 +423,7 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	}
 	snap := s.observationSnapshot(rec)
 	rec.mu.Unlock()
+	s.bumpIngest(rec.shard, now)
 	// t1 doubles as ingest-latency end and events-dwell start — one
 	// clock read, not two.
 	var t1 time.Time
@@ -502,6 +564,7 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		s.hist.Append(name, v.Name, now, v.Num)
 		snap := s.observationSnapshot(rec)
 		rec.mu.Unlock()
+		s.bumpIngest(rec.shard, now)
 		on := telemetry.On()
 		var e0 time.Time
 		if on {
@@ -566,51 +629,17 @@ func (s *Server) NodeValues(nodeName string) []consolidate.Value {
 	return out
 }
 
-// Status renders the monitoring screen rows. As the path every liveness
-// view goes through, it is also where down transitions are counted: a
-// node seen alive that falls silent past DownAfter bumps the detection
-// counter exactly once per outage.
+// Status renders the monitoring screen rows. It answers from the serving
+// plane's generation-gated snapshot: a hit is a lock-free atomic load
+// sharing one immutable row slice (read-only to callers) across every
+// reader, rebuilt only when ingest moved the generation or a liveness
+// deadline passed. Down transitions are counted inside the rebuild, so
+// a node seen alive that falls silent past DownAfter still bumps the
+// detection counter exactly once per outage.
+//
+//cwx:hotpath
 func (s *Server) Status() []NodeStatus {
-	on := telemetry.On()
-	now := s.now()
-	recs := s.allRecs()
-	sort.Slice(recs, func(i, j int) bool { return recs[i].name < recs[j].name })
-	out := make([]NodeStatus, 0, len(recs))
-	downCount := 0
-	for _, rec := range recs {
-		rec.mu.RLock()
-		st := NodeStatus{
-			Name:     rec.name,
-			Alive:    rec.seen && now-rec.lastSeen <= DownAfter,
-			LastSeen: rec.lastSeen,
-			Values:   len(rec.values),
-		}
-		// Liveness bookkeeping runs regardless of the telemetry kill
-		// switch — down/alive transitions are state, not instrumentation;
-		// only the detection counter increment is conditional.
-		if st.Alive {
-			rec.down.Store(false)
-		} else {
-			downCount++
-			if rec.seen && !rec.down.Swap(true) && on {
-				mDownDetections.Inc()
-			}
-		}
-		if v, ok := rec.values["load.1"]; ok {
-			st.Load1 = v.Num
-		}
-		if v, ok := rec.values["hw.temp.cpu"]; ok {
-			st.TempC = v.Num
-		}
-		if v, ok := rec.values["mem.used.pct"]; ok {
-			st.MemPct = v.Num
-		}
-		rec.mu.RUnlock()
-		out = append(out, st)
-	}
-	gNodes.Set(float64(len(out)))
-	gNodesDown.Set(float64(downCount))
-	return out
+	return s.plane.statusSnapshot().rows
 }
 
 // --- ICE Box fronting ------------------------------------------------------------

@@ -129,6 +129,12 @@ func Sparkline(s *history.Series, t0, t1 time.Duration, width int) string {
 
 // CompareNodes renders the §5.1 "compare performance between nodes" view:
 // per-node min/mean/max of one metric over a range, with a mean bar.
+//
+// Diffable-view contract: each output line leads with a stable key (the
+// node name; "node" for the header) and surviving keys keep their
+// relative order between renderings — rows are name-sorted. The serving
+// plane's watch streams rely on this to push change-only line diffs
+// (serve.Diff); reordering or re-keying these lines breaks them.
 func CompareNodes(store *history.Store, metric string, t0, t1 time.Duration, barWidth int) string {
 	stats := store.Compare(metric, t0, t1)
 	if len(stats) == 0 {
@@ -317,6 +323,9 @@ func EfficiencyReport(store *history.Store, t0, t1 time.Duration, barWidth int) 
 	for n := range perNode {
 		names = append(names, n)
 	}
+	// Ranked by efficiency, not by name: this view is deliberately NOT
+	// key-stable between renderings, so watch streams push it wholesale
+	// (REFRESH) instead of as line diffs.
 	sort.Slice(names, func(i, j int) bool {
 		if perNode[names[i]] != perNode[names[j]] {
 			return perNode[names[i]] > perNode[names[j]]

@@ -1,0 +1,69 @@
+package dashboard
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"clusterworx/internal/history"
+)
+
+// The serving plane's watch streams diff renderings line by line, keyed
+// on each line's first field (serve.LineKey). That only reconstructs
+// byte-exactly if these views emit key-sorted rows with stable relative
+// order. These tests pin the contract so a rendering change that breaks
+// watch diffing fails here, next to the code, rather than in a core
+// integration test.
+
+func orderStore() *history.Store {
+	st := history.NewStore(0)
+	nodes := []string{"node003", "node001", "node010", "node002"}
+	for i, n := range nodes {
+		for s := 0; s < 8; s++ {
+			ts := time.Duration(s) * time.Second
+			st.Append(n, "load.1", ts, float64(i+s))
+			st.Append(n, "cpu.idle.pct", ts, float64((i*20+s*5)%100))
+		}
+	}
+	return st
+}
+
+func firstFields(t *testing.T, rendering string) []string {
+	t.Helper()
+	var keys []string
+	for _, line := range strings.Split(strings.TrimRight(rendering, "\n"), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			t.Fatalf("blank line in keyed rendering:\n%s", rendering)
+		}
+		keys = append(keys, f[0])
+	}
+	return keys
+}
+
+func TestCompareNodesRowsKeySorted(t *testing.T) {
+	out := CompareNodes(orderStore(), "load.1", 0, time.Minute, 10)
+	keys := firstFields(t, out)
+	if keys[0] != "node" {
+		t.Fatalf("header key %q, want \"node\"", keys[0])
+	}
+	rows := keys[1:]
+	if !sort.StringsAreSorted(rows) {
+		t.Fatalf("compare rows not name-sorted: %v", rows)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("compare rows = %d, want 4", len(rows))
+	}
+}
+
+func TestTelemetryPanelRowsKeySorted(t *testing.T) {
+	out := TelemetryPanel(orderStore(), "node001", 0, time.Minute, 16)
+	keys := firstFields(t, out)
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("telemetry panel rows not metric-sorted: %v", keys)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("panel rows = %d, want 2", len(keys))
+	}
+}

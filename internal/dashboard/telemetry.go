@@ -13,6 +13,9 @@ import (
 // row each with the latest value and a sparkline over [t0, t1]. It reads
 // straight from the history store — the meta-monitor's series are plain
 // node history, so this panel is the proof they chart like any other.
+// Diffable-view contract: each row leads with a stable key (the metric
+// name) in sorted order — the serving plane's watch streams diff this
+// rendering line by line (see CompareNodes).
 func TelemetryPanel(store *history.Store, node string, t0, t1 time.Duration, width int) string {
 	if width < 8 {
 		width = 8

@@ -76,6 +76,13 @@ const headCapacity = 512
 // queries snapshot the sealed-block chain (immutable) plus a copy of the
 // head under that lock, then decode and aggregate with no lock held.
 type Series struct {
+	// gen counts accepted appends: the serving plane's chart/spark
+	// caches tag their renderings with it and short-circuit while it
+	// holds (a dropped out-of-order append changes nothing, so it does
+	// not bump). Atomic so cache validity checks never take the series
+	// lock.
+	gen atomic.Uint64
+
 	mu       sync.Mutex
 	capacity int
 
@@ -138,7 +145,15 @@ func (s *Series) Append(t time.Duration, v float64) {
 	if s.total > s.capacity {
 		s.evictOneLocked()
 	}
+	s.gen.Add(1)
 }
+
+// Gen returns the series' append generation: it moves exactly when the
+// stored data does, so a rendering tagged with it is valid until the
+// series accepts another point.
+//
+//cwx:hotpath
+func (s *Series) Gen() uint64 { return s.gen.Load() }
 
 // sealHeadLocked compresses the full head into an immutable block and
 // resets the head. Caller holds s.mu.

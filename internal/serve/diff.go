@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Keyed line diffs: the change-only wire format watch streams push.
+//
+// A watchable rendering is a list of lines where the first
+// whitespace-delimited field is a stable key (node name, metric name)
+// and surviving keys keep their relative order between generations —
+// true for every key-sorted ctl view (status, values, sync, compare,
+// selfmon, nodes). Under that contract a diff of three op kinds
+// reconstructs the new rendering exactly:
+//
+//	-<key>          the keyed line disappeared
+//	=<line>         the keyed line changed (key embedded as first field)
+//	+<idx> <line>   a new keyed line, inserted at index idx of the new list
+//
+// Ops are applied in that order (all deletions, then replacements, then
+// insertions ascending by index). The reconstruction is byte-exact: the
+// differential test asserts a watch client's View converges to the
+// polled rendering byte for byte.
+
+// LineKey returns a line's diff key: its first whitespace-delimited
+// field (the views' renderings lead with the node or metric name).
+func LineKey(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// Diff computes the keyed ops turning old into cur. It returns nil when
+// the renderings are identical — the caller pushes nothing, which is the
+// whole point of change-only streams.
+func Diff(old, cur []string) []string {
+	oldByKey := make(map[string]string, len(old))
+	for _, l := range old {
+		oldByKey[LineKey(l)] = l
+	}
+	curKeys := make(map[string]struct{}, len(cur))
+	for _, l := range cur {
+		curKeys[LineKey(l)] = struct{}{}
+	}
+	var ops []string
+	for _, l := range old {
+		if _, ok := curKeys[LineKey(l)]; !ok {
+			ops = append(ops, "-"+LineKey(l))
+		}
+	}
+	for i, l := range cur {
+		prev, existed := oldByKey[LineKey(l)]
+		switch {
+		case !existed:
+			ops = append(ops, "+"+strconv.Itoa(i)+" "+l)
+		case prev != l:
+			ops = append(ops, "="+l)
+		}
+	}
+	return ops
+}
+
+// View is a watch client's reconstruction of a rendering from an initial
+// full snapshot plus a stream of Diff ops.
+type View struct {
+	lines []string
+}
+
+// SetFull replaces the view wholesale (initial snapshot, or a RESYNC
+// push after the subscriber's queue overflowed).
+func (v *View) SetFull(lines []string) {
+	v.lines = append(v.lines[:0], lines...)
+}
+
+// Apply applies one UPDATE block's ops in order.
+func (v *View) Apply(ops []string) error {
+	for _, op := range ops {
+		if op == "" {
+			continue
+		}
+		switch op[0] {
+		case '-':
+			key := op[1:]
+			for i, l := range v.lines {
+				if LineKey(l) == key {
+					v.lines = append(v.lines[:i], v.lines[i+1:]...)
+					break
+				}
+			}
+		case '=':
+			line := op[1:]
+			key := LineKey(line)
+			found := false
+			for i, l := range v.lines {
+				if LineKey(l) == key {
+					v.lines[i] = line
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("serve: replace op for unknown key %q", key)
+			}
+		case '+':
+			rest := op[1:]
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return fmt.Errorf("serve: malformed insert op %q", op)
+			}
+			idx, err := strconv.Atoi(rest[:sp])
+			if err != nil || idx < 0 {
+				return fmt.Errorf("serve: bad insert index in %q", op)
+			}
+			line := rest[sp+1:]
+			if idx > len(v.lines) {
+				idx = len(v.lines)
+			}
+			v.lines = append(v.lines, "")
+			copy(v.lines[idx+1:], v.lines[idx:])
+			v.lines[idx] = line
+		default:
+			return fmt.Errorf("serve: unknown op %q", op)
+		}
+	}
+	return nil
+}
+
+// Lines returns the reconstructed rendering (shared slice; read-only).
+func (v *View) Lines() []string { return v.lines }
+
+// Render joins the reconstruction with newlines, matching the polled
+// response body below its "OK" line.
+func (v *View) Render() string { return strings.Join(v.lines, "\n") }
+
+// Watch block kinds, the first field of each pushed block's header line.
+const (
+	BlockUpdate  = "UPDATE"  // change-only diff ops follow
+	BlockResync  = "RESYNC"  // full rendering follows (continuity was lost)
+	BlockRefresh = "REFRESH" // full rendering follows (view is not keyed-diffable)
+)
+
+// ParseBlock splits a pushed watch block into its kind, generation, and
+// payload lines. The initial response block ("OK watch ...") is reported
+// with kind "OK".
+func ParseBlock(block string) (kind string, gen uint64, lines []string, err error) {
+	all := strings.Split(block, "\n")
+	header := all[0]
+	fields := strings.Fields(header)
+	if len(fields) == 0 {
+		return "", 0, nil, fmt.Errorf("serve: empty watch block header")
+	}
+	kind = fields[0]
+	for _, f := range fields[1:] {
+		if g, ok := strings.CutPrefix(f, "gen="); ok {
+			gen, err = strconv.ParseUint(g, 10, 64)
+			if err != nil {
+				return "", 0, nil, fmt.Errorf("serve: bad generation in %q", header)
+			}
+		}
+	}
+	return kind, gen, all[1:], nil
+}

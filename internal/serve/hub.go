@@ -1,0 +1,111 @@
+package serve
+
+import "sync"
+
+// SubQueue is each subscriber's bounded generation-notification queue.
+// Eight pending wakeups is far more than a healthy consumer ever holds
+// (it conflates to the latest snapshot on every wakeup); filling it
+// means the consumer is stuck behind a slow connection, and continuity
+// is declared lost instead of buffering without bound.
+const SubQueue = 8
+
+// Hub fans generation changes out to watch subscribers. One dispatcher
+// goroutine (running only while subscribers exist) waits on the ingest
+// path's Signal and performs a non-blocking send of the current
+// generation to every subscriber's bounded queue. A full queue drops the
+// notification and marks the subscriber for resync — the same
+// drop-to-resync idiom as the wire protocol's core.ErrResyncNeeded: a
+// lost delta means the subscriber's view may have silently diverged, so
+// the next push must be a full snapshot, not a diff.
+type Hub struct {
+	genFn func() uint64
+	sig   *Signal
+
+	mu   sync.Mutex
+	subs map[*Sub]struct{}
+	stop chan struct{}
+}
+
+// NewHub wires a hub to a generation source and its wake signal.
+func NewHub(genFn func() uint64, sig *Signal) *Hub {
+	return &Hub{genFn: genFn, sig: sig, subs: make(map[*Sub]struct{})}
+}
+
+// Sub is one subscriber's handle.
+type Sub struct {
+	ch     chan uint64
+	resync chan struct{} // cap 1: set when the queue overflowed
+}
+
+// Register adds a subscriber and starts the dispatcher if it is the
+// first one.
+func (h *Hub) Register() *Sub {
+	sub := &Sub{ch: make(chan uint64, SubQueue), resync: make(chan struct{}, 1)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	if h.stop == nil {
+		h.stop = make(chan struct{})
+		go h.run(h.stop)
+	}
+	h.mu.Unlock()
+	mWatchSubs.Inc()
+	return sub
+}
+
+// Unregister removes a subscriber, stopping the dispatcher with the
+// last one so an idle server holds no extra goroutine.
+func (h *Hub) Unregister(sub *Sub) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	if len(h.subs) == 0 && h.stop != nil {
+		close(h.stop)
+		h.stop = nil
+	}
+	h.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+func (h *Hub) run(stop chan struct{}) {
+	for h.sig.Wait(stop) {
+		gen := h.genFn()
+		h.mu.Lock()
+		for sub := range h.subs {
+			select {
+			case sub.ch <- gen:
+			default:
+				// Queue full: drop and mark divergence. The queued
+				// wakeups the consumer has yet to drain guarantee it
+				// comes back to observe the flag.
+				select {
+				case sub.resync <- struct{}{}:
+				default:
+				}
+				mWatchOverflows.Inc()
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Next blocks until a generation notification arrives (gen, false, true),
+// the subscriber must resync after an overflow (gen, true, true), or
+// stop closes (0, false, false).
+func (s *Sub) Next(stop <-chan struct{}) (gen uint64, resync, ok bool) {
+	select {
+	case gen = <-s.ch:
+	case <-stop:
+		return 0, false, false
+	}
+	select {
+	case <-s.resync:
+		return gen, true, true
+	default:
+		return gen, false, true
+	}
+}
