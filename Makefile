@@ -44,7 +44,7 @@ bench:
 # still compiles and executes. Not a performance measurement (-benchtime
 # 10x), just a smoke test.
 bench-smoke:
-	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry|E20StatusHit$$|E20MixedReadWriteCached$$' -benchtime 10x -benchmem .
+	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry|E20StatusHit$$|E20MixedReadWriteCached$$|E21Flight|E21JournalAppend$$' -benchtime 10x -benchmem .
 
 # Short fuzz run over the wire-protocol parsers: each target gets ~10s,
 # long enough to re-cover the grammar from the checked-in seeds without

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"clusterworx/internal/core"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/history"
 	"clusterworx/internal/transmit"
 )
@@ -188,5 +189,84 @@ func TestAllocGateWireRoundtrip(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, roundtrip)
 	if allocs > 1 {
 		t.Fatalf("wire roundtrip allocates %.1f times, want at most 1", allocs)
+	}
+}
+
+// TestAllocGateFlightAppend pins the flight recorder's journal append
+// (E21's shape) at zero allocations: one CAS claim plus eight atomic
+// stores into a preallocated ring slot. This is what lets the recorder
+// stay always-on under the ingest hot path.
+func TestAllocGateFlightAppend(t *testing.T) {
+	skipUnderRace(t)
+	j := flight.NewJournal()
+	node := j.Sym("node042") // interning is setup-time, off the measured path
+	e := flight.Entry{Kind: flight.KindStage, Stage: 3, Node: node, Trace: 0xfeed, TimeNs: 1, A: 2, B: 3}
+	allocs := testing.AllocsPerRun(200, func() {
+		j.Append(0, e)
+	})
+	if allocs != 0 {
+		t.Fatalf("journal append allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestAllocGateFlightUnsampledTick pins the cost a NON-sampled agent
+// tick pays for tracing — one modular check — at zero allocations, and
+// the sampled path's id mint at zero too (it is pure integer mixing).
+func TestAllocGateFlightUnsampledTick(t *testing.T) {
+	skipUnderRace(t)
+	salt := flight.Salt("node042")
+	var n uint64
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		n++
+		sink += flight.NextTrace(salt, n)
+	})
+	if allocs != 0 {
+		t.Fatalf("trace sampling decision allocates %.1f times, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestAllocGateTracedIngest pins the sequenced ingest path carrying a
+// trace context: the journal append and exemplar CAS it adds over
+// TestAllocGateSequencedIngest must also be free.
+func TestAllocGateTracedIngest(t *testing.T) {
+	skipUnderRace(t)
+	srv := core.NewServer(core.ServerConfig{Cluster: "allocgate"})
+	full := ingestFullSet()
+	deltas := ingestDeltaSets()
+	const node = "fnode0001"
+	if err := srv.HandleFrame(transmit.Frame{Node: node, Seq: 1, Kind: transmit.FrameSnapshot, Values: full}); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(1)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		f := transmit.Frame{Node: node, Seq: seq, Kind: transmit.FrameDelta,
+			Values: deltas[i%len(deltas)], TraceID: seq | 1, TraceNs: int64(seq)}
+		if err := srv.HandleFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("traced sequenced ingest allocates %.1f times per update, want 0", allocs)
+	}
+}
+
+// TestAllocGateTracedMarshal pins the wire cost of carrying the trace
+// option: marshaling a traced frame into a reused buffer allocates
+// nothing beyond the untraced path.
+func TestAllocGateTracedMarshal(t *testing.T) {
+	skipUnderRace(t)
+	f := transmit.Frame{Node: "node042", Seq: 9, Kind: transmit.FrameDelta,
+		Values: ingestFullSet(), TraceID: 0xabcdef0123456789, TraceNs: 1 << 40}
+	buf := transmit.MarshalFrame(nil, f) // size the scratch off the measured path
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = transmit.MarshalFrame(buf[:0], f)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced marshal allocates %.1f times, want 0", allocs)
 	}
 }

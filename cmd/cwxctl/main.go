@@ -42,7 +42,9 @@ requests:
   bios settings|set|flash <node> [...]
   clone <imageID> <node...> | images | efficiency
   rules | eventlog [n] | ping
-  telemetry | trace [node] | selfmon | sync
+  telemetry | trace [-json] [node] | selfmon | sync
+  journal [-json] [since <seq>]      flight-recorder ring, oldest first
+  flight [-json] <trace-id|node>     span tree of one sampled frame
   watch <verb> [args]   server-pushed change-only stream
 `)
 		flag.PrintDefaults()

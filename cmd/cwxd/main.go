@@ -27,6 +27,7 @@ import (
 	"clusterworx/internal/cloning"
 	"clusterworx/internal/core"
 	"clusterworx/internal/events"
+	"clusterworx/internal/flight"
 )
 
 func main() {
@@ -39,8 +40,16 @@ func main() {
 		histFile  = flag.String("history-file", "", "persist monitor history to this file (loaded at start, saved every minute)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060; empty disables)")
 		selfMon   = flag.Duration("self-monitor", 10*time.Second, "meta-monitor period: ingest the server's own telemetry as node "+core.MetaNodeName+" (0 disables)")
+		flightN   = flag.Int("flight-rate", flight.DefaultRate, "causal-trace sampling: trace 1 in N agent ticks (min 1)")
+		flightOff = flag.Bool("flight-off", false, "kill switch: disable the flight recorder and all trace sampling")
 	)
 	flag.Parse()
+	if *flightOff {
+		flight.Default().SetEnabled(false)
+	}
+	if *flightN > 0 {
+		flight.SetRate(*flightN)
+	}
 
 	var srv *core.Server
 	if *simNodes > 0 {

@@ -19,8 +19,10 @@ import (
 	"time"
 
 	"clusterworx/internal/core"
+	"clusterworx/internal/dashboard"
 	"clusterworx/internal/events"
 	"clusterworx/internal/experiments"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/image"
 	"clusterworx/internal/serve"
 )
@@ -162,6 +164,9 @@ func runCluster(nodes int, dur time.Duration) error {
 	fmt.Printf("\n%s\n", sim.Server.HandleCtl("eventlog"))
 	st := serve.ReadStats()
 	fmt.Printf("\nserving plane: %d hits, %d rebuilds, %d coalesced\n", st.Hits, st.Misses, st.Coalesced)
+	fj := flight.Default()
+	fmt.Printf("flight recorder: %d records journaled (ring retains %d); newest:\n", fj.Cursor(), flight.Capacity())
+	fmt.Print(dashboard.FlightPanel(fj.Since(0, 5)))
 	if sim.Mailer != nil {
 		fmt.Printf("\nnotifications sent: %d\n", sim.Mailer.Count())
 		for _, m := range sim.Mailer.Messages() {

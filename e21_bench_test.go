@@ -1,0 +1,67 @@
+// E21: flight-recorder ablation. The recorder is always-on by design,
+// so its cost on the sequenced ingest path must be provably negligible:
+// the benchmark pair runs the E18 frame-ingest shape with the journal
+// enabled (default sampling, 1 in 64 frames traced) and with the kill
+// switch thrown, and EXPERIMENTS.md requires the delta to stay within
+// 3%. A third benchmark isolates the raw journal append.
+package clusterworx
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"clusterworx/internal/core"
+	"clusterworx/internal/flight"
+	"clusterworx/internal/transmit"
+)
+
+// benchFlightIngest is the E18 single-node frame-ingest loop with trace
+// sampling at the default 1-in-64 rate: frame 64k carries a trace id,
+// the rest pay only the zero-branch.
+func benchFlightIngest(b *testing.B, journalOn bool) {
+	prev := flight.Default().SetEnabled(journalOn)
+	defer flight.Default().SetEnabled(prev)
+	srv := core.NewServer(core.ServerConfig{Cluster: "bench"})
+	deltas := ingestDeltaSets()
+	full := ingestFullSet()
+	const node = "fnode0001"
+	if err := srv.HandleFrame(transmit.Frame{Node: node, Seq: 1, Kind: transmit.FrameSnapshot, Values: full}); err != nil {
+		b.Fatal(err)
+	}
+	salt := flight.Salt(node)
+	var seq uint64 = 1
+	i := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		seq++
+		f := transmit.Frame{Node: node, Seq: seq, Kind: transmit.FrameDelta, Values: deltas[i%len(deltas)]}
+		if id := flight.NextTrace(salt, seq); id != 0 {
+			f.TraceID = id
+		}
+		if err := srv.HandleFrame(f); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+func BenchmarkE21FlightIngestOn(b *testing.B)  { benchFlightIngest(b, true) }
+func BenchmarkE21FlightIngestOff(b *testing.B) { benchFlightIngest(b, false) }
+
+// BenchmarkE21JournalAppend isolates the recorder's unit cost: one
+// CAS-claimed slot write, contended across GOMAXPROCS appenders on
+// distinct stripes (the ingest path stripes by node shard).
+func BenchmarkE21JournalAppend(b *testing.B) {
+	j := flight.NewJournal()
+	node := j.Sym("fnode0001")
+	var stripe atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		s := int(stripe.Add(1))
+		e := flight.Entry{Kind: flight.KindStage, Stage: 3, Node: node, Trace: 0xfeed, TimeNs: 1, A: 2, B: 3}
+		for pb.Next() {
+			j.Append(s, e)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"clusterworx/internal/clock"
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/monitor"
 	"clusterworx/internal/node"
 	"clusterworx/internal/telemetry"
@@ -106,6 +107,18 @@ type Agent struct {
 	pendingBuf   []consolidate.Value          // merge scratch: combined set
 	retransmits  int
 	resyncsSent  int
+
+	// Causal tracing state (internal/flight). ticks counts agent periods;
+	// together with salt it drives the deterministic 1-in-N trace sampling
+	// decision. traceID/traceNs are the pending trace context: minted on a
+	// sampled tick, carried through banking and backoff, stamped onto the
+	// frame, and cleared when the send succeeds — so a trace born on a
+	// tick that banked still covers the eventual delivery.
+	ticks   uint64
+	salt    uint32
+	fsym    flight.Sym
+	traceID uint64
+	traceNs int64
 }
 
 // NewAgent builds and starts an agent on the node's clock.
@@ -149,7 +162,9 @@ func NewAgent(clk *clock.Clock, cfg AgentConfig) (*Agent, error) {
 	}
 	a := &Agent{cfg: cfg, clk: clk, cons: cons, set: set,
 		rng:  rand.New(rand.NewSource(cfg.RetrySeed)),
-		span: telemetry.Spans.Slot(n.Name())}
+		span: telemetry.Spans.Slot(n.Name()),
+		salt: flight.Salt(n.Name()),
+		fsym: fjournal.Sym(n.Name())}
 	a.timer = clk.AfterFunc(cfg.Period, a.tick)
 	return a, nil
 }
@@ -180,7 +195,12 @@ func (a *Agent) PendingRetransmit() int { return len(a.pending) }
 // RequestResync asks the agent to ship a full snapshot on its next tick.
 // The server sends this (through the transport's back-channel) when it
 // detects a sequence gap. Safe to call from any goroutine.
-func (a *Agent) RequestResync() { a.needResync.Store(true) }
+func (a *Agent) RequestResync() {
+	a.needResync.Store(true)
+	// Journal the arrival of the request itself: paired with the server's
+	// resync-sent record it shows whether the back-channel survived.
+	fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindResyncRecv, Node: a.fsym, TimeNs: int64(a.clk.Now())})
+}
 
 // Stop halts the agent loop and releases gatherer files.
 func (a *Agent) Stop() {
@@ -208,12 +228,31 @@ func (a *Agent) tick() {
 	a.cons.Tick()
 	now := a.clk.Now()
 	delta := a.cons.Delta()
-	if on {
-		gather, cons, collected := a.cons.TickTelemetry()
-		a.span.Record(telemetry.StageGather, gather, int64(collected))
-		a.span.Record(telemetry.StageConsolidate, cons, int64(len(delta)))
-	}
 	framed := a.cfg.SendFrame != nil
+	// Trace sampling happens at gather time: a sampled tick mints the
+	// trace id that every downstream hop — including the server side of
+	// the wire — will journal under. Only framed transports can carry the
+	// context (the legacy header has no option field).
+	a.ticks++
+	newTrace := false
+	if framed {
+		if id := flight.NextTrace(a.salt, a.ticks); id != 0 {
+			a.traceID, a.traceNs, newTrace = id, int64(now), true
+		}
+	}
+	var gather, cons time.Duration
+	var collected int
+	if on {
+		gather, cons, collected = a.cons.TickTelemetry()
+		a.span.RecordTraced(telemetry.StageGather, gather, int64(collected), a.traceID)
+		a.span.RecordTraced(telemetry.StageConsolidate, cons, int64(len(delta)), a.traceID)
+	}
+	if newTrace {
+		// The agent-local hops of the sampled tick. Durations are zero
+		// when telemetry is off; the hops still anchor the span tree.
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindStage, Stage: uint8(telemetry.StageGather), Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(gather), B: int64(collected)})
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindStage, Stage: uint8(telemetry.StageConsolidate), Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(cons), B: int64(len(delta))})
+	}
 	if !framed && a.cfg.Transport == nil {
 		return
 	}
@@ -221,9 +260,13 @@ func (a *Agent) tick() {
 	// changes so the eventual retransmit carries them too.
 	if a.fails > 0 && now < a.nextTryAt {
 		a.bank(delta)
+		if len(delta) > 0 {
+			fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindBank, Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(len(delta)), B: int64(a.fails)})
+		}
 		return
 	}
-	resync := framed && (a.needResync.Load() ||
+	resyncRequested := a.needResync.Load()
+	resync := framed && (resyncRequested ||
 		(a.cfg.AntiEntropy > 0 && now-a.lastSnap >= a.cfg.AntiEntropy))
 	retrans := len(a.pending) > 0
 	if len(delta) == 0 && !resync && !retrans && now-a.lastSent < a.cfg.Heartbeat {
@@ -252,6 +295,7 @@ func (a *Agent) tick() {
 	if framed {
 		err = a.cfg.SendFrame(transmit.Frame{
 			Node: a.cfg.Node.Name(), Seq: a.seq + 1, Kind: kind, Values: values,
+			TraceID: a.traceID, TraceNs: a.traceNs,
 		})
 	} else {
 		err = a.cfg.Transport(a.cfg.Node.Name(), values)
@@ -259,6 +303,7 @@ func (a *Agent) tick() {
 	if err != nil {
 		a.sendErrs++
 		mAgentSendFailures.Inc()
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindSendFail, Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(len(values)), B: int64(a.fails + 1)})
 		if kind == transmit.FrameSnapshot {
 			// The snapshot still owes the server its state; retry as a
 			// snapshot (it subsumes the pending set, which stays banked
@@ -271,8 +316,10 @@ func (a *Agent) tick() {
 		a.nextTryAt = now + a.backoff()
 		return
 	}
+	var sendDur time.Duration
 	if on {
-		a.span.Record(telemetry.StageTransmit, time.Since(t0), int64(len(values))) //cwx:allow clockdet -- closes the wall-clock transmit span
+		sendDur = time.Since(t0) //cwx:allow clockdet -- closes the wall-clock transmit span
+		a.span.RecordTraced(telemetry.StageTransmit, sendDur, int64(len(values)), a.traceID)
 	}
 	if framed {
 		a.seq++
@@ -288,11 +335,27 @@ func (a *Agent) tick() {
 		a.resyncsSent++
 		mAgentResyncSnapshots.Inc()
 		a.clearPending()
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindResyncSnap, Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(len(values)), B: boolToInt64(resyncRequested)})
 	case retrans:
 		a.retransmits++
 		mAgentRetransmits.Inc()
 		a.clearPending()
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindRetransmit, Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(len(values))})
 	}
+	if a.traceID != 0 {
+		// Close out the sampled frame's transmit hop. With the in-process
+		// transport the server's ingest ran inside SendFrame, so its
+		// journal records precede this one; sendDur covers them.
+		fjournal.Append(int(a.salt), flight.Entry{Kind: flight.KindStage, Stage: uint8(telemetry.StageTransmit), Node: a.fsym, Trace: a.traceID, TimeNs: int64(now), A: int64(sendDur), B: int64(len(values))})
+		a.traceID, a.traceNs = 0, 0
+	}
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // bank copies values into the pending-retransmit buffer (newest payload

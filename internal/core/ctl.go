@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"clusterworx/internal/dashboard"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/serve"
 	"clusterworx/internal/telemetry"
 )
@@ -44,7 +45,14 @@ import (
 //	bios settings|set|flash ... remote LinuxBIOS management (§2)
 //	clone <imageID> <node...>   multicast-clone an image to nodes (§4)
 //	telemetry                   self-monitoring metrics (Prometheus text)
-//	trace [node]                latest pipeline span breakdown per node
+//	trace [-json] [node]        latest pipeline span breakdown per node,
+//	                            with the worst-traced-ingest exemplar link
+//	journal [-json] [since <seq>]  flight-recorder ring: structured records
+//	                            of traced hops, gaps, resyncs, firings,
+//	                            retries, gate rebuilds (internal/flight)
+//	flight [-json] <trace|node> span tree of one sampled frame: every
+//	                            journal record under a trace id (or the
+//	                            node's most recent trace)
 //	selfmon                     meta-monitor series panel (sparklines)
 //	histmem [n]                 history memory ledger (top n series, default 20)
 //	sync                        per-node delta-protocol sync state
@@ -52,7 +60,7 @@ import (
 //	                            block whenever it changes (streaming
 //	                            connections only). Key-sorted views
 //	                            (status, nodes, values, compare, selfmon,
-//	                            sync) push change-only "UPDATE" diffs;
+//	                            sync, journal) push change-only "UPDATE" diffs;
 //	                            efficiency and chart push "REFRESH" full
 //	                            renderings; after a slow-consumer overflow
 //	                            the next push is a full "RESYNC". Send
@@ -114,7 +122,7 @@ func (s *Server) serveCtlConn(conn net.Conn) {
 // are re-pushed wholesale when their bytes change.
 func watchMode(verb string) (diffable, ok bool) {
 	switch verb {
-	case "status", "nodes", "values", "compare", "selfmon", "sync":
+	case "status", "nodes", "values", "compare", "selfmon", "sync", "journal":
 		return true, true
 	case "efficiency", "chart":
 		return false, true
@@ -195,6 +203,7 @@ func (s *Server) serveWatch(sc *bufio.Scanner, w *bufio.Writer, inner string) bo
 			// view may have silently diverged, push the full rendering.
 			kind, payload = serve.BlockResync, cur
 			serve.NoteWatchResync()
+			fjournal.Append(0, flight.Entry{Kind: flight.KindWatchResync, Detail: fjournal.Sym(strings.ToLower(fields[0])), TimeNs: int64(s.now())})
 		case !diffable:
 			if slices.Equal(last, cur) {
 				continue
@@ -476,21 +485,33 @@ func (s *Server) handleCtl(line string, cacheable bool) string {
 		return strings.TrimRight(b.String(), "\n")
 
 	case "trace":
-		if len(fields) > 2 {
-			return "ERR usage: trace [node]"
+		args, asJSON := stripJSONFlag(fields[1:])
+		if len(args) > 1 {
+			return "ERR usage: trace [-json] [node]"
 		}
-		if len(fields) == 2 {
-			snap, ok := telemetry.Spans.Lookup(fields[1])
+		var snaps []telemetry.SpanSnapshot
+		if len(args) == 1 {
+			snap, ok := telemetry.Spans.Lookup(args[0])
 			if !ok {
-				return "ERR no trace for node " + fields[1]
+				return "ERR no trace for node " + args[0]
 			}
-			return "OK\n" + strings.TrimRight(renderSpans([]telemetry.SpanSnapshot{snap}), "\n")
+			snaps = []telemetry.SpanSnapshot{snap}
+		} else {
+			snaps = telemetry.Spans.Snapshot()
 		}
-		snaps := telemetry.Spans.Snapshot()
+		if asJSON {
+			return ctlTraceJSON(snaps)
+		}
 		if len(snaps) == 0 {
 			return "OK (no spans recorded)"
 		}
-		return "OK\n" + strings.TrimRight(renderSpans(snaps), "\n")
+		return "OK\n" + strings.TrimRight(renderSpans(snaps), "\n") + traceExemplarFooter()
+
+	case "journal":
+		return s.ctlJournal(fields[1:])
+
+	case "flight":
+		return s.ctlFlight(fields[1:])
 
 	case "sync":
 		if cacheable {

@@ -68,16 +68,17 @@ type plane struct {
 func newPlane(s *Server) *plane {
 	p := &plane{s: s, keyed: make(map[string]*serve.Gate[string])}
 	p.status = &serve.Gate[*statusSnap]{
+		Name:  "status",
 		GenFn: s.Generation,
 		Stale: func(sn *statusSnap) bool { return sn.deadline > 0 && s.now() > sn.deadline },
 		Build: p.buildStatus,
 	}
 	// The roster only changes on registration, so the name list rides
 	// the registration generation: steady-state ingest never evicts it.
-	p.nodes = &serve.Gate[string]{GenFn: s.regGen.Load, Build: p.buildNodes}
-	p.efficiency = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildEfficiency}
-	p.selfmon = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildSelfmon}
-	p.syncv = &serve.Gate[string]{GenFn: s.Generation, Build: p.buildSync}
+	p.nodes = &serve.Gate[string]{Name: "nodes", GenFn: s.regGen.Load, Build: p.buildNodes}
+	p.efficiency = &serve.Gate[string]{Name: "efficiency", GenFn: s.Generation, Build: p.buildEfficiency}
+	p.selfmon = &serve.Gate[string]{Name: "selfmon", GenFn: s.Generation, Build: p.buildSelfmon}
+	p.syncv = &serve.Gate[string]{Name: "sync", GenFn: s.Generation, Build: p.buildSync}
 	return p
 }
 
@@ -137,16 +138,16 @@ func (p *plane) ensureKeyed(line, verb string, fields []string) *serve.Gate[stri
 		// gate rides the shard generation: ingest elsewhere is invisible.
 		node := fields[1]
 		gen := &p.s.gens[shardIndex(node)].v
-		g = &serve.Gate[string]{GenFn: gen.Load, Build: func() string { return p.buildValues(node) }}
+		g = &serve.Gate[string]{Name: verb, GenFn: gen.Load, Build: func() string { return p.buildValues(node) }}
 	case "compare":
 		metric := fields[1]
-		g = &serve.Gate[string]{GenFn: p.s.Generation, Build: func() string { return p.buildCompare(metric) }}
+		g = &serve.Gate[string]{Name: verb, GenFn: p.s.Generation, Build: func() string { return p.buildCompare(metric) }}
 	case "chart":
 		node, metric := fields[1], fields[2]
-		g = &serve.Gate[string]{GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildChart(node, metric) }}
+		g = &serve.Gate[string]{Name: verb, GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildChart(node, metric) }}
 	case "spark":
 		node, metric := fields[1], fields[2]
-		g = &serve.Gate[string]{GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildSpark(node, metric) }}
+		g = &serve.Gate[string]{Name: verb, GenFn: p.seriesGen(node, metric), Build: func() string { return p.buildSpark(node, metric) }}
 	default:
 		return nil
 	}

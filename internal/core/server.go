@@ -18,6 +18,7 @@ import (
 	"clusterworx/internal/consolidate"
 	"clusterworx/internal/events"
 	"clusterworx/internal/firmware"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/history"
 	"clusterworx/internal/icebox"
 	"clusterworx/internal/image"
@@ -122,6 +123,10 @@ type nodeRec struct {
 	// registration; recording through it is atomics only, preserving the
 	// no-new-locks contract of the sharded path.
 	span *telemetry.Span
+	// fsym is the node's interned flight-journal symbol, resolved once at
+	// registration so journal appends on the ingest path never touch the
+	// intern table (or any string).
+	fsym flight.Sym
 	// down tracks the presumed-down edge (for the down-detection counter);
 	// atomic so Status can flip it under the record's read lock.
 	down atomic.Bool
@@ -307,6 +312,7 @@ func (s *Server) node(name string) *nodeRec {
 			sample: make(map[string]float64),
 			shard:  idx,
 			span:   telemetry.Spans.Slot(name),
+			fsym:   fjournal.Sym(name),
 		}
 		sh.nodes[name] = rec
 		mIngestRegistered.Inc()
@@ -375,6 +381,7 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	rec.seen = true
 	resync := false
 	if f.Seq > 0 {
+		prev := rec.wireSeq
 		switch {
 		case f.Kind == transmit.FrameSnapshot:
 			// Authoritative full state: heals any divergence and adopts
@@ -394,12 +401,14 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 			rec.diverged = true
 			resync = true
 			mIngestSeqGaps.IncAt(int(rec.shard))
+			fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindGap, Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now), A: int64(prev), B: int64(f.Seq)})
 		default: // f.Seq <= rec.wireSeq: the agent restarted its numbering
 			rec.regressions++
 			rec.wireSeq = f.Seq
 			rec.diverged = true
 			resync = true
 			mIngestSeqRegressions.IncAt(int(rec.shard))
+			fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindRegression, Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now), A: int64(prev), B: int64(f.Seq)})
 		}
 		if resync {
 			rec.resyncReqs++
@@ -408,6 +417,7 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	if f.Kind == transmit.FrameSnapshot {
 		s.applySnapshotLocked(rec, f.Node, f.Values, now)
 		mIngestSnapshots.IncAt(int(rec.shard))
+		fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindSnapApplied, Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now), A: int64(len(f.Values))})
 	} else {
 		for _, v := range f.Values {
 			rec.values[v.Name] = v
@@ -427,19 +437,29 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	// t1 doubles as ingest-latency end and events-dwell start — one
 	// clock read, not two.
 	var t1 time.Time
+	var lat time.Duration
 	if on {
 		t1 = time.Now() //cwx:allow clockdet,hotpath -- one deliberate second read: ingest-latency end doubles as events-dwell start
-		lat := t1.Sub(t0)
+		lat = t1.Sub(t0)
 		stripe := int(rec.shard)
 		mIngestUpdates.IncAt(stripe)
 		mIngestValues.AddAt(stripe, int64(len(f.Values)))
-		mIngestLatencyNs.ObserveAt(stripe, int64(lat))
+		mIngestLatencyNs.ObserveTraceAt(stripe, int64(lat), f.TraceID)
 		mIngestBatch.ObserveAt(stripe, int64(len(f.Values)))
-		rec.span.Record(telemetry.StageIngest, lat, int64(len(f.Values)))
+		rec.span.RecordTraced(telemetry.StageIngest, lat, int64(len(f.Values)), f.TraceID)
 	}
-	s.observe(f.Node, rec, snap, t1, on)
+	if f.TraceID != 0 {
+		// The sampled frame's ingest hop. lat is 0 with telemetry off —
+		// the journal still places the hop in the tree, just unmeasured.
+		fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindStage, Stage: uint8(telemetry.StageIngest), Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now), A: int64(lat), B: int64(len(f.Values))})
+	}
+	s.observe(f.Node, rec, snap, t1, on, f.TraceID)
 	if resync {
 		mIngestResyncReqs.IncAt(int(rec.shard))
+		// The back-channel resync request leaves here (as ErrResyncNeeded
+		// to the transport); paired with the agent's resync-recv record it
+		// shows whether the request survived the return path.
+		fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindResyncSent, Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now)})
 		return ErrResyncNeeded
 	}
 	return nil
@@ -526,17 +546,21 @@ func (s *Server) observationSnapshot(rec *nodeRec) map[string]float64 {
 // pipeline span and a striped histogram.
 //
 //cwx:hotpath
-func (s *Server) observe(nodeName string, rec *nodeRec, snap map[string]float64, e0 time.Time, on bool) {
+func (s *Server) observe(nodeName string, rec *nodeRec, snap map[string]float64, e0 time.Time, on bool, trace uint64) {
 	if snap == nil {
 		return
 	}
+	var dwell time.Duration
 	if on {
 		s.engine.ObserveMap(nodeName, snap)
-		dwell := time.Since(e0) //cwx:allow clockdet -- dwell measures real rule-evaluation cost, paired with HandleFrame's t1
+		dwell = time.Since(e0) //cwx:allow clockdet -- dwell measures real rule-evaluation cost, paired with HandleFrame's t1
 		mEventsDwellNs.ObserveAt(int(rec.shard), int64(dwell))
-		rec.span.Record(telemetry.StageEvents, dwell, int64(len(snap)))
+		rec.span.RecordTraced(telemetry.StageEvents, dwell, int64(len(snap)), trace)
 	} else {
 		s.engine.ObserveMap(nodeName, snap)
+	}
+	if trace != 0 {
+		fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindStage, Stage: uint8(telemetry.StageEvents), Node: rec.fsym, Trace: trace, TimeNs: int64(s.now()), A: int64(dwell), B: int64(len(snap))})
 	}
 	clear(snap)
 	samplePool.Put(snap)
@@ -570,7 +594,7 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		if on {
 			e0 = time.Now() //cwx:allow clockdet -- events-dwell telemetry; probe scheduling itself uses s.now
 		}
-		s.observe(name, rec, snap, e0, on)
+		s.observe(name, rec, snap, e0, on, 0)
 	}
 }
 

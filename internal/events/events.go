@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"clusterworx/internal/consolidate"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/telemetry"
 )
 
@@ -21,6 +22,10 @@ import (
 // wall clock — e.now is virtual in simulation and would time actions at
 // zero — because the interesting number is how long a power-off RPC or
 // an administrator plug-in actually stalls the evaluation goroutine.
+// fltj is the process-wide flight journal; firings are cold path, so
+// the interning Sym calls here are fine.
+var fltj = flight.Default()
+
 var (
 	mObservations = telemetry.Default().Counter("cwx_events_observations_total")
 	mRulesEval    = telemetry.Default().Counter("cwx_events_rules_evaluated_total")
@@ -352,6 +357,17 @@ func (e *Engine) ObserveMap(node string, values map[string]float64) []Firing {
 			e.log = e.log[len(e.log)-e.logCap:]
 		}
 		e.mu.Unlock()
+		// Journal the firing. The trace id (if the triggering frame was
+		// sampled) comes from the node's span: the ingest hop for this
+		// very frame was recorded moments ago on the same goroutine.
+		fltj.Append(int(flight.Salt(node)), flight.Entry{
+			Kind:   flight.KindEventFired,
+			Node:   fltj.Sym(node),
+			Detail: fltj.Sym(w.rule.Name),
+			Trace:  telemetry.Spans.StageTrace(node, telemetry.StageIngest),
+			TimeNs: int64(f.At),
+			A:      int64(w.val),
+		})
 		if w.rule.Notify && e.notifier != nil {
 			e.notifier.EventTriggered(w.rule, node, w.val, actionErr)
 		}

@@ -1,0 +1,227 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAppendAndSince(t *testing.T) {
+	j := NewJournal()
+	n := j.Sym("node001")
+	d := j.Sym("cpu-high")
+	for i := 1; i <= 5; i++ {
+		seq := j.Append(0, Entry{Kind: KindGap, Node: n, Detail: d, TimeNs: int64(i), A: int64(i), B: int64(i + 1)})
+		if seq != uint64(i) {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+	}
+	if got := j.Cursor(); got != 5 {
+		t.Fatalf("cursor = %d, want 5", got)
+	}
+	rs := j.Since(0, 0)
+	if len(rs) != 5 {
+		t.Fatalf("Since(0) returned %d records, want 5", len(rs))
+	}
+	for i, r := range rs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+		if r.Node != "node001" || r.Detail != "cpu-high" || r.Kind != KindGap {
+			t.Fatalf("record fields wrong: %+v", r)
+		}
+	}
+	if rs := j.Since(3, 0); len(rs) != 2 || rs[0].Seq != 4 {
+		t.Fatalf("Since(3) = %+v", rs)
+	}
+	if rs := j.Since(0, 2); len(rs) != 2 || rs[0].Seq != 4 || rs[1].Seq != 5 {
+		t.Fatalf("Since(0, max=2) should keep the newest: %+v", rs)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	j := NewJournal()
+	n := j.Sym("n")
+	total := shardSlots + 100 // stripe-pinned: wraps one shard's ring
+	for i := 1; i <= total; i++ {
+		j.Append(0, Entry{Kind: KindBank, Node: n, A: int64(i)})
+	}
+	rs := j.Since(0, 0)
+	if len(rs) != shardSlots {
+		t.Fatalf("retained %d records, want %d", len(rs), shardSlots)
+	}
+	if rs[0].Seq != uint64(total-shardSlots+1) || rs[len(rs)-1].Seq != uint64(total) {
+		t.Fatalf("retained window [%d,%d], want [%d,%d]",
+			rs[0].Seq, rs[len(rs)-1].Seq, total-shardSlots+1, total)
+	}
+}
+
+func TestTraceAndNodeQueries(t *testing.T) {
+	j := NewJournal()
+	a, b := j.Sym("alpha"), j.Sym("beta")
+	j.Append(0, Entry{Kind: KindStage, Stage: 0, Node: a, Trace: 7, TimeNs: 1})
+	j.Append(1, Entry{Kind: KindStage, Stage: 3, Node: a, Trace: 7, TimeNs: 2})
+	j.Append(2, Entry{Kind: KindStage, Stage: 3, Node: b, Trace: 9, TimeNs: 3})
+	j.Append(3, Entry{Kind: KindGap, Node: a})
+
+	tr := j.TraceRecords(7)
+	if len(tr) != 2 || tr[0].Stage != 0 || tr[1].Stage != 3 {
+		t.Fatalf("TraceRecords(7) = %+v", tr)
+	}
+	if got := j.LastTrace("alpha"); got != 7 {
+		t.Fatalf("LastTrace(alpha) = %d, want 7", got)
+	}
+	if got := j.LastTrace("beta"); got != 9 {
+		t.Fatalf("LastTrace(beta) = %d, want 9", got)
+	}
+	if got := j.LastTrace("ghost"); got != 0 {
+		t.Fatalf("LastTrace(ghost) = %d, want 0", got)
+	}
+	if nr := j.NodeRecords("alpha", 0); len(nr) != 3 {
+		t.Fatalf("NodeRecords(alpha) = %+v", nr)
+	}
+}
+
+func TestKillSwitch(t *testing.T) {
+	j := NewJournal()
+	if !j.Enabled() {
+		t.Fatal("journal should start enabled")
+	}
+	prev := j.SetEnabled(false)
+	if !prev {
+		t.Fatal("SetEnabled should return the previous value")
+	}
+	if seq := j.Append(0, Entry{Kind: KindGap}); seq != 0 {
+		t.Fatalf("disabled append returned seq %d", seq)
+	}
+	j.SetEnabled(true)
+	if seq := j.Append(0, Entry{Kind: KindGap}); seq != 1 {
+		t.Fatalf("re-enabled append returned seq %d", seq)
+	}
+}
+
+func TestSymInterning(t *testing.T) {
+	j := NewJournal()
+	if j.Sym("") != 0 {
+		t.Fatal("empty string must intern to Sym 0")
+	}
+	s1 := j.Sym("node001")
+	if s1 == 0 || j.Sym("node001") != s1 {
+		t.Fatalf("interning not stable: %d vs %d", s1, j.Sym("node001"))
+	}
+	if j.name(s1) != "node001" {
+		t.Fatalf("name(%d) = %q", s1, j.name(s1))
+	}
+	if j.name(Sym(99999)) != "?" {
+		t.Fatal("unknown Sym should render as ?")
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	j := NewJournal()
+	syms := [4]Sym{j.Sym("n0"), j.Sym("n1"), j.Sym("n2"), j.Sym("n3")}
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(w, Entry{Kind: KindStage, Stage: uint8(i % 6), Node: syms[w%4], Trace: uint64(w + 1), TimeNs: int64(i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, r := range j.Since(0, 0) {
+				if r.Kind != KindStage || r.Seq == 0 {
+					t.Errorf("torn record: %+v", r)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := j.Cursor(); got != writers*per {
+		t.Fatalf("cursor = %d, want %d", got, writers*per)
+	}
+	rs := j.Since(0, 0)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Seq <= rs[i-1].Seq {
+			t.Fatalf("records not strictly ordered at %d: %d then %d", i, rs[i-1].Seq, rs[i].Seq)
+		}
+	}
+}
+
+func TestSamplingDeterminism(t *testing.T) {
+	prev := SetRate(64)
+	defer SetRate(prev)
+	salt := Salt("node001")
+	var ids []uint64
+	hits := 0
+	for n := uint64(0); n < 64*10; n++ {
+		if id := NextTrace(salt, n); id != 0 {
+			hits++
+			ids = append(ids, id)
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of 640 ticks at rate 64, want 10", hits)
+	}
+	// Deterministic: the same (salt, tick) always mints the same id.
+	for n := uint64(0); n < 64*10; n++ {
+		id := NextTrace(salt, n)
+		if id != 0 && id != NewTraceID(salt, n) {
+			t.Fatalf("trace id not deterministic at tick %d", n)
+		}
+	}
+	// Distinct ticks mint distinct ids.
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate trace id %016x", id)
+		}
+		seen[id] = true
+	}
+	// Different salts sample different phases (not all aligned at 0).
+	if Salt("node001")%64 == Salt("node002")%64 && Salt("node001")%64 == Salt("node003")%64 {
+		t.Fatal("salts collapse to one sampling phase")
+	}
+	SetRate(0)
+	if NextTrace(salt, 0) != 0 {
+		t.Fatal("rate 0 must disable tracing")
+	}
+}
+
+func TestTraceFormatParse(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatTrace(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTrace(%x) = %q", id, s)
+		}
+		got, ok := ParseTrace(s)
+		if !ok || got != id {
+			t.Fatalf("roundtrip %x -> %q -> %x ok=%v", id, s, got, ok)
+		}
+	}
+	for _, s := range []string{"", "node001", "0000000000000000", "00000000000000zz", "123"} {
+		if _, ok := ParseTrace(s); ok {
+			t.Fatalf("ParseTrace(%q) should fail", s)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	j := NewJournal()
+	j.Append(0, Entry{Kind: KindGap})
+	j.Append(5, Entry{Kind: KindBank})
+	j.Reset()
+	if j.Cursor() != 0 || len(j.Since(0, 0)) != 0 {
+		t.Fatal("Reset did not clear the journal")
+	}
+	if seq := j.Append(0, Entry{Kind: KindGap}); seq != 1 {
+		t.Fatalf("post-reset append seq = %d", seq)
+	}
+}

@@ -1,0 +1,115 @@
+package flight
+
+import "sync/atomic"
+
+// Causal trace ids. A trace id is minted by the agent when a tick is
+// sampled, travels inside the wire frame (transmit's "t=" header
+// option), and stamps every journal record the frame touches on both
+// sides of the wire. Ids must be (a) cheap — stamping happens every
+// tick, sampled or not — and (b) deterministic under the sim so traced
+// runs replay exactly; both rule out math/rand and wall clocks, so
+// sampling is a counter decision and the id a hash of (node salt, tick).
+
+// rate is the trace sampling interval: one tick in rate is traced.
+// 0 (or negative) disables tracing entirely; the flight journal still
+// records untraced incidents (gaps, retries, overflows).
+var rate atomic.Int64
+
+// DefaultRate is the sampling interval agents start with: roughly one
+// frame in 64 carries a trace, cheap enough to leave on in production.
+const DefaultRate = 64
+
+func init() { rate.Store(DefaultRate) }
+
+// Rate returns the current sampling interval.
+func Rate() int { return int(rate.Load()) }
+
+// SetRate sets the sampling interval (n <= 0 disables tracing) and
+// returns the previous one.
+func SetRate(n int) int { return int(rate.Swap(int64(n))) }
+
+// Salt derives a per-emitter sampling phase and id salt from its name
+// (FNV-1a), so a fleet of agents with the same rate does not trace the
+// same tick in lockstep.
+func Salt(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// NextTrace decides whether tick n of the emitter with the given salt
+// is sampled, returning a fresh nonzero trace id if so and 0 if not.
+// The unsampled path is two atomic loads and a modulo: 0 allocs.
+//
+//cwx:hotpath
+func NextTrace(salt uint32, n uint64) uint64 {
+	if !defaultJournal.on.Load() {
+		return 0
+	}
+	r := rate.Load()
+	if r <= 0 {
+		return 0
+	}
+	if (n+uint64(salt))%uint64(r) != 0 {
+		return 0
+	}
+	return NewTraceID(salt, n)
+}
+
+// NewTraceID hashes (salt, n) into a nonzero 64-bit trace id with a
+// splitmix64 finalizer — well distributed, deterministic, no clock.
+//
+//cwx:hotpath
+func NewTraceID(salt uint32, n uint64) uint64 {
+	x := uint64(salt)<<32 ^ n ^ 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+const hexDigits = "0123456789abcdef"
+
+// FormatTrace renders a trace id as the fixed 16-hex-digit form used
+// everywhere a trace id is shown ("cwxctl flight <id>" accepts it).
+func FormatTrace(id uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTrace parses the 16-hex-digit form. ok is false for anything
+// else — callers fall back to treating the argument as a node name.
+func ParseTrace(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	return id, id != 0
+}

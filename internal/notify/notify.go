@@ -21,6 +21,7 @@ import (
 
 	"clusterworx/internal/clock"
 	"clusterworx/internal/events"
+	"clusterworx/internal/flight"
 	"clusterworx/internal/telemetry"
 )
 
@@ -28,6 +29,9 @@ import (
 // paper's headline semantic — "only one e-mail is sent per triggered
 // event, even if multiple nodes are involved" — so the suppression rate
 // is itself a first-class monitored value.
+// fltj is the process-wide flight journal (delivery is cold path).
+var fltj = flight.Default()
+
 var (
 	mIncidents = telemetry.Default().Counter("cwx_notify_incidents_total")
 	mDedupHits = telemetry.Default().Counter("cwx_notify_dedup_hits_total")
@@ -154,7 +158,23 @@ func (n *Notifier) EventTriggered(rule events.Rule, node string, value float64, 
 	// the tracer's locked slot lookup is fine here.
 	start := time.Now() //cwx:allow clockdet -- notify-hop telemetry measures real delivery cost; incidents are stamped with n.clk
 	defer func() {
-		telemetry.Spans.Record(node, telemetry.StageNotify, time.Since(start), 1) //cwx:allow clockdet -- closes the wall-clock notify span
+		d := time.Since(start) //cwx:allow clockdet -- closes the wall-clock notify span
+		// Tail hop of the causal trace: the ingest hop for the triggering
+		// frame was recorded on this same goroutine, so its trace id (zero
+		// when the frame was unsampled) links the whole gather→notify tree.
+		trace := telemetry.Spans.StageTrace(node, telemetry.StageIngest)
+		telemetry.Spans.RecordTraced(node, telemetry.StageNotify, d, 1, trace)
+		if trace != 0 {
+			fltj.Append(int(flight.Salt(node)), flight.Entry{
+				Kind:   flight.KindStage,
+				Stage:  uint8(telemetry.StageNotify),
+				Node:   fltj.Sym(node),
+				Trace:  trace,
+				TimeNs: int64(n.clk.Now()),
+				A:      int64(d),
+				B:      1,
+			})
+		}
 	}()
 	n.mu.Lock()
 	inc, active := n.incidents[rule.Name]
@@ -237,6 +257,12 @@ func (n *Notifier) flush(ruleName string) {
 			if inc.attempts < maxSendAttempts {
 				delay := n.cfg.Retry << (inc.attempts - 1)
 				inc.timer = n.clk.AfterFunc(delay, func() { n.flush(ruleName) })
+				fltj.Append(0, flight.Entry{
+					Kind:   flight.KindNotifyRetry,
+					Detail: fltj.Sym(ruleName),
+					TimeNs: int64(n.clk.Now()),
+					A:      int64(inc.attempts),
+				})
 			}
 		}
 		n.mu.Unlock()

@@ -18,6 +18,9 @@ import (
 // entry without running Build. Build therefore executes once per
 // generation change regardless of how many identical requests race in.
 type Gate[T any] struct {
+	// Name labels the gate in flight-recorder rebuild records; empty
+	// skips journaling (anonymous test gates).
+	Name string
 	// GenFn reads the current generation of the inputs Build consumes.
 	// It must be monotone non-decreasing and cheap (atomic loads).
 	GenFn func() uint64
@@ -73,6 +76,7 @@ func (g *Gate[T]) Get() T {
 		return e.val
 	}
 	mMisses.Inc()
+	noteGateRebuild(g.Name)
 	gen = g.GenFn() //cwx:allow lockscope -- atomic generation read; cannot re-enter the gate
 	v := g.Build()  //cwx:allow lockscope -- the coalescing point itself: one rebuild per generation change, waiters blocked here by design
 	g.p.Store(&tagged[T]{gen: gen, val: v})

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"clusterworx/internal/flight"
+)
 
 // SubQueue is each subscriber's bounded generation-notification queue.
 // Eight pending wakeups is far more than a healthy consumer ever holds
@@ -87,6 +91,7 @@ func (h *Hub) run(stop chan struct{}) {
 				default:
 				}
 				mWatchOverflows.Inc()
+				fltj.Append(0, flight.Entry{Kind: flight.KindWatchOverflow})
 			}
 		}
 		h.mu.Unlock()

@@ -32,6 +32,7 @@ package serve
 import (
 	"sync/atomic"
 
+	"clusterworx/internal/flight"
 	"clusterworx/internal/telemetry"
 )
 
@@ -79,6 +80,21 @@ func NoteWatchPush() { mWatchPushes.Inc() }
 
 // NoteWatchResync records a continuity-loss full push.
 func NoteWatchResync() { mWatchResyncs.Inc() }
+
+// fltj is the process-wide flight journal. The serving plane has no
+// clock, so its records carry TimeNs 0; the global sequence number
+// still orders them against the ingest pipeline's records.
+var fltj = flight.Default()
+
+// noteGateRebuild journals a gate miss (a Build run). Cold path: the
+// rebuild itself just did registry-scale work, one interning lookup is
+// noise.
+func noteGateRebuild(name string) {
+	if name == "" {
+		return
+	}
+	fltj.Append(0, flight.Entry{Kind: flight.KindGateRebuild, Detail: fltj.Sym(name)})
+}
 
 // Signal is a timer-free broadcast wakeup: writers call Wake after
 // bumping a generation, waiters block until at least one Wake has

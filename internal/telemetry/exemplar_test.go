@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	var h Histogram
+	if v, tr := h.Exemplar(); v != 0 || tr != 0 {
+		t.Fatalf("fresh histogram exemplar = %d/%x", v, tr)
+	}
+	h.ObserveTraceAt(0, 100, 0) // untraced: counted, no exemplar
+	if _, tr := h.Exemplar(); tr != 0 {
+		t.Fatal("untraced observation set an exemplar")
+	}
+	h.ObserveTraceAt(0, 50, 0xaaaa)
+	h.ObserveTraceAt(1, 500, 0xbbbb)
+	h.ObserveTraceAt(2, 200, 0xcccc) // smaller than current max: ignored
+	v, tr := h.Exemplar()
+	if v != 500 || tr != 0xbbbb {
+		t.Fatalf("exemplar = %d/%x, want 500/bbbb", v, tr)
+	}
+	if s := h.Snapshot(); s.Count != 4 {
+		t.Fatalf("observations not all counted: %d", s.Count)
+	}
+}
+
+func TestSpanRecordTraced(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Slot("node001")
+	sp.RecordTraced(StageIngest, 10*time.Microsecond, 4, 0x1234)
+	sp.Record(StageIngest, 20*time.Microsecond, 5) // unsampled tick keeps the trace
+	snap, ok := tr.Lookup("node001")
+	if !ok {
+		t.Fatal("span missing")
+	}
+	st := snap.Stages[StageIngest]
+	if st.Dur != 20*time.Microsecond || st.Trace != 0x1234 {
+		t.Fatalf("ingest sample = %+v, want fresh dur + retained trace", st)
+	}
+	if got := sp.StageTrace(StageIngest); got != 0x1234 {
+		t.Fatalf("StageTrace = %x", got)
+	}
+	if got := tr.StageTrace("node001", StageIngest); got != 0x1234 {
+		t.Fatalf("Tracer.StageTrace = %x", got)
+	}
+	if got := tr.StageTrace("ghost", StageIngest); got != 0 {
+		t.Fatalf("ghost StageTrace = %x", got)
+	}
+	var nilSpan *Span
+	nilSpan.RecordTraced(StageIngest, time.Second, 1, 1) // must not panic
+	if nilSpan.StageTrace(StageIngest) != 0 {
+		t.Fatal("nil span StageTrace")
+	}
+}

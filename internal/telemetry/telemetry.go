@@ -127,9 +127,14 @@ type histStripe struct {
 	buckets [NumBuckets]atomic.Int64
 }
 
-// Histogram is a fixed-bucket striped atomic histogram.
+// Histogram is a fixed-bucket striped atomic histogram. It also keeps
+// one exemplar: the flight trace id attached to the largest traced
+// observation seen so far, so a p99 in the rendered output links to the
+// exact frame that caused it (ObserveTraceAt / Exemplar).
 type Histogram struct {
 	stripes [Stripes]histStripe
+	exVal   atomic.Int64
+	exTrace atomic.Uint64
 }
 
 // Observe records v on stripe 0.
@@ -146,6 +151,37 @@ func (h *Histogram) ObserveAt(stripe int, v int64) {
 	s.buckets[bucketOf(v)].Add(1)
 	s.count.Add(1)
 	s.sum.Add(v)
+}
+
+// ObserveTraceAt is ObserveAt plus exemplar maintenance: when trace is
+// nonzero and v is the largest traced observation yet, the (v, trace)
+// pair is retained. The max is a CAS loop on the value; the trace store
+// after a won CAS is not paired atomically with it, so under a race two
+// near-simultaneous maxima may cross value and trace — both were worst
+// observations to within one sample, which is all an exemplar promises.
+//
+//cwx:hotpath
+func (h *Histogram) ObserveTraceAt(stripe int, v int64, trace uint64) {
+	h.ObserveAt(stripe, v)
+	if trace == 0 || !enabled.Load() {
+		return
+	}
+	for {
+		cur := h.exVal.Load()
+		if v < cur {
+			return
+		}
+		if h.exVal.CompareAndSwap(cur, v) {
+			h.exTrace.Store(trace)
+			return
+		}
+	}
+}
+
+// Exemplar returns the largest traced observation and its flight trace
+// id; trace is 0 when nothing traced was ever observed.
+func (h *Histogram) Exemplar() (v int64, trace uint64) {
+	return h.exVal.Load(), h.exTrace.Load()
 }
 
 // bucketOf maps a value to its bucket index with one bit-length

@@ -48,8 +48,9 @@ func (s Stage) String() string {
 // duration in nanoseconds and a stage-appropriate size (values gathered,
 // delta length, batch size, rules evaluated, incidents).
 type stageCell struct {
-	ns   atomic.Int64
-	size atomic.Int64
+	ns    atomic.Int64
+	size  atomic.Int64
+	trace atomic.Uint64 // flight trace id of the last *sampled* measurement
 }
 
 // Span is one node's most recent per-stage pipeline measurements. It is
@@ -71,19 +72,48 @@ type Span struct {
 //
 //cwx:hotpath
 func (sp *Span) Record(stage Stage, d time.Duration, size int64) {
+	sp.RecordTraced(stage, d, size, 0)
+}
+
+// RecordTraced is Record plus the causal trace id of the measurement
+// when the frame was sampled (internal/flight). Trace 0 (unsampled)
+// leaves the cell's last sampled trace in place, so "the most recent
+// traced measurement" survives the 63-in-64 unsampled ticks between
+// samples and trace output can always offer a drill-down target.
+//
+//cwx:hotpath
+func (sp *Span) RecordTraced(stage Stage, d time.Duration, size int64, trace uint64) {
 	if sp == nil || !enabled.Load() {
 		return
 	}
 	c := &sp.stages[stage]
 	c.ns.Store(int64(d))
 	c.size.Store(size)
+	if trace != 0 {
+		c.trace.Store(trace)
+	}
 	sp.seq.Add(1)
 }
 
-// StageSample is a read-only copy of one stage cell.
+// StageTrace returns the trace id of the last sampled measurement for
+// one stage (0 if the stage was never sampled). Used by the notifier to
+// tie its records to the ingest that caused the event, without plumbing
+// the id through the engine's callback interfaces.
+func (sp *Span) StageTrace(stage Stage) uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.stages[stage].trace.Load()
+}
+
+// StageSample is a read-only copy of one stage cell. Trace is the
+// flight trace id of the last sampled measurement, which may be older
+// than Dur/Size (those update on every tick, the trace only on sampled
+// ones).
 type StageSample struct {
-	Dur  time.Duration
-	Size int64
+	Dur   time.Duration
+	Size  int64
+	Trace uint64
 }
 
 // SpanSnapshot is a read-only copy of a span.
@@ -98,8 +128,9 @@ func (sp *Span) Snapshot() SpanSnapshot {
 	s := SpanSnapshot{Node: sp.node, Seq: sp.seq.Load()}
 	for i := range sp.stages {
 		s.Stages[i] = StageSample{
-			Dur:  time.Duration(sp.stages[i].ns.Load()),
-			Size: sp.stages[i].size.Load(),
+			Dur:   time.Duration(sp.stages[i].ns.Load()),
+			Size:  sp.stages[i].size.Load(),
+			Trace: sp.stages[i].trace.Load(),
 		}
 	}
 	return s
@@ -144,6 +175,24 @@ func (t *Tracer) Record(node string, stage Stage, d time.Duration, size int64) {
 		return
 	}
 	t.Slot(node).Record(stage, d, size)
+}
+
+// RecordTraced is Record carrying a flight trace id.
+func (t *Tracer) RecordTraced(node string, stage Stage, d time.Duration, size int64, trace uint64) {
+	if !enabled.Load() {
+		return
+	}
+	t.Slot(node).RecordTraced(stage, d, size, trace)
+}
+
+// StageTrace returns the node's last sampled trace id for a stage, or 0
+// if the node has no span or the stage was never sampled. Cold path
+// (takes the tracer lock) — it does not create a span.
+func (t *Tracer) StageTrace(node string, stage Stage) uint64 {
+	t.mu.Lock()
+	sp := t.spans[node]
+	t.mu.Unlock()
+	return sp.StageTrace(stage)
 }
 
 // Lookup returns the snapshot for one node, if it has a span.

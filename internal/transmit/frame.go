@@ -2,6 +2,7 @@ package transmit
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -19,9 +20,18 @@ import (
 //
 // Payload layout (inside a compressed wire frame):
 //
-//	<node> <seq> <D|S>\n     sequenced header: kind D (delta) or S (snapshot)
-//	<node>\n                 legacy unsequenced header (seq 0, delta)
-//	<value lines...>         see MarshalValues
+//	<node> <seq> <D|S> [opts]\n  sequenced header: kind D (delta) or S (snapshot)
+//	<node>\n                     legacy unsequenced header (seq 0, delta)
+//	<value lines...>             see MarshalValues
+//
+// A sequenced header may carry trailing option tokens. The parser
+// ignores tokens it does not understand — and malformed ones — so a
+// corrupted or future option can never cost us the data frame carrying
+// it, and new options are forward-compatible from here on. The only
+// option today is the causal trace context, "t=<hex>" — hex over
+// varint(trace id) ++ varint(origin ns), stamped by the agent on
+// sampled frames (see internal/flight). Legacy name-only headers have
+// no option slot, so unsequenced frames are never traced.
 //
 // A payload whose first byte is '!' is a control message flowing
 // server→agent; today the only one is the resync request ("!resync
@@ -56,9 +66,16 @@ type Frame struct {
 	// every successfully handed-off frame. Zero means unsequenced (the
 	// legacy protocol): the receiver applies the values without gap
 	// detection.
-	Seq    uint64
-	Kind   FrameKind
-	Values []consolidate.Value
+	Seq  uint64
+	Kind FrameKind
+	// TraceID and TraceNs are the optional causal trace context
+	// (internal/flight): a nonzero TraceID marks this frame as sampled,
+	// TraceNs is the origin timestamp the agent stamped at gather time.
+	// Carried as the "t=" header option; only sequenced frames can
+	// carry it.
+	TraceID uint64
+	TraceNs int64
+	Values  []consolidate.Value
 }
 
 // MarshalFrame renders f into the wire payload form, appending to dst.
@@ -75,6 +92,9 @@ func MarshalFrame(dst []byte, f Frame) []byte {
 			dst = append(dst, ' ', 'S')
 		} else {
 			dst = append(dst, ' ', 'D')
+		}
+		if f.TraceID != 0 {
+			dst = appendTraceOpt(dst, f.TraceID, f.TraceNs)
 		}
 	}
 	dst = append(dst, '\n')
@@ -99,10 +119,10 @@ func ParseFrame(payload []byte) (Frame, error) {
 		header, rest = payload[:nl], payload[nl+1:]
 	}
 	fields := strings.Fields(string(header))
-	switch len(fields) {
-	case 1: // legacy unsequenced header
+	switch {
+	case len(fields) == 1: // legacy unsequenced header
 		f.Node = fields[0]
-	case 3:
+	case len(fields) >= 3:
 		f.Node = fields[0]
 		seq, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil || seq == 0 {
@@ -117,6 +137,16 @@ func ParseFrame(payload []byte) (Frame, error) {
 		default:
 			return Frame{}, fmt.Errorf("transmit: bad frame kind %q", fields[2])
 		}
+		// Trailing option tokens. Unknown or malformed options are
+		// skipped, never fatal: losing a diagnostic annotation must not
+		// lose the data frame.
+		for _, opt := range fields[3:] {
+			if strings.HasPrefix(opt, "t=") {
+				if id, ns, ok := parseTraceOpt(opt[2:]); ok {
+					f.TraceID, f.TraceNs = id, ns
+				}
+			}
+		}
 	default:
 		return Frame{}, fmt.Errorf("transmit: malformed frame header %q", header)
 	}
@@ -129,6 +159,64 @@ func ParseFrame(payload []byte) (Frame, error) {
 	}
 	f.Values = values
 	return f, nil
+}
+
+const traceHexDigits = "0123456789abcdef"
+
+// appendTraceOpt renders the " t=<hex>" trace-context header option:
+// varint(id) ++ varint(ns), hex-encoded so the header stays printable
+// ASCII with no whitespace. Varints keep small origin timestamps (the
+// sim's virtual clock starts at zero) to a handful of bytes.
+//
+//cwx:hotpath
+func appendTraceOpt(dst []byte, id uint64, ns int64) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], id)
+	n += binary.PutUvarint(tmp[n:], uint64(ns))
+	dst = append(dst, ' ', 't', '=')
+	for _, b := range tmp[:n] {
+		dst = append(dst, traceHexDigits[b>>4], traceHexDigits[b&0xf])
+	}
+	return dst
+}
+
+// parseTraceOpt decodes the hex payload of a "t=" option. ok is false
+// for anything malformed: odd length, non-hex bytes, varints that do
+// not consume the payload exactly, or a zero trace id.
+func parseTraceOpt(s string) (id uint64, ns int64, ok bool) {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	if len(s) == 0 || len(s)%2 != 0 || len(s) > 2*len(tmp) {
+		return 0, 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i += 2 {
+		hi, ok1 := traceHexVal(s[i])
+		lo, ok2 := traceHexVal(s[i+1])
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		tmp[n] = hi<<4 | lo
+		n++
+	}
+	id, used := binary.Uvarint(tmp[:n])
+	if used <= 0 || id == 0 {
+		return 0, 0, false
+	}
+	uns, used2 := binary.Uvarint(tmp[used:n])
+	if used2 <= 0 || used+used2 != n {
+		return 0, 0, false
+	}
+	return id, int64(uns), true
+}
+
+func traceHexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
 }
 
 // validNodeName reports whether name looks like a hostname rather than

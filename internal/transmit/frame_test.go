@@ -40,7 +40,6 @@ func TestParseFrameRejectsMalformed(t *testing.T) {
 	}{
 		{"empty", ""},
 		{"two-field header", "node042 7\n"},
-		{"four-field header", "node042 7 D extra\n"},
 		{"zero seq", "node042 0 D\n"},
 		{"non-numeric seq", "node042 seven D\n"},
 		{"negative seq", "node042 -3 D\n"},

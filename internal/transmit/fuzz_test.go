@@ -21,6 +21,12 @@ func fuzzSeedFrames() []Frame {
 		{Node: "node042", Seq: 7, Kind: FrameDelta, Values: values},
 		{Node: "node042", Seq: 8, Kind: FrameSnapshot, Values: values},
 		{Node: "n1", Seq: 1, Kind: FrameDelta, Values: nil},
+		// Trace-context-bearing headers (the "t=" option), delta and
+		// snapshot, plus mixed trace magnitudes so the fuzzer sees both
+		// short and max-length varints.
+		{Node: "node042", Seq: 9, Kind: FrameDelta, TraceID: 0xabcdef0123456789, TraceNs: 1234567890, Values: values},
+		{Node: "node042", Seq: 10, Kind: FrameSnapshot, TraceID: 1, TraceNs: -1, Values: values},
+		{Node: "n1", Seq: 2, Kind: FrameDelta, TraceID: ^uint64(0), Values: nil},
 	}
 }
 
@@ -31,6 +37,9 @@ func fuzzMalformedPayloads() []string {
 		"",
 		"node042 7\n",
 		"node042 7 D extra\n",
+		"node042 7 D t=zz\n",
+		"node042 7 D t=00\n",
+		"node042 7 S x=1 t=0701\n",
 		"node042 0 D\n",
 		"node042 seven D\n",
 		"node042 -3 D\n",
@@ -67,6 +76,9 @@ func FuzzParseFrame(f *testing.F) {
 		if f0.Seq == 0 && f0.Kind != FrameDelta {
 			t.Fatalf("unsequenced frame with kind %v", f0.Kind)
 		}
+		if f0.Seq == 0 && f0.TraceID != 0 {
+			t.Fatalf("unsequenced frame carrying a trace: %+v", f0)
+		}
 		wire1 := MarshalFrame(nil, f0)
 		f1, err := ParseFrame(wire1)
 		if err != nil {
@@ -74,6 +86,9 @@ func FuzzParseFrame(f *testing.F) {
 		}
 		if f1.Node != f0.Node || f1.Seq != f0.Seq || f1.Kind != f0.Kind || len(f1.Values) != len(f0.Values) {
 			t.Fatalf("roundtrip changed the frame: %+v -> %+v", f0, f1)
+		}
+		if f1.TraceID != f0.TraceID || f1.TraceNs != f0.TraceNs {
+			t.Fatalf("roundtrip changed the trace context: %+v -> %+v", f0, f1)
 		}
 		// Byte-level fixpoint instead of field comparison for the values:
 		// it holds for every accepted payload, including NaN numerics
