@@ -42,6 +42,7 @@ func main() {
 		selfMon   = flag.Duration("self-monitor", 10*time.Second, "meta-monitor period: ingest the server's own telemetry as node "+core.MetaNodeName+" (0 disables)")
 		flightN   = flag.Int("flight-rate", flight.DefaultRate, "causal-trace sampling: trace 1 in N agent ticks (min 1)")
 		flightOff = flag.Bool("flight-off", false, "kill switch: disable the flight recorder and all trace sampling")
+		wireV1    = flag.Bool("wire-v1", false, "escape hatch: ignore v2 wire offers so every agent session stays on the v1 text protocol")
 	)
 	flag.Parse()
 	if *flightOff {
@@ -149,6 +150,10 @@ func main() {
 		}()
 	}
 
+	if *wireV1 {
+		srv.SetWireV1Only(true)
+		log.Printf("cwxd: -wire-v1: agent sessions pinned to the v1 text protocol")
+	}
 	agentL, err := net.Listen("tcp", *agentAddr)
 	if err != nil {
 		log.Fatalf("cwxd: agent listener: %v", err)

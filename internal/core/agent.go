@@ -295,7 +295,7 @@ func (a *Agent) tick() {
 	if framed {
 		err = a.cfg.SendFrame(transmit.Frame{
 			Node: a.cfg.Node.Name(), Seq: a.seq + 1, Kind: kind, Values: values,
-			TraceID: a.traceID, TraceNs: a.traceNs,
+			TraceID: a.traceID, TraceNs: a.traceNs, SentNs: int64(now),
 		})
 	} else {
 		err = a.cfg.Transport(a.cfg.Node.Name(), values)

@@ -277,3 +277,81 @@ func joinDiffs(diffs []string) string {
 	}
 	return out
 }
+
+// TestMixedVersionClusterConverges is the v2 rollout's differential
+// acceptance run: half the agents are pinned to the v1 text protocol
+// (old builds), half negotiate the binary v2 format, and the whole
+// cluster rides the same seeded loss/blackhole/partition schedule as
+// TestLossToleranceConverges. After the heal the server must hold a
+// byte-identical view of every agent regardless of which wire each
+// session spoke — v2's predictor chains and dictionary resync must be
+// exactly as loss-tolerant as v1's deflated text.
+func TestMixedVersionClusterConverges(t *testing.T) {
+	sim, err := NewSim(SimConfig{
+		Nodes:       12,
+		Cluster:     "faultlab",
+		Transport:   TransportSimnet,
+		AntiEntropy: 20 * time.Second,
+		EchoSweep:   -1,
+		WireV1:      func(i int) bool { return i%2 == 0 },
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sim.Stop)
+	sim.PowerOnAll()
+	sim.Advance(30 * time.Second)
+
+	sim.Net.SetLoss(0.15)
+	sim.Advance(60 * time.Second)
+	sim.Net.SetLoss(1)
+	sim.Advance(10 * time.Second)
+	sim.Net.SetLoss(0.15)
+	sim.Net.SetLatency(2 * time.Millisecond)
+	mon := sim.Net.Endpoint("node003.mon")
+	mon.SetUp(false)
+	sim.Advance(20 * time.Second)
+	mon.SetUp(true)
+	sim.Advance(20 * time.Second)
+	sim.Net.SetLoss(0)
+	sim.Advance(90 * time.Second)
+
+	// The version split must have taken: pinned agents stayed v1, and
+	// every unpinned agent upgraded (offers ride every v1 frame, so even
+	// the lossy phases cannot starve the negotiation forever).
+	var v1, v2 int
+	for i, wc := range sim.wires {
+		switch {
+		case i%2 == 0:
+			if wc.V2() {
+				t.Errorf("agent %d was pinned to v1 but negotiated v2", i)
+			}
+			v1++
+		default:
+			if !wc.V2() {
+				t.Errorf("agent %d never negotiated v2", i)
+			}
+			v2++
+		}
+	}
+	if v1 == 0 || v2 == 0 {
+		t.Fatalf("not a mixed cluster: %d v1, %d v2", v1, v2)
+	}
+
+	states := sim.Server.SyncStates()
+	var gaps int64
+	for _, st := range states {
+		gaps += st.Gaps
+		if !st.Synced {
+			t.Errorf("node %s still diverged after heal: %+v", st.Node, st)
+		}
+	}
+	if gaps == 0 {
+		t.Fatal("fault schedule produced no sequence gaps: the protocol was not exercised")
+	}
+	if diffs := settleAndCompare(sim); len(diffs) > 0 {
+		t.Fatalf("mixed-version cluster diverged after heal (%d diffs):\n%s",
+			len(diffs), joinDiffs(diffs))
+	}
+}

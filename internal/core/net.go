@@ -9,11 +9,12 @@ import (
 )
 
 // This file carries agent traffic over real TCP for the daemons: agents
-// dial the server's agent port and stream framed, deflate-compressed
-// change sets (the §5.3.3 transmission stage on an actual socket). The
-// server writes resync-request control frames back down the same
-// connection when it detects a sequence gap, closing the loss-tolerance
-// loop.
+// dial the server's agent port and stream framed change sets (the
+// §5.3.3 transmission stage on an actual socket) — deflate-compressed
+// v1 text until the session negotiates the v2 binary format (wire.go),
+// which ships raw since it is already dictionary/XOR-coded. The server
+// writes control frames (resync requests, wire answers, dict acks) back
+// down the same connection.
 
 // ServeAgents accepts agent connections until the listener closes. Each
 // frame is decoded and fed to HandleFrame.
@@ -38,21 +39,19 @@ func (s *Server) serveAgentConn(conn net.Conn) {
 	r := transmit.NewReader(conn)
 	// Control frames are a few bytes; compression would only inflate them.
 	w := transmit.NewWriter(conn, false)
-	var ctl []byte
+	ws := &wireServer{s: s}
+	send := func(ctl []byte) {
+		if w.WriteFrame(ctl) != nil {
+			conn.Close() // unblocks ReadFrame below; session ends
+		}
+	}
 	for {
 		frame, err := r.ReadFrame()
 		if err != nil {
 			return // io.EOF on clean agent shutdown, anything else likewise ends the session
 		}
-		f, err := transmit.ParseFrame(frame)
-		if err != nil {
+		if ws.handle(frame, send) {
 			return // protocol violation: drop the connection
-		}
-		if err := s.HandleFrame(f); err == ErrResyncNeeded {
-			ctl = transmit.MarshalResync(ctl[:0], f.Node)
-			if err := w.WriteFrame(ctl); err != nil {
-				return
-			}
 		}
 	}
 }
@@ -61,18 +60,26 @@ func (s *Server) serveAgentConn(conn net.Conn) {
 type AgentConn struct {
 	conn net.Conn
 	w    *transmit.Writer
-	buf  []byte // SendFrame marshal scratch
+	ws   *wireClient
 }
 
 // DialAgent connects an agent to the server's agent port with wire
-// compression enabled.
+// compression enabled and the v2 wire upgrade on offer.
 func DialAgent(addr string, timeout time.Duration) (*AgentConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &AgentConn{conn: conn, w: transmit.NewWriter(conn, true)}, nil
+	return &AgentConn{conn: conn, w: transmit.NewWriter(conn, true), ws: newWireClient("", true)}, nil
 }
+
+// DisableWireV2 pins the connection to the v1 text protocol (the
+// -wire-v1 escape hatch). Call before the first SendFrame.
+func (a *AgentConn) DisableWireV2() { a.ws.disable() }
+
+// WireV2 reports whether the session has negotiated the binary v2 wire
+// format.
+func (a *AgentConn) WireV2() bool { return a.ws.V2() }
 
 // Transport returns the legacy unsequenced Transport shipping through
 // this connection.
@@ -80,16 +87,27 @@ func (a *AgentConn) Transport() Transport { return WireTransport(a.w) }
 
 // SendFrame ships one sequenced frame — wire AgentConfig.SendFrame to it
 // for the loss-tolerant protocol, and install OnResync so the server's
-// gap detection can reach the agent.
+// gap detection (and the wire negotiation) can reach the agent.
 func (a *AgentConn) SendFrame(f transmit.Frame) error {
-	a.buf = transmit.MarshalFrame(a.buf[:0], f)
-	return a.w.WriteFrame(a.buf)
+	payload := a.ws.marshal(f)
+	var err error
+	if transmit.IsV2Payload(payload) {
+		err = a.w.WriteFrameRaw(payload)
+	} else {
+		err = a.w.WriteFrame(payload)
+	}
+	if err != nil {
+		a.ws.sendFailed()
+	}
+	return err
 }
 
 // OnResync starts the connection's read side: a goroutine decoding
 // server control frames and invoking fn for each resync request (fn must
-// be safe to call from that goroutine — Agent.RequestResync is). Call at
-// most once; the goroutine exits when the connection closes.
+// be safe to call from that goroutine — Agent.RequestResync is). Wire
+// negotiation answers and dictionary acks are consumed here too, so
+// install it even on sessions that never expect a resync. Call at most
+// once; the goroutine exits when the connection closes.
 func (a *AgentConn) OnResync(fn func(node string)) {
 	go func() {
 		r := transmit.NewReader(a.conn)
@@ -98,8 +116,10 @@ func (a *AgentConn) OnResync(fn func(node string)) {
 			if err != nil {
 				return
 			}
-			if node, ok := transmit.ParseResync(frame); ok {
-				fn(node)
+			if a.ws.control(frame, 0) {
+				if node, ok := transmit.ParseResync(frame); ok {
+					fn(node)
+				}
 			}
 		}
 	}()

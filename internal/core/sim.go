@@ -77,7 +77,11 @@ type SimConfig struct {
 	// default-on: the extra registry entry would surprise node-count
 	// assertions in existing deployments and tests).
 	SelfMonitor time.Duration
-	Seed        int64
+	// WireV1 pins selected agents to the v1 text wire protocol
+	// (TransportSimnet only; nil offers the v2 upgrade everywhere). The
+	// fault harness uses it to run mixed-version clusters.
+	WireV1 func(i int) bool
+	Seed   int64
 }
 
 // Sim is a complete simulated cluster: nodes in ICE Boxes, agents feeding
@@ -98,6 +102,10 @@ type Sim struct {
 
 	byName    map[string]*node.Node
 	nodeImage map[string]string
+	// wires holds each agent's wire-negotiation state, indexed like
+	// Agents (nil outside TransportSimnet) — the mixed-version harness
+	// asserts on it.
+	wires []*wireClient
 }
 
 // NewSim builds the cluster powered off; call PowerOnAll (or power nodes
@@ -134,7 +142,33 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	// the sequenced protocol, answers gap detection with a resync-request
 	// control frame to the frame's source.
 	var masterMon *simnet.Endpoint
-	if cfg.Transport != TransportDirect {
+	switch cfg.Transport {
+	case TransportSimnet:
+		masterMon = net.Attach(simMonAddr, simnet.FastEthernet)
+		// One wireServer per source endpoint: each agent session gets its
+		// own decoder and negotiation state, exactly like one TCP
+		// connection would.
+		servers := make(map[simnet.Addr]*wireServer)
+		masterMon.OnReceive(func(p simnet.Packet) {
+			b, ok := p.Payload.([]byte)
+			if !ok {
+				return
+			}
+			ws := servers[p.Src]
+			if ws == nil {
+				ws = &wireServer{s: srv}
+				servers[p.Src] = ws
+			}
+			src := p.Src
+			// fatal (corrupt frame) just drops the datagram — the
+			// sequence gap will tell. Control payloads are scratch-backed
+			// and delivery is asynchronous, so copy before Send.
+			ws.handle(b, func(ctl []byte) {
+				cb := append([]byte(nil), ctl...)
+				masterMon.Send(src, cb, len(cb)+monOverheadBytes)
+			})
+		})
+	case TransportSimnetLegacy:
 		masterMon = net.Attach(simMonAddr, simnet.FastEthernet)
 		masterMon.OnReceive(func(p simnet.Packet) {
 			b, ok := p.Payload.([]byte)
@@ -145,10 +179,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			if err != nil {
 				return // corrupt frame: drop, the sequence gap will tell
 			}
-			if err := srv.HandleFrame(f); err == ErrResyncNeeded && cfg.Transport == TransportSimnet {
-				rb := transmit.MarshalResync(nil, f.Node)
-				masterMon.Send(p.Src, rb, len(rb)+monOverheadBytes)
-			}
+			srv.HandleFrame(f) //nolint:errcheck // legacy protocol has no back channel
 		})
 	}
 
@@ -215,6 +246,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			Plugins:   plugins,
 		}
 		var mon *simnet.Endpoint
+		var wc *wireClient
 		switch cfg.Transport {
 		case TransportDirect:
 			acfg.Transport = func(nodeName string, values []consolidate.Value) error {
@@ -224,16 +256,21 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		case TransportSimnet:
 			mon = net.Attach(simnet.Addr(name+".mon"), simnet.FastEthernet)
 			acfg.AntiEntropy = cfg.AntiEntropy
+			wc = newWireClient(name, cfg.WireV1 == nil || !cfg.WireV1(i))
+			sendWC := wc
 			acfg.SendFrame = func(f transmit.Frame) error {
 				// A down local link is an error the agent can see (bank +
 				// back off); in-flight loss is silent — that is the gap
-				// detection's job. The frame is marshalled to a fresh
-				// buffer because delivery is asynchronous and f.Values is
-				// scratch-backed.
+				// detection's job. The link check runs before marshal so a
+				// visible failure never advances the v2 predictor chain.
+				// The payload is copied to a fresh buffer because delivery
+				// is asynchronous and the marshal scratch (like f.Values)
+				// is reused by the next frame.
 				if !mon.Up() {
 					return ErrLinkDown
 				}
-				b := transmit.MarshalFrame(nil, f)
+				payload := sendWC.marshal(f)
+				b := append([]byte(nil), payload...)
 				mon.Send(simMonAddr, b, len(b)+monOverheadBytes)
 				return nil
 			}
@@ -256,17 +293,21 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		}
 		if cfg.Transport == TransportSimnet {
 			agent := agent
+			recvWC := wc
 			mon.OnReceive(func(p simnet.Packet) {
 				b, ok := p.Payload.([]byte)
 				if !ok {
 					return
 				}
-				if _, ok := transmit.ParseResync(b); ok {
+				// The wire session consumes version answers, dict acks,
+				// and dict resets; resync requests surface to the agent.
+				if recvWC.control(b, int64(clk.Now())) {
 					agent.RequestResync()
 				}
 			})
 		}
 		sim.Agents = append(sim.Agents, agent)
+		sim.wires = append(sim.wires, wc)
 	}
 
 	// Server-side UDP-echo sweep: the one probe that works on dead nodes.

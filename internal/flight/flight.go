@@ -56,6 +56,8 @@ const (
 	KindGateRebuild        // serving-plane gate rebuilt its cached response (Detail=gate name)
 	KindWatchOverflow      // watch subscriber queue overflowed; subscriber flagged for resync
 	KindWatchResync        // watch subscriber was sent a full RESYNC snapshot (Detail=verb)
+	KindWireUpgrade        // wire session negotiated a new protocol version (A=version; agent on switch, server on first answer)
+	KindWireReset          // wire dictionary reset (server: "!wreset" sent; agent: received and rebased)
 	numKinds
 )
 
@@ -76,6 +78,8 @@ var kindNames = [numKinds]string{
 	KindGateRebuild:   "gate-rebuild",
 	KindWatchOverflow: "watch-overflow",
 	KindWatchResync:   "watch-resync",
+	KindWireUpgrade:   "wire-upgrade",
+	KindWireReset:     "wire-reset",
 }
 
 func (k Kind) String() string {

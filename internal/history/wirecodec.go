@@ -1,0 +1,149 @@
+package history
+
+// Exported, allocation-free wrappers around the sealed-block bit codec
+// (block.go) so the wire protocol's v2 frames (internal/transmit)
+// compress timestamps and float64 values with the same proven
+// delta-of-delta + Gorilla-XOR machinery the history engine seals blocks
+// with — one codec, two call sites, identical bit streams.
+//
+// The block codec keeps its per-stream prediction state (previous value,
+// leading/significant-bits window, previous timestamp delta) in local
+// variables because a block is encoded in one shot. The wire streams one
+// point per metric per frame, so the state must live across calls: that
+// is the only addition here. XORState and DoDState are plain structs
+// whose zero value means "no history yet — emit relative to zero"; both
+// sides of a connection reset them in lockstep (the v2 chain-reset rule),
+// keeping encoder and decoder bit-exact without any handshake payload.
+
+import (
+	"math"
+	"math/bits"
+)
+
+// BitWriter is an MSB-first bit appender over a reusable byte buffer.
+type BitWriter struct{ w bitWriter }
+
+// Reset discards state and re-arms the writer over buf[:0], reusing its
+// capacity.
+func (w *BitWriter) Reset(buf []byte) {
+	w.w.buf = buf[:0]
+	w.w.acc = 0
+	w.w.nacc = 0
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the encoded
+// buffer. The writer must be Reset before further use.
+func (w *BitWriter) Bytes() []byte { return w.w.bytes() }
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, n uint) { w.w.writeBits(v, n) }
+
+// BitReader is the matching MSB-first bit consumer.
+type BitReader struct{ r bitReader }
+
+// Reset re-arms the reader over data.
+func (r *BitReader) Reset(data []byte) { r.r = bitReader{data: data} }
+
+// ReadBits returns the next n bits, MSB-first; past the end it sticks in
+// the failed state and returns 0.
+func (r *BitReader) ReadBits(n uint) uint64 { return r.r.readBits(n) }
+
+// Failed reports whether any read ran past the end of the data.
+func (r *BitReader) Failed() bool { return r.r.err }
+
+// Fail forces the failed state, for callers that detect an impossible
+// decoded value (e.g. a window-reuse code before any window existed).
+func (r *BitReader) Fail() { r.r.err = true }
+
+// DoDState is one timestamp stream's delta-of-delta predictor. The zero
+// value predicts from t=0 with delta 0, so the first timestamp after a
+// reset is carried as a (large) dod — self-contained, no raw first-point
+// special case on the wire.
+type DoDState struct {
+	Prev  int64
+	Delta int64
+}
+
+// WriteDoD appends t delta-of-delta coded against the stream state.
+func (w *BitWriter) WriteDoD(s *DoDState, t int64) {
+	delta := t - s.Prev
+	writeDoD(&w.w, delta-s.Delta)
+	s.Delta = delta
+	s.Prev = t
+}
+
+// ReadDoD decodes the next timestamp, advancing the stream state.
+func (r *BitReader) ReadDoD(s *DoDState) int64 {
+	dod := readDoD(&r.r)
+	s.Delta += dod
+	s.Prev += s.Delta
+	return s.Prev
+}
+
+// XORState is one value stream's Gorilla XOR predictor: the previous
+// bit pattern plus the current leading/trailing-zeros window. The zero
+// value predicts 0.0 with no window, so the first value after a reset is
+// carried as a full-width XOR against zero — i.e. literally.
+type XORState struct {
+	Bits     uint64
+	Leading  uint8
+	Trailing uint8
+	HasWin   bool
+}
+
+// WriteXOR appends v XOR-coded against the stream state, bit-compatible
+// with encodeBlock's value stream.
+func (w *BitWriter) WriteXOR(s *XORState, v float64) {
+	cur := math.Float64bits(v)
+	xor := cur ^ s.Bits
+	s.Bits = cur
+	if xor == 0 {
+		w.w.writeBit(0)
+		return
+	}
+	w.w.writeBit(1)
+	lz := bits.LeadingZeros64(xor)
+	if lz > 31 {
+		lz = 31 // 5-bit field
+	}
+	tz := bits.TrailingZeros64(xor)
+	if s.HasWin && lz >= int(s.Leading) && tz >= int(s.Trailing) {
+		w.w.writeBit(0)
+		w.w.writeBits(xor>>s.Trailing, uint(64-int(s.Leading)-int(s.Trailing)))
+		return
+	}
+	s.Leading, s.Trailing, s.HasWin = uint8(lz), uint8(tz), true
+	sig := 64 - lz - tz
+	w.w.writeBit(1)
+	w.w.writeBits(uint64(lz), 5)
+	w.w.writeBits(uint64(sig-1), 6)
+	w.w.writeBits(xor>>uint(tz), uint(sig))
+}
+
+// ReadXOR decodes the next value, advancing the stream state. ok is
+// false on a truncated or impossible bit stream (the reader is then in
+// the failed state).
+func (r *BitReader) ReadXOR(s *XORState) (v float64, ok bool) {
+	if r.r.readBit() == 1 {
+		if r.r.readBit() == 1 {
+			leading := int(r.r.readBits(5))
+			sig := int(r.r.readBits(6)) + 1
+			trailing := 64 - leading - sig
+			if trailing < 0 {
+				r.r.err = true
+				return 0, false
+			}
+			s.Leading, s.Trailing, s.HasWin = uint8(leading), uint8(trailing), true
+		} else if !s.HasWin {
+			// Window-reuse code with no window defined: corrupt input.
+			r.r.err = true
+			return 0, false
+		}
+		width := uint(64 - int(s.Leading) - int(s.Trailing))
+		s.Bits ^= r.r.readBits(width) << s.Trailing
+	}
+	if r.r.err {
+		return 0, false
+	}
+	return math.Float64frombits(s.Bits), true
+}

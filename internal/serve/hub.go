@@ -79,6 +79,21 @@ func (h *Hub) run(stop chan struct{}) {
 	for h.sig.Wait(stop) {
 		gen := h.genFn()
 		h.mu.Lock()
+		// Stale-dispatcher guard: if the last Unregister closed our stop
+		// channel and a racing Register already started a replacement
+		// dispatcher, Wait may still have observed a wake and returned
+		// true here. Delivering would double-notify every subscriber of
+		// the new era (two dispatchers draining one signal), so only the
+		// dispatcher that owns the current stop channel may deliver. But
+		// Wait consumed the conflated pending flag to get here, so the
+		// wake must be re-issued or the current dispatcher never sees it
+		// (a spurious wake with no dispatcher is harmless — the flag
+		// waits for the next one).
+		if h.stop != stop {
+			h.mu.Unlock()
+			h.sig.Wake()
+			return
+		}
 		for sub := range h.subs {
 			select {
 			case sub.ch <- gen:

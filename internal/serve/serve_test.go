@@ -271,6 +271,76 @@ func TestHubDispatcherLifecycle(t *testing.T) {
 	h.Unregister(sub2)
 }
 
+// TestHubRegisterUnregisterChurn hammers the dispatcher start/stop edge:
+// goroutines register, drain a few notifications, and unregister while
+// wakes fire continuously, so the hub constantly crosses the
+// last-out/first-in restart boundary. Run under -race this pins the
+// stale-dispatcher guard in run(): without it, a dispatcher whose stop
+// channel was closed by the last Unregister could race a freshly started
+// replacement and both would deliver to the new era's subscribers.
+func TestHubRegisterUnregisterChurn(t *testing.T) {
+	var gen atomic.Uint64
+	var sig Signal
+	h := NewHub(gen.Load, &sig)
+
+	done := make(chan struct{})
+	var wakers sync.WaitGroup
+	wakers.Add(1)
+	go func() {
+		defer wakers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				gen.Add(1)
+				sig.Wake()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop := make(chan struct{})
+			close(stop) // Next never blocks: drained opportunistically
+			for i := 0; i < 200; i++ {
+				sub := h.Register()
+				sub.Next(stop)
+				sub.Next(stop)
+				h.Unregister(sub)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	wakers.Wait()
+
+	if n := h.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers left after churn", n)
+	}
+	// The hub must still work after the churn: a fresh subscriber gets a
+	// notification from a cleanly restarted dispatcher.
+	sub := h.Register()
+	defer h.Unregister(sub)
+	sig.Wake()
+	got := make(chan bool, 1)
+	go func() {
+		_, _, ok := sub.Next(nil)
+		got <- ok
+	}()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("post-churn subscriber got !ok")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-churn dispatcher never delivered")
+	}
+}
+
 // TestParseBlock covers the pushed-block header grammar.
 func TestParseBlock(t *testing.T) {
 	kind, gen, lines, err := ParseBlock("UPDATE gen=17\n=node000 up\n-node001")

@@ -75,7 +75,16 @@ type Frame struct {
 	// carry it.
 	TraceID uint64
 	TraceNs int64
-	Values  []consolidate.Value
+	// WireOffer is the highest wire protocol version the sender speaks
+	// beyond v1, carried as the ignorable "w=" header option while the
+	// session is still v1 (see framev2.go). Zero: no offer. Values below
+	// WireV2 are meaningless and never marshalled or parsed.
+	WireOffer uint8
+	// SentNs is the agent's clock at hand-off. The v1 text form does not
+	// carry it (v1 frames marshal byte-identically to before it existed);
+	// v2 frames deliver it delta-of-delta coded.
+	SentNs int64
+	Values []consolidate.Value
 }
 
 // MarshalFrame renders f into the wire payload form, appending to dst.
@@ -95,6 +104,10 @@ func MarshalFrame(dst []byte, f Frame) []byte {
 		}
 		if f.TraceID != 0 {
 			dst = appendTraceOpt(dst, f.TraceID, f.TraceNs)
+		}
+		if f.WireOffer >= WireV2 {
+			dst = append(dst, ' ', 'w', '=')
+			dst = strconv.AppendUint(dst, uint64(f.WireOffer), 10)
 		}
 	}
 	dst = append(dst, '\n')
@@ -139,11 +152,34 @@ func ParseFrame(payload []byte) (Frame, error) {
 		}
 		// Trailing option tokens. Unknown or malformed options are
 		// skipped, never fatal: losing a diagnostic annotation must not
-		// lose the data frame.
+		// lose the data frame. But two tokens that BOTH decode to the
+		// same known option are ambiguous — two trace contexts (or two
+		// version offers) cannot both be what the sender meant — so
+		// well-formed duplicates void that option entirely (still never
+		// the frame; malformed repeats remain ordinary skipped garbage).
+		// The length bound rejects absurdly long tokens before any
+		// per-byte decode work.
+		traceOpts, offerOpts := 0, 0
 		for _, opt := range fields[3:] {
-			if strings.HasPrefix(opt, "t=") {
+			switch {
+			case strings.HasPrefix(opt, "t="):
+				if len(opt)-2 > maxTraceOptHex {
+					continue
+				}
 				if id, ns, ok := parseTraceOpt(opt[2:]); ok {
+					if traceOpts++; traceOpts > 1 {
+						f.TraceID, f.TraceNs = 0, 0
+						continue
+					}
 					f.TraceID, f.TraceNs = id, ns
+				}
+			case strings.HasPrefix(opt, "w="):
+				if v, ok := parseWireOffer(opt[2:]); ok {
+					if offerOpts++; offerOpts > 1 {
+						f.WireOffer = 0
+						continue
+					}
+					f.WireOffer = v
 				}
 			}
 		}
@@ -162,6 +198,26 @@ func ParseFrame(payload []byte) (Frame, error) {
 }
 
 const traceHexDigits = "0123456789abcdef"
+
+// maxTraceOptHex is the longest hex payload a well-formed "t=" option
+// can carry: two varints of at most binary.MaxVarintLen64 bytes each, at
+// two hex digits per byte. Anything longer is rejected up front, before
+// the hex scan.
+const maxTraceOptHex = 2 * 2 * binary.MaxVarintLen64
+
+// parseWireOffer decodes the decimal payload of a "w=" version-offer
+// option. ok is false for anything malformed or for versions below
+// WireV2 (v1 needs no offer — it is the floor both sides always speak).
+func parseWireOffer(s string) (uint8, bool) {
+	if len(s) == 0 || len(s) > 3 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 10, 8)
+	if err != nil || v < WireV2 {
+		return 0, false
+	}
+	return uint8(v), true
+}
 
 // appendTraceOpt renders the " t=<hex>" trace-context header option:
 // varint(id) ++ varint(ns), hex-encoded so the header stays printable

@@ -27,6 +27,10 @@ func fuzzSeedFrames() []Frame {
 		{Node: "node042", Seq: 9, Kind: FrameDelta, TraceID: 0xabcdef0123456789, TraceNs: 1234567890, Values: values},
 		{Node: "node042", Seq: 10, Kind: FrameSnapshot, TraceID: 1, TraceNs: -1, Values: values},
 		{Node: "n1", Seq: 2, Kind: FrameDelta, TraceID: ^uint64(0), Values: nil},
+		// Version-offer-bearing headers (the "w=" option), alone and next
+		// to a trace context.
+		{Node: "node042", Seq: 11, Kind: FrameDelta, WireOffer: WireV2, Values: values},
+		{Node: "node042", Seq: 12, Kind: FrameSnapshot, WireOffer: WireV2, TraceID: 5, TraceNs: 9, Values: values},
 	}
 }
 
@@ -48,6 +52,16 @@ func fuzzMalformedPayloads() []string {
 		"no\x01de\n",
 		"node042 7 D\ncpu.load\n",
 		"node042\nos.release S t \"Linu\n",
+		// Option-grammar edge cases: duplicates (voided), malformed
+		// repeats (skipped), offers out of range or mixed with traces.
+		"node042 7 D t=0701 t=0701\n",
+		"node042 7 D t=0701 t=zz\n",
+		"node042 7 D w=2 w=2\n",
+		"node042 7 D w=2 w=x\n",
+		"node042 7 D w=0\n",
+		"node042 7 D w=256\n",
+		"node042 7 D w=2 t=0701\n",
+		"node042 7 D t=0701 w=2 w=3\n",
 	}
 }
 
@@ -79,6 +93,12 @@ func FuzzParseFrame(f *testing.F) {
 		if f0.Seq == 0 && f0.TraceID != 0 {
 			t.Fatalf("unsequenced frame carrying a trace: %+v", f0)
 		}
+		if f0.Seq == 0 && f0.WireOffer != 0 {
+			t.Fatalf("unsequenced frame carrying a version offer: %+v", f0)
+		}
+		if f0.WireOffer != 0 && f0.WireOffer < WireV2 {
+			t.Fatalf("accepted sub-v2 version offer: %+v", f0)
+		}
 		wire1 := MarshalFrame(nil, f0)
 		f1, err := ParseFrame(wire1)
 		if err != nil {
@@ -89,6 +109,9 @@ func FuzzParseFrame(f *testing.F) {
 		}
 		if f1.TraceID != f0.TraceID || f1.TraceNs != f0.TraceNs {
 			t.Fatalf("roundtrip changed the trace context: %+v -> %+v", f0, f1)
+		}
+		if f1.WireOffer != f0.WireOffer {
+			t.Fatalf("roundtrip changed the version offer: %+v -> %+v", f0, f1)
 		}
 		// Byte-level fixpoint instead of field comparison for the values:
 		// it holds for every accepted payload, including NaN numerics
@@ -151,6 +174,85 @@ func FuzzReadWireValues(f *testing.F) {
 			}
 			if !validNodeName(fr.Node) {
 				t.Fatalf("framing layer delivered invalid node name %q", fr.Node)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrameV2 drives the binary v2 decoder over arbitrary bytes,
+// cold and mid-session: it must never panic, never accept a garbage
+// node name or a zero sequence number, and must always recover when the
+// next sender rebases — a malformed datagram can cost a frame, never
+// the session.
+func FuzzDecodeFrameV2(f *testing.F) {
+	enc := NewEncoderV2()
+	seeds := [][]byte{}
+	for i, fr := range fuzzSeedFrames() {
+		if fr.Seq == 0 {
+			continue
+		}
+		fr.SentNs = int64(i) * 1_000_000
+		seeds = append(seeds, enc.Encode(nil, fr))
+	}
+	// A dictionary-tail-free frame (all entries acked).
+	enc.Ack(enc.TableLen())
+	seeds = append(seeds, enc.Encode(nil, Frame{Node: "node042", Seq: 99,
+		Values: []consolidate.Value{{Name: "cpu.load.1min", Kind: consolidate.Dynamic, Num: 2.5}}}))
+	for _, s := range seeds {
+		f.Add(s)
+		// Truncated dictionaries and bodies: every prefix quartile.
+		for _, cut := range []int{1, 2, len(s) / 4, len(s) / 2, len(s) - 1} {
+			if cut >= 0 && cut < len(s) {
+				f.Add(s[:cut])
+			}
+		}
+		// One flipped byte in each region.
+		for _, pos := range []int{1, len(s) / 3, 2 * len(s) / 3} {
+			if pos < len(s) {
+				c := append([]byte(nil), s...)
+				c[pos] ^= 0x55
+				f.Add(c)
+			}
+		}
+	}
+	// Non-v2 shapes: v1 text, control payloads, bare magic.
+	f.Add([]byte("node042 7 D w=2\n"))
+	f.Add([]byte("!wire 2"))
+	f.Add([]byte{V2Magic})
+	f.Add([]byte{V2Magic, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, warm := range []bool{false, true} {
+			d := NewDecoderV2()
+			if warm {
+				// Mid-session decoder: a live dictionary and predictor chain.
+				we := NewEncoderV2()
+				var b []byte
+				for seq := uint64(1); seq <= 2; seq++ {
+					b = we.Encode(b[:0], Frame{Node: "node042", Seq: seq,
+						Values: []consolidate.Value{{Name: "cpu.load.1min", Kind: consolidate.Dynamic, Num: float64(seq)}}})
+					if _, err := d.Decode(b); err != nil {
+						t.Fatalf("warmup decode: %v", err)
+					}
+				}
+			}
+			fr, err := d.Decode(payload)
+			if err == nil || err == ErrV2Desync {
+				if !validNodeName(fr.Node) {
+					t.Fatalf("accepted invalid node name %q (warm=%v)", fr.Node, warm)
+				}
+				if fr.Seq == 0 {
+					t.Fatalf("accepted zero sequence number (warm=%v)", warm)
+				}
+			}
+			// Healing invariant: whatever the payload did to the decoder, a
+			// fresh sender's rebase frame (chain reset + tailStart 0) must
+			// decode — the "!wreset" recovery path can never wedge.
+			he := NewEncoderV2()
+			heal := he.Encode(nil, Frame{Node: "n1", Seq: 1,
+				Values: []consolidate.Value{{Name: "m", Kind: consolidate.Dynamic, Num: 1}}})
+			if _, err := d.Decode(heal); err != nil {
+				t.Fatalf("rebase frame did not heal the decoder (warm=%v): %v", warm, err)
 			}
 		}
 	})

@@ -109,3 +109,97 @@ func TestParseTraceOptExactConsumption(t *testing.T) {
 		t.Fatalf("option with trailing bytes %q should fail", hex+"00")
 	}
 }
+
+// TestParseFrameDuplicateOptionsVoided pins the duplicate-option rule:
+// two well-formed copies of the same known option are ambiguous — the
+// sender cannot have meant both — so the option is voided entirely
+// (never the frame). Malformed repeats stay ordinary skipped garbage.
+func TestParseFrameDuplicateOptionsVoided(t *testing.T) {
+	cases := []struct {
+		payload string
+		trace   uint64
+		offer   uint8
+	}{
+		{"node042 7 D t=0701 t=0701\n", 0, 0},        // identical dup: voided
+		{"node042 7 D t=0701 t=0902\n", 0, 0},        // conflicting dup: voided
+		{"node042 7 D t=0701 t=0902 t=0b03\n", 0, 0}, // triplicate stays voided
+		{"node042 7 D t=0701 t=zz\n", 7, 0},          // malformed repeat: not a dup
+		{"node042 7 D t=zz t=0701\n", 7, 0},          // malformed first: later valid wins
+		{"node042 7 D w=2 w=2\n", 0, 0},              // dup offers: voided
+		{"node042 7 D w=2 w=3\n", 0, 0},              // conflicting offers: voided
+		{"node042 7 D w=2 w=x\n", 0, 2},              // malformed repeat: not a dup
+		{"node042 7 D w=1\n", 0, 0},                  // below WireV2: meaningless, skipped
+		{"node042 7 D w=0\n", 0, 0},
+		{"node042 7 D w=256\n", 0, 0},   // overflows uint8
+		{"node042 7 D w=99999\n", 0, 0}, // over the length bound
+		{"node042 7 D w=\n", 0, 0},
+		{"node042 7 D t=0701 w=2\n", 7, 2}, // independent options coexist
+		{"node042 7 D w=2 t=0701\n", 7, 2}, // in either order
+	}
+	for _, c := range cases {
+		f, err := ParseFrame([]byte(c.payload))
+		if err != nil {
+			t.Fatalf("ParseFrame(%q) must tolerate bad options: %v", c.payload, err)
+		}
+		if f.TraceID != c.trace {
+			t.Fatalf("ParseFrame(%q) trace = %x, want %x", c.payload, f.TraceID, c.trace)
+		}
+		if f.WireOffer != c.offer {
+			t.Fatalf("ParseFrame(%q) offer = %d, want %d", c.payload, f.WireOffer, c.offer)
+		}
+		if f.Node != "node042" || f.Seq != 7 {
+			t.Fatalf("ParseFrame(%q) mangled frame: %+v", c.payload, f)
+		}
+	}
+}
+
+// TestParseFrameBoundsTraceOptBeforeDecode: a t= payload longer than any
+// well-formed trace context is rejected by length alone, before the hex
+// scan touches it (the corpus case is ~1 MiB of hex digits).
+func TestParseFrameBoundsTraceOptBeforeDecode(t *testing.T) {
+	huge := "node042 7 D t=" + strings.Repeat("ab", 1<<19) + "\n"
+	f, err := ParseFrame([]byte(huge))
+	if err != nil {
+		t.Fatalf("huge trace option must not kill the frame: %v", err)
+	}
+	if f.TraceID != 0 {
+		t.Fatalf("huge trace option parsed to %x", f.TraceID)
+	}
+	// The longest canonical option still parses: both varints maxed.
+	b := appendTraceOpt(nil, ^uint64(0), -1)
+	opt := string(b[len(" t="):])
+	if len(opt) > maxTraceOptHex {
+		t.Fatalf("canonical max option %d hex digits exceeds bound %d", len(opt), maxTraceOptHex)
+	}
+	f, err = ParseFrame([]byte("node042 7 D t=" + opt + "\n"))
+	if err != nil || f.TraceID != ^uint64(0) || f.TraceNs != -1 {
+		t.Fatalf("max-width trace context lost: %+v err=%v", f, err)
+	}
+}
+
+// TestWireOfferRoundtrip: the w= option marshals only for sequenced
+// frames and survives a parse; offer-free frames marshal byte-identically
+// to the pre-offer format.
+func TestWireOfferRoundtrip(t *testing.T) {
+	in := Frame{Node: "node001", Seq: 3, WireOffer: WireV2}
+	b := MarshalFrame(nil, in)
+	if got := string(b[:bytes.IndexByte(b, '\n')]); got != "node001 3 D w=2" {
+		t.Fatalf("offer header: %q", got)
+	}
+	out, err := ParseFrame(b)
+	if err != nil || out.WireOffer != WireV2 {
+		t.Fatalf("offer lost: %+v err=%v", out, err)
+	}
+	if again := MarshalFrame(nil, out); !bytes.Equal(again, b) {
+		t.Fatalf("offer marshal not a fixpoint:\n%q\n%q", b, again)
+	}
+	// Legacy (unsequenced) frames have no option slot: no offer on the wire.
+	legacy := MarshalFrame(nil, Frame{Node: "node001", WireOffer: WireV2})
+	if got := string(legacy[:bytes.IndexByte(legacy, '\n')]); got != "node001" {
+		t.Fatalf("legacy header grew an offer: %q", got)
+	}
+	plain := MarshalFrame(nil, Frame{Node: "node001", Seq: 3})
+	if got := string(plain[:bytes.IndexByte(plain, '\n')]); got != "node001 3 D" {
+		t.Fatalf("offer-free header changed: %q", got)
+	}
+}

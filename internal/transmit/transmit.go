@@ -72,6 +72,29 @@ var deflaterPool = sync.Pool{
 	},
 }
 
+// compressInto deflates p through d's compressor into w (normally d.buf,
+// rebound for tests). On error the compressor's internal state is
+// undefined mid-stream — see releaseDeflater.
+func (d *deflater) compressInto(w io.Writer, p []byte) error {
+	d.comp.Reset(w)
+	if _, err := d.comp.Write(p); err != nil {
+		return err
+	}
+	return d.comp.Close()
+}
+
+// releaseDeflater returns d to the pool only if its last frame
+// compressed cleanly. A flate.Writer that errored mid-frame holds
+// poisoned stream state; re-pooling it would hand the next frame a
+// compressor that keeps failing (or worse, emits garbage). Dropping it
+// costs one re-allocation on a path that is already failing.
+func releaseDeflater(d *deflater, err error) {
+	if err != nil {
+		return
+	}
+	deflaterPool.Put(d)
+}
+
 // inflaterPool pools flate decompressors for the read side; flate readers
 // carry a sizable window that is expensive to allocate per frame.
 var inflaterPool = sync.Pool{
@@ -105,20 +128,18 @@ func (t *Writer) WriteFrame(p []byte) error {
 	if len(p) > MaxFrameSize {
 		return ErrFrameSize
 	}
-	t.rawBytes += int64(len(p))
 	body := p
 	flags := byte(0)
-	var d *deflater
 	if t.compress {
-		d = deflaterPool.Get().(*deflater)
-		defer deflaterPool.Put(d)
+		d := deflaterPool.Get().(*deflater)
 		d.buf.Reset()
-		d.comp.Reset(&d.buf)
-		if _, err := d.comp.Write(p); err != nil {
-			return fmt.Errorf("transmit: compress: %w", err) //cwx:allow hotpath -- cold error path
-		}
-		if err := d.comp.Close(); err != nil {
-			return fmt.Errorf("transmit: compress: %w", err) //cwx:allow hotpath -- cold error path
+		err := d.compressInto(&d.buf, p)
+		// An errored compressor is dropped, never re-pooled: its flate
+		// stream state is poisoned mid-frame (regression-tested in
+		// TestDeflaterPoolDropsPoisoned).
+		defer releaseDeflater(d, err)
+		if err != nil {
+			return fmt.Errorf("transmit: compress: %w", err) //cwx:allow hotpath,lockscope -- cold error path; deferred releaseDeflater drops the poisoned compressor
 		}
 		// Raw fallback: ship the original bytes whenever deflate did not
 		// strictly shrink them (see NewWriter).
@@ -127,6 +148,28 @@ func (t *Writer) WriteFrame(p []byte) error {
 			flags |= flagCompressed
 		}
 	}
+	return t.emit(p, body, flags) //cwx:allow lockscope -- deferred releaseDeflater re-pools the healthy compressor
+}
+
+// WriteFrameRaw sends one payload skipping the deflate attempt. The v2
+// binary frames are already dictionary/XOR-coded — deflate rarely
+// shrinks them further and always costs the compression pass, so their
+// send path declares the payload incompressible up front.
+//
+//cwx:hotpath
+func (t *Writer) WriteFrameRaw(p []byte) error {
+	if len(p) > MaxFrameSize {
+		return ErrFrameSize
+	}
+	return t.emit(p, p, 0)
+}
+
+// emit writes the frame header and body and books the byte accounting;
+// body either aliases p or holds its deflated form.
+//
+//cwx:hotpath
+func (t *Writer) emit(p, body []byte, flags byte) error {
+	t.rawBytes += int64(len(p))
 	t.hdr[0] = frameMagic
 	t.hdr[1] = flags
 	binary.BigEndian.PutUint32(t.hdr[2:], uint32(len(body)))
@@ -157,8 +200,9 @@ func (t *Writer) WireBytes() int64 { return t.wireBytes }
 type Reader struct {
 	r    *bufio.Reader
 	br   bytes.Reader
-	buf  []byte // wire body scratch
-	dbuf []byte // decompressed payload scratch
+	hdr  [headerSize]byte // header scratch: a local would escape through io.ReadFull
+	buf  []byte           // wire body scratch
+	dbuf []byte           // decompressed payload scratch
 }
 
 // NewReader returns a framing reader.
@@ -171,14 +215,13 @@ func NewReader(r io.Reader) *Reader {
 //
 //cwx:hotpath
 func (t *Reader) ReadFrame() ([]byte, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(t.r, t.hdr[:]); err != nil {
 		return nil, err
 	}
-	if hdr[0] != frameMagic {
+	if t.hdr[0] != frameMagic {
 		return nil, ErrBadMagic
 	}
-	n := binary.BigEndian.Uint32(hdr[2:])
+	n := binary.BigEndian.Uint32(t.hdr[2:])
 	if n > MaxFrameSize {
 		return nil, ErrFrameSize
 	}
@@ -189,7 +232,7 @@ func (t *Reader) ReadFrame() ([]byte, error) {
 	if _, err := io.ReadFull(t.r, body); err != nil {
 		return nil, err
 	}
-	if hdr[1]&flagCompressed == 0 {
+	if t.hdr[1]&flagCompressed == 0 {
 		mFramesRead.Inc()
 		return body, nil
 	}
@@ -317,15 +360,17 @@ func unmarshalLine(line string) (consolidate.Value, error) {
 }
 
 // CompressedSize reports how many bytes p deflates to, for the E6
-// compression-effectiveness experiment.
+// compression-effectiveness experiment. Returns -1 if compression fails
+// (the deflater is then dropped, like any other poisoned compressor).
 func CompressedSize(p []byte) int {
 	d := deflaterPool.Get().(*deflater)
-	defer deflaterPool.Put(d)
 	d.buf.Reset()
-	d.comp.Reset(&d.buf)
-	d.comp.Write(p)
-	d.comp.Close()
-	return d.buf.Len()
+	err := d.compressInto(&d.buf, p)
+	defer releaseDeflater(d, err)
+	if err != nil {
+		return -1 //cwx:allow lockscope -- deferred releaseDeflater drops the poisoned compressor
+	}
+	return d.buf.Len() //cwx:allow lockscope -- deferred releaseDeflater re-pools the healthy compressor
 }
 
 // Pipe returns a connected in-process frame transport, for tests and the

@@ -358,3 +358,75 @@ func TestCorruptCompressedBody(t *testing.T) {
 		t.Fatal("corrupted deflate body decoded")
 	}
 }
+
+// failAfterWriter errors once n bytes have been accepted — an io.Writer
+// that dies mid-stream, like a socket reset under a compressor.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestDeflaterPoolDropsPoisoned pins the pooled-compressor error
+// discipline: a deflater whose compression errored mid-frame holds
+// undefined flate stream state and must be dropped, never re-pooled —
+// re-pooling it would hand the next frame a poisoned compressor. A
+// clean deflater keeps being reused.
+func TestDeflaterPoolDropsPoisoned(t *testing.T) {
+	// Control: a healthy release re-pools. (sync.Pool gives no identity
+	// guarantee, but Put-then-Get on one goroutine hits the private slot,
+	// so a miss here means the value was definitely not re-pooled.)
+	d := deflaterPool.Get().(*deflater)
+	releaseDeflater(d, nil)
+	if got := deflaterPool.Get().(*deflater); got != d {
+		t.Skip("pool did not return the just-Put value; identity check unavailable")
+	}
+
+	// Poison the compressor against a failing sink, then release with the
+	// error: the next Get must not see this instance again.
+	failErr := errors.New("sink reset")
+	err := d.compressInto(&failAfterWriter{n: 0, err: failErr}, []byte(strings.Repeat("monitoring data ", 512)))
+	if err == nil {
+		t.Fatal("compressInto into a failing writer did not error")
+	}
+	if !errors.Is(err, failErr) {
+		t.Fatalf("compressInto error = %v, want the sink's", err)
+	}
+	releaseDeflater(d, err)
+	got := deflaterPool.Get().(*deflater)
+	if got == d {
+		t.Fatal("poisoned deflater was re-pooled")
+	}
+
+	// And the replacement compresses a real frame end to end.
+	got.buf.Reset()
+	if err := got.compressInto(&got.buf, []byte("cpu.load 0.5\n")); err != nil {
+		t.Fatalf("fresh deflater failed: %v", err)
+	}
+	releaseDeflater(got, nil)
+
+	// The full WriteFrame path over a failing transport surfaces the error
+	// and leaves the writer usable with a fresh pool entry afterwards.
+	var okBuf bytes.Buffer
+	w := NewWriter(&okBuf, true)
+	w.w = &failAfterWriter{n: 2, err: failErr}
+	if err := w.WriteFrame([]byte(strings.Repeat("x", 100))); err == nil {
+		t.Fatal("WriteFrame over failing transport did not error")
+	}
+	w.w = &okBuf
+	if err := w.WriteFrame([]byte(strings.Repeat("x", 100))); err != nil {
+		t.Fatalf("WriteFrame after recovery: %v", err)
+	}
+}
