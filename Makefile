@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build lint test race bench bench-smoke fuzz-smoke faultinject
+.PHONY: check fmt vet build lint lint-escape lockgraph test race bench bench-smoke fuzz-smoke faultinject
 
 check: fmt vet build lint race
 
@@ -22,12 +22,28 @@ vet:
 build:
 	$(GO) build ./...
 
-# cwxlint: the dependency-free invariant analyzers (hotpath, clockdet,
-# lockscope, atomicmix — see internal/lint). Accepted pre-existing
-# findings live in .cwxlint-baseline; regenerate it with
-# `go run ./cmd/cwxlint -update-baseline`.
+# cwxlint: the dependency-free invariant analyzers — per-function
+# (hotpath, clockdet, lockscope, atomicmix) and whole-program
+# (lockorder, golife, staticalloc) — see internal/lint. Runs all seven:
+# the staticalloc escape gate is on by default (-escapes). Accepted
+# pre-existing findings live in .cwxlint-baseline; regenerate it with
+# `go run ./cmd/cwxlint -update-baseline`. Exit codes: 0 clean,
+# 1 findings, 2 analysis failed.
 lint:
 	$(GO) run ./cmd/cwxlint
+
+# Escape-regression gate in isolation: staticalloc against a fresh
+# -gcflags=-m build, with the six source analyzers still applied (they
+# are cheap; the build dominates). CI runs this as its own step so an
+# escape regression is named in the job list, not buried in `check`.
+lint-escape:
+	$(GO) run ./cmd/cwxlint -escapes
+
+# Render the whole-program lock-acquisition graph (lock classes with
+# their //cwx:lockrank levels, acquired-while-held edges, inversions in
+# red). CI uploads the DOT as a build artifact on every run.
+lockgraph:
+	$(GO) run ./cmd/cwxlint -lockgraph cwx-lockorder.dot
 
 test:
 	$(GO) test ./...

@@ -78,6 +78,7 @@ func main() {
 			return fmt.Sprintf("cloned %s to %d node(s) in %s (virtual)",
 				imageID, len(res.NodeUp), res.AllUp.Round(time.Second)), nil
 		})
+		//cwx:daemon simulation time driver runs for the process lifetime
 		go func() {
 			const step = 100 * time.Millisecond
 			for {
@@ -98,6 +99,7 @@ func main() {
 		clk := clock.New()
 		srv = core.NewServer(core.ServerConfig{Cluster: *cluster, Now: clk.Now})
 		installRules(srv, *rulesFile)
+		//cwx:daemon wall-clock driver steps the virtual clock for the process lifetime
 		go func() {
 			t0 := time.Now()
 			const step = 100 * time.Millisecond
@@ -116,6 +118,7 @@ func main() {
 			}
 			f.Close()
 		}
+		//cwx:daemon periodic history persistence runs for the process lifetime
 		go func() {
 			for range time.Tick(time.Minute) {
 				if err := saveHistory(srv, *histFile); err != nil {
@@ -127,6 +130,7 @@ func main() {
 
 	if *selfMon > 0 {
 		meta := core.NewMetaMonitor(srv)
+		//cwx:daemon self-monitor tick loop runs for the process lifetime
 		go func() {
 			for range time.Tick(*selfMon) {
 				meta.Tick()

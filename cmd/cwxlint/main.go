@@ -1,10 +1,25 @@
-// Command cwxlint runs the repository's invariant analyzers (hotpath,
-// clockdet, lockscope, atomicmix — see internal/lint) over the module
-// and exits non-zero on fresh findings.
+// Command cwxlint runs the repository's invariant analyzers — the
+// per-function checks (hotpath, clockdet, lockscope, atomicmix) and the
+// whole-program ones (lockorder, golife, staticalloc) — see
+// internal/lint.
 //
 // Usage:
 //
 //	go run ./cmd/cwxlint [-root dir] [-baseline file] [-update-baseline]
+//	    [-json] [-escapes] [-lockgraph file.dot]
+//
+// Exit code contract (stable, for CI and editor integration):
+//
+//	0 — clean: no fresh findings (baselined findings do not count)
+//	1 — findings: at least one fresh finding was reported
+//	2 — the analysis itself failed (load / type-check / build error)
+//
+// -json emits one self-contained JSON object per finding per line on
+// stdout instead of the file:line:col text form. -escapes (on by
+// default) feeds `go build -gcflags=-m` output to the staticalloc
+// analyzer; disable it when no build cache is available. -lockgraph
+// writes the whole-program lock-acquisition graph as Graphviz DOT and
+// exits (CI uploads it as a build artifact).
 //
 // Accepted pre-existing findings live in .cwxlint-baseline at the module
 // root; -update-baseline rewrites it from the current findings.
@@ -23,15 +38,18 @@ func main() {
 	root := flag.String("root", ".", "module root to analyze")
 	baseline := flag.String("baseline", "", "baseline file (default <root>/"+lint.BaselineName+")")
 	update := flag.Bool("update-baseline", false, "rewrite the baseline from current findings and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	escapes := flag.Bool("escapes", true, "run staticalloc against go build -gcflags=-m output")
+	lockgraph := flag.String("lockgraph", "", "write the lock-acquisition graph as DOT to this file and exit")
 	flag.Parse()
 
-	if err := run(*root, *baseline, *update); err != nil {
+	if err := run(*root, *baseline, *lockgraph, *update, *jsonOut, *escapes); err != nil {
 		fmt.Fprintln(os.Stderr, "cwxlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(root, baselinePath string, update bool) error {
+func run(root, baselinePath, lockgraph string, update, jsonOut, escapes bool) error {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
 		return err
@@ -44,7 +62,30 @@ func run(root, baselinePath string, update bool) error {
 	if err != nil {
 		return err
 	}
-	diags := lint.Run(pkgs, lint.Config{Module: module})
+	cfg := lint.Config{Module: module}
+
+	if lockgraph != "" {
+		dot := lint.LockGraphDOT(pkgs, cfg)
+		if lockgraph == "-" {
+			fmt.Print(dot)
+			return nil
+		}
+		if err := os.WriteFile(lockgraph, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cwxlint: wrote lock-acquisition graph to %s\n", lockgraph)
+		return nil
+	}
+
+	if escapes {
+		esc, err := lint.GoBuildEscapes(absRoot, "./...")
+		if err != nil {
+			return err
+		}
+		cfg.Escapes = esc
+	}
+
+	diags := lint.Run(pkgs, cfg)
 
 	if update {
 		if err := lint.WriteBaseline(baselinePath, absRoot, diags); err != nil {
@@ -64,15 +105,23 @@ func run(root, baselinePath string, update bool) error {
 	}
 	if len(fresh) > 0 {
 		for _, d := range fresh {
+			if jsonOut {
+				fmt.Println(d.JSON(absRoot))
+				continue
+			}
 			rel := d
 			if r, err := filepath.Rel(absRoot, d.Pos.Filename); err == nil {
 				rel.Pos.Filename = r
 			}
 			fmt.Println(rel.String())
 		}
-		fmt.Printf("cwxlint: %d finding(s) in %d package(s)\n", len(fresh), len(pkgs))
+		if !jsonOut {
+			fmt.Printf("cwxlint: %d finding(s) in %d package(s)\n", len(fresh), len(pkgs))
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("cwxlint: ok (%d packages, %d baselined finding(s))\n", len(pkgs), len(diags)-len(fresh))
+	if !jsonOut {
+		fmt.Printf("cwxlint: ok (%d packages, %d baselined finding(s))\n", len(pkgs), len(diags)-len(fresh))
+	}
 	return nil
 }

@@ -129,7 +129,7 @@ type Stats struct {
 // state. Methods are safe for concurrent use: one goroutine ticks, any
 // number snapshot.
 type Consolidator struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //cwx:lockrank consolidator 6
 	sources []*sourceState
 	current map[string]Value
 	order   []string

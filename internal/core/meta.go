@@ -20,7 +20,7 @@ const MetaNodeName = "cwx-server"
 // the telemetry registry plus server/runtime vitals, ingested as the
 // MetaNodeName node.
 type MetaMonitor struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //cwx:lockrank meta 2
 	srv  *Server
 	cons *consolidate.Consolidator
 }

@@ -58,7 +58,7 @@ type plane struct {
 
 	// keyed maps a raw request line ("values node007", "chart node3
 	// load.1") to its gate, so a hit never parses the request at all.
-	kmu   sync.RWMutex
+	kmu   sync.RWMutex //cwx:lockrank keyed 35
 	keyed map[string]*serve.Gate[string]
 
 	hubOnce sync.Once

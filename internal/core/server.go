@@ -52,7 +52,7 @@ const ingestShards = 64
 // map membership; per-node state is behind each nodeRec's own lock, so
 // two agents updating different nodes never contend even within a stripe.
 type nodeShard struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex //cwx:lockrank shard 10
 	nodes map[string]*nodeRec
 }
 
@@ -101,7 +101,7 @@ type Server struct {
 
 	// mu guards the cold administrative state below; the ingest hot path
 	// never takes it.
-	mu      sync.Mutex
+	mu      sync.Mutex //cwx:lockrank admin 12
 	boxes   []*icebox.Box
 	boxByID map[string]*icebox.Box
 
@@ -116,7 +116,7 @@ type nodeRec struct {
 	// pooled private copy of sample, so rule plugins and notifier
 	// callbacks may call any server API — including synchronously
 	// re-ingesting values for this same node — without deadlocking.
-	mu       sync.RWMutex
+	mu       sync.RWMutex //cwx:lockrank record 20
 	name     string
 	lastSeen time.Duration
 	seen     bool

@@ -22,7 +22,7 @@ import (
 type SlurmBridge struct {
 	Cluster *slurm.Cluster
 
-	mu   sync.Mutex
+	mu   sync.Mutex         //cwx:lockrank bridge 4
 	load map[string]float64 // per-node load contributed by jobs
 	sim  *Sim
 }

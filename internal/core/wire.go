@@ -26,8 +26,8 @@ import (
 // marshal runs on the agent's clock goroutine; control on the
 // transport's receive goroutine — hence the mutex.
 type wireClient struct {
-	mu    sync.Mutex
-	offer bool // still offering v2 (enabled by config, not yet switched)
+	mu    sync.Mutex //cwx:lockrank wire 8
+	offer bool       // still offering v2 (enabled by config, not yet switched)
 	v2    bool
 	enc   *transmit.EncoderV2
 	buf   []byte // marshal scratch

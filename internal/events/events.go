@@ -176,7 +176,7 @@ type Engine struct {
 	// with hundreds of agents reporting concurrently, even an
 	// uncontended-looking global mutex becomes a serialization point.
 	nrules   atomic.Int32
-	mu       sync.Mutex
+	mu       sync.Mutex //cwx:lockrank engine 70
 	rules    map[string]*Rule
 	order    []string
 	state    map[string]map[string]*nodeState // rule -> node -> state

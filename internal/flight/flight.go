@@ -155,7 +155,7 @@ type Journal struct {
 	on  atomic.Bool
 	seq atomic.Uint64 // global cursor; Append n returns n-th record's seq
 
-	mu     sync.Mutex
+	mu     sync.Mutex //cwx:lockrank flightsym 72
 	byName map[string]Sym
 	names  atomic.Pointer[[]string] // copy-on-write Sym→string table
 

@@ -83,7 +83,7 @@ type Series struct {
 	// lock.
 	gen atomic.Uint64
 
-	mu       sync.Mutex
+	mu       sync.Mutex //cwx:lockrank series 30
 	capacity int
 
 	// Mutable head block: parallel raw arrays, filled left to right.
@@ -470,7 +470,7 @@ func (s *Series) Downsample(t0, t1 time.Duration, n int) []Point {
 const storeStripes = 64
 
 type storeStripe struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex //cwx:lockrank histstore 25
 	series map[string]map[string]*Series
 }
 

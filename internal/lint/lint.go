@@ -1,7 +1,9 @@
 // Package lint is cwxlint: a dependency-free static-analysis suite that
-// mechanically enforces the repository's performance and determinism
-// invariants — the properties the §5.3 "minimal intrusiveness" claim
-// rests on, which PRs 1–3 established by hand:
+// mechanically enforces the repository's performance, determinism, and
+// concurrency invariants — the properties the §5.3 "minimal
+// intrusiveness" claim rests on, which PRs 1–3 established by hand.
+//
+// Per-function analyzers:
 //
 //   - hotpath: a function marked //cwx:hotpath must not contain
 //     allocating constructs (fmt calls, string<->[]byte conversions,
@@ -19,6 +21,25 @@
 //   - atomicmix: a struct field accessed through sync/atomic anywhere
 //     must never be read or written non-atomically elsewhere.
 //
+// Whole-program analyzers (interprocedural, over the full loaded
+// module):
+//
+//   - lockorder: every sync.Mutex/RWMutex struct field in the
+//     lock-scoped packages carries a "//cwx:lockrank <name> <level>"
+//     directive; acquisitions are propagated through the call graph and
+//     any edge that acquires a lock at a level <= one already held
+//     (an inversion of the declared partial order, or a same-class
+//     re-entry) is reported with its full witness call chain. The graph
+//     is dumpable as DOT (cwxlint -lockgraph).
+//   - golife: every `go` statement must have provable shutdown — an
+//     exit path out of every unbounded loop or a //cwx:daemon
+//     annotation — and every channel send lexically inside a spawned
+//     goroutine must be select-guarded or provably buffered.
+//   - staticalloc: heap escapes reported by the compiler
+//     (go build -gcflags=-m) inside //cwx:hotpath functions fail the
+//     lint run, turning the runtime alloc-gate tests into a
+//     compile-time proof.
+//
 // Findings are suppressed either inline ("//cwx:allow <analyzers> --
 // reason" on the flagged line or the line above) or through a baseline
 // file listing pre-existing accepted findings, so accepted exceptions
@@ -26,6 +47,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -48,6 +70,26 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// JSON renders the finding as one self-contained JSON object (the
+// cwxlint -json line format for editor and CI integration). The file is
+// root-relative when the finding is under root; key is the baseline
+// identity so tooling can acknowledge findings without re-deriving it.
+func (d Diagnostic) JSON(root string) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	j, _ := json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Key      string `json:"key"`
+	}{file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, d.Key(root)})
+	return string(j)
+}
+
 // Key is the position-independent identity used by the baseline file:
 // analyzer, root-relative file, and message — no line numbers, so the
 // baseline survives unrelated edits to the same file.
@@ -64,7 +106,15 @@ type Config struct {
 	// ClockScope lists the import-path prefixes clockdet applies to.
 	// Empty means the default simulation-scoped set under Module.
 	ClockScope []string
-	// Module is the module path, used to derive the default ClockScope.
+	// LockScope lists the packages in which every sync.Mutex/RWMutex
+	// struct field must carry a //cwx:lockrank directive. Empty means
+	// the default mutex-bearing set under Module.
+	LockScope []string
+	// Escapes is the parsed compiler escape-analysis output staticalloc
+	// checks against //cwx:hotpath functions (see GoBuildEscapes). Nil
+	// skips the analyzer — it needs a build, which Run cannot do itself.
+	Escapes []EscapeLine
+	// Module is the module path, used to derive the default scopes.
 	Module string
 }
 
@@ -77,6 +127,24 @@ func DefaultClockScope(module string) []string {
 		module + "/internal/simnet",
 		module + "/internal/events",
 		module + "/internal/notify",
+	}
+}
+
+// DefaultLockScope returns the mutex-bearing packages whose locks form
+// the pipeline's declared acquisition order (shard → record → series →
+// gate → hub and the auxiliary ranks around them): every mutex field in
+// them must carry a //cwx:lockrank directive.
+func DefaultLockScope(module string) []string {
+	return []string{
+		module + "/internal/core",
+		module + "/internal/history",
+		module + "/internal/serve",
+		module + "/internal/flight",
+		module + "/internal/transmit",
+		module + "/internal/telemetry",
+		module + "/internal/events",
+		module + "/internal/notify",
+		module + "/internal/consolidate",
 	}
 }
 
@@ -121,6 +189,9 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	if len(cfg.ClockScope) == 0 && cfg.Module != "" {
 		cfg.ClockScope = DefaultClockScope(cfg.Module)
 	}
+	if len(cfg.LockScope) == 0 && cfg.Module != "" {
+		cfg.LockScope = DefaultLockScope(cfg.Module)
+	}
 	var diags []Diagnostic
 	passes := make([]*pass, 0, len(pkgs))
 	for _, pkg := range pkgs {
@@ -132,6 +203,10 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		runLockscope(p)
 	}
 	runAtomicmix(passes)
+	prog := buildProgram(passes, &cfg, &diags)
+	runLockorder(prog)
+	runGolife(prog)
+	runStaticalloc(prog)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -146,6 +221,113 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// program is the whole-module view the interprocedural analyzers
+// (lockorder, golife, staticalloc) share: one FileSet, every pass, a
+// declaration index for call-graph resolution, and the merged
+// suppression directives.
+type program struct {
+	fset    *token.FileSet
+	passes  []*pass
+	cfg     *Config
+	decls   map[*types.Func]*declInfo   // named funcs/methods with bodies
+	allows  map[string]map[int][]string // merged across passes
+	daemons map[string]map[int]bool     // file -> line -> //cwx:daemon present
+	diags   *[]Diagnostic
+}
+
+// declInfo ties a function object to its syntax and owning pass.
+type declInfo struct {
+	pass *pass
+	decl *ast.FuncDecl
+}
+
+// buildProgram indexes every function declaration (keyed by its
+// *types.Func so cross-package calls resolve — the loader type-checks
+// local packages once, so objects are shared) plus the //cwx:daemon
+// spawn annotations.
+func buildProgram(passes []*pass, cfg *Config, diags *[]Diagnostic) *program {
+	prog := &program{
+		passes:  passes,
+		cfg:     cfg,
+		decls:   make(map[*types.Func]*declInfo),
+		allows:  make(map[string]map[int][]string),
+		daemons: make(map[string]map[int]bool),
+		diags:   diags,
+	}
+	for _, p := range passes {
+		if prog.fset == nil {
+			prog.fset = p.pkg.Fset
+		}
+		for file, lines := range p.allows {
+			if prog.allows[file] == nil {
+				prog.allows[file] = lines
+			}
+		}
+		for _, f := range p.pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.decls[fn] = &declInfo{pass: p, decl: fd}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if c.Text == "//cwx:daemon" || strings.HasPrefix(c.Text, "//cwx:daemon ") {
+						pos := p.pkg.Fset.Position(c.Pos())
+						if prog.daemons[pos.Filename] == nil {
+							prog.daemons[pos.Filename] = make(map[int]bool)
+						}
+						prog.daemons[pos.Filename][pos.Line] = true
+					}
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// declOf resolves a call target to its declaration, mapping generic
+// instantiations back to their origin.
+func (prog *program) declOf(fn *types.Func) *declInfo {
+	if fn == nil {
+		return nil
+	}
+	return prog.decls[fn.Origin()]
+}
+
+// report records a finding at a resolved position unless an inline
+// //cwx:allow covers it.
+func (prog *program) report(pos token.Pos, analyzer, format string, args ...any) {
+	prog.reportAt(prog.fset.Position(pos), analyzer, format, args...)
+}
+
+func (prog *program) reportAt(position token.Position, analyzer, format string, args ...any) {
+	lines := prog.allows[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return
+			}
+		}
+	}
+	*prog.diags = append(*prog.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// daemonAt reports whether a //cwx:daemon annotation covers a spawn
+// site (same line or the line above the `go` statement).
+func (prog *program) daemonAt(pos token.Pos) bool {
+	position := prog.fset.Position(pos)
+	lines := prog.daemons[position.Filename]
+	return lines[position.Line] || lines[position.Line-1]
 }
 
 // collectAllows indexes every "//cwx:allow a,b -- reason" comment by
@@ -200,7 +382,11 @@ func hasDirective(doc *ast.CommentGroup, marker string) bool {
 const BaselineName = ".cwxlint-baseline"
 
 // ReadBaseline loads a baseline file into a key -> count multiset. A
-// missing file is an empty baseline.
+// missing file is an empty baseline. Two identical findings in the same
+// file share one Diagnostic.Key, so an entry may carry an explicit
+// occurrence count ("<key> [x3]"); without one it acknowledges exactly
+// one occurrence — a fresh duplicate of a baselined finding still
+// reports. Repeated identical lines also accumulate.
 func ReadBaseline(path string) (map[string]int, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -215,9 +401,30 @@ func ReadBaseline(path string) (map[string]int, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		base[line]++
+		key, n := parseBaselineCount(line)
+		base[key] += n
 	}
 	return base, nil
+}
+
+// parseBaselineCount splits an optional trailing " [xN]" occurrence
+// count off a baseline entry. Malformed suffixes stay part of the key.
+func parseBaselineCount(line string) (string, int) {
+	i := strings.LastIndex(line, " [x")
+	if i < 0 || !strings.HasSuffix(line, "]") {
+		return line, 1
+	}
+	n := 0
+	for _, r := range line[i+3 : len(line)-1] {
+		if r < '0' || r > '9' {
+			return line, 1
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n < 1 {
+		return line, 1
+	}
+	return line[:i], n
 }
 
 // ApplyBaseline splits diags into fresh findings and consumed baseline
@@ -244,18 +451,30 @@ func ApplyBaseline(diags []Diagnostic, root string, base map[string]int) (fresh 
 	return fresh, stale
 }
 
-// WriteBaseline renders diags as a baseline file.
+// WriteBaseline renders diags as a baseline file. Findings sharing one
+// key (identical message, same file) are written once with an explicit
+// occurrence count, so the multiset is visible — and editable — rather
+// than encoded as easily-deduplicated repeated lines.
 func WriteBaseline(path, root string, diags []Diagnostic) error {
 	var b strings.Builder
 	b.WriteString("# cwxlint findings baseline: accepted pre-existing findings, one per line.\n")
+	b.WriteString("# \"<key> [xN]\" acknowledges exactly N identical occurrences.\n")
 	b.WriteString("# Regenerate with `go run ./cmd/cwxlint -update-baseline`.\n")
+	counts := make(map[string]int, len(diags))
 	keys := make([]string, 0, len(diags))
 	for _, d := range diags {
-		keys = append(keys, d.Key(root))
+		k := d.Key(root)
+		if counts[k] == 0 {
+			keys = append(keys, k)
+		}
+		counts[k]++
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
 		b.WriteString(k)
+		if n := counts[k]; n > 1 {
+			fmt.Fprintf(&b, " [x%d]", n)
+		}
 		b.WriteByte('\n')
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)

@@ -18,22 +18,27 @@ type want struct {
 }
 
 // runTestdata loads one testdata package, runs the full analyzer suite
-// over it, and diffs the findings against the file's want comments in
-// both directions: every want must be hit, every finding must be wanted.
-func runTestdata(t *testing.T, name string, clockScoped bool) {
+// over it (mod adjusts the Config for scope-gated analyzers), and diffs
+// the findings against the file's want comments in both directions:
+// every want must be hit, every finding must be wanted.
+func runTestdata(t *testing.T, name string, mod func(*Config)) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
 	pkg, err := LoadDir(dir, name)
 	if err != nil {
 		t.Fatalf("LoadDir(%s): %v", dir, err)
 	}
-	cfg := Config{Module: name, ClockScope: []string{"lint-testdata/none"}}
-	if clockScoped {
-		cfg.ClockScope = []string{name}
+	cfg := Config{Module: name, ClockScope: []string{"lint-testdata/none"}, LockScope: []string{"lint-testdata/none"}}
+	if mod != nil {
+		mod(&cfg)
 	}
 	diags := Run([]*Package{pkg}, cfg)
-	wants := collectWants(t, pkg)
+	diffWants(t, collectWants(t, pkg), diags)
+}
 
+// diffWants cross-checks findings against want expectations.
+func diffWants(t *testing.T, wants []*want, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		text := d.Analyzer + ": " + d.Message
 		matched := false
@@ -89,10 +94,91 @@ func collectWants(t *testing.T, pkg *Package) []*want {
 	return wants
 }
 
-func TestHotpathAnalyzer(t *testing.T)   { runTestdata(t, "hotpath", false) }
-func TestClockdetAnalyzer(t *testing.T)  { runTestdata(t, "clockdet", true) }
-func TestLockscopeAnalyzer(t *testing.T) { runTestdata(t, "lockscope", false) }
-func TestAtomicmixAnalyzer(t *testing.T) { runTestdata(t, "atomicmix", false) }
+func TestHotpathAnalyzer(t *testing.T)  { runTestdata(t, "hotpath", nil) }
+func TestClockdetAnalyzer(t *testing.T) { runTestdata(t, "clockdet", clockScoped) }
+
+func TestLockscopeAnalyzer(t *testing.T) { runTestdata(t, "lockscope", nil) }
+func TestAtomicmixAnalyzer(t *testing.T) { runTestdata(t, "atomicmix", nil) }
+func TestGolifeAnalyzer(t *testing.T)    { runTestdata(t, "golife", nil) }
+
+func TestLockorderAnalyzer(t *testing.T) { runTestdata(t, "lockorder", lockScoped) }
+
+func clockScoped(cfg *Config) { cfg.ClockScope = []string{cfg.Module} }
+func lockScoped(cfg *Config)  { cfg.LockScope = []string{cfg.Module} }
+
+// TestStaticallocAnalyzer feeds real compiler escape output to the
+// analyzer: the testdata directory is its own module, so the build is
+// hermetic, and the //cwx:hotpath escape must be the only finding.
+func TestStaticallocAnalyzer(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "staticalloc")
+	esc, err := GoBuildEscapes(dir, ".")
+	if err != nil {
+		t.Fatalf("GoBuildEscapes: %v", err)
+	}
+	if len(esc) == 0 {
+		t.Fatal("compiler reported no escapes in testdata; the fixture lost its escape")
+	}
+	pkg, err := LoadDir(dir, "staticalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Module: "staticalloc", ClockScope: []string{"lint-testdata/none"}, LockScope: []string{"lint-testdata/none"}, Escapes: esc}
+	diffWants(t, collectWants(t, pkg), Run([]*Package{pkg}, cfg))
+}
+
+// TestLockGraphDOT sanity-checks the -lockgraph artifact: both classes
+// and the inversion edge of the seeded testdata must render, with the
+// inversion painted red.
+func TestLockGraphDOT(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "lockorder"), "lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := LockGraphDOT([]*Package{pkg}, Config{Module: "lockorder", LockScope: []string{"lockorder"}})
+	for _, frag := range []string{
+		"digraph cwxlockorder",
+		`"alpha" [label="alpha\nlockorder.A.mu\nlevel 10"]`,
+		`"alpha" -> "beta"`,
+		`"beta" -> "alpha"`,
+		"color=red",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("lock graph missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// TestDiagnosticJSON pins the -json line format: root-relative file,
+// position, analyzer, message, and the baseline key.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Analyzer: "golife", Message: "unguarded send"}
+	d.Pos.Filename = filepath.Join("/repo", "internal", "x", "x.go")
+	d.Pos.Line, d.Pos.Column = 7, 3
+	got := d.JSON("/repo")
+	want := `{"file":"internal/x/x.go","line":7,"col":3,"analyzer":"golife","message":"unguarded send","key":"golife: internal/x/x.go: unguarded send"}`
+	if got != want {
+		t.Errorf("JSON = %s\nwant   %s", got, want)
+	}
+}
+
+// TestParseBaselineCount pins the " [xN]" occurrence-count grammar.
+func TestParseBaselineCount(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		key  string
+		n    int
+	}{
+		{"a: b.go: msg", "a: b.go: msg", 1},
+		{"a: b.go: msg [x3]", "a: b.go: msg", 3},
+		{"a: b.go: msg [x0]", "a: b.go: msg [x0]", 1},   // malformed: not a count
+		{"a: b.go: msg [xyz]", "a: b.go: msg [xyz]", 1}, // malformed: stays in key
+	} {
+		key, n := parseBaselineCount(tc.line)
+		if key != tc.key || n != tc.n {
+			t.Errorf("parseBaselineCount(%q) = %q, %d; want %q, %d", tc.line, key, n, tc.key, tc.n)
+		}
+	}
+}
 
 // TestClockScopeDisabled proves clockdet is scope-gated: the same wall
 // clock-ridden testdata is silent when its package is out of scope.
@@ -170,7 +256,11 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(pkgs, Config{Module: module})
+	esc, err := GoBuildEscapes(root, "./...")
+	if err != nil {
+		t.Fatalf("GoBuildEscapes: %v", err)
+	}
+	diags := Run(pkgs, Config{Module: module, Escapes: esc})
 	base, err := ReadBaseline(filepath.Join(root, BaselineName))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runStaticalloc turns the compiler's escape analysis into a lint
+// gate: any "escapes to heap" / "moved to heap" decision landing inside
+// a //cwx:hotpath function is a finding. The runtime alloc-gate tests
+// (testing.AllocsPerRun) stay as the behavioral backstop; this is the
+// compile-time proof — it fires on the PR that introduces the escape,
+// on the exact line, without needing the workload that would exercise
+// it.
+//
+// The escape decisions arrive pre-parsed in Config.Escapes (see
+// GoBuildEscapes): running the build is the caller's job, because Run
+// analyzes source and must not shell out. A nil slice skips the
+// analyzer; an empty non-nil slice means "the build reported no
+// escapes" and is a valid, silent input.
+func runStaticalloc(prog *program) {
+	if prog.cfg.Escapes == nil {
+		return
+	}
+	type span struct {
+		start, end int
+		name       string
+	}
+	hot := make(map[string][]span) // file -> hotpath function line ranges
+	for _, p := range prog.passes {
+		for _, f := range p.pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, "//cwx:hotpath") {
+					continue
+				}
+				start := prog.fset.Position(fd.Pos())
+				end := prog.fset.Position(fd.End())
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					name = exprText(fd.Recv.List[0].Type) + "." + name
+				}
+				hot[start.Filename] = append(hot[start.Filename], span{start.Line, end.Line, name})
+			}
+		}
+	}
+	// One finding per source position: a generic function compiled for
+	// several shapes reports the same escape once per shape with only
+	// the go.shape name differing.
+	seen := make(map[string]bool)
+	for _, esc := range prog.cfg.Escapes {
+		for _, sp := range hot[esc.File] {
+			if esc.Line < sp.start || esc.Line > sp.end {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d", esc.File, esc.Line, esc.Col)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			prog.reportAt(token.Position{Filename: esc.File, Line: esc.Line, Column: esc.Col}, "staticalloc",
+				"heap escape in //cwx:hotpath function %s: %s (compiler escape analysis; restructure to keep the value on the stack or //cwx:allow with a reason)",
+				sp.name, esc.Message)
+			break
+		}
+	}
+}
+
+// EscapeLine is one escape decision from `go build -gcflags=-m`.
+type EscapeLine struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Message string // "x escapes to heap", "moved to heap: buf", ...
+}
+
+// ParseEscapes extracts the heap-escape decisions from compiler -m
+// output. Only "escapes to heap" and "moved to heap" lines are kept
+// (inlining and bounds-check chatter is dropped); relative paths are
+// resolved against dir, matching how `go build` prints them when run
+// there.
+func ParseEscapes(output, dir string) []EscapeLine {
+	var out []EscapeLine
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		rest := line
+		var parts [3]string
+		ok := true
+		for i := 0; i < 3; i++ {
+			j := strings.Index(rest, ":")
+			if j < 0 {
+				ok = false
+				break
+			}
+			parts[i] = rest[:j]
+			rest = rest[j+1:]
+		}
+		if !ok {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		out = append(out, EscapeLine{File: file, Line: ln, Col: col, Message: strings.TrimSpace(rest)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// GoBuildEscapes runs `go build -gcflags=-m` over patterns in dir and
+// parses the escape decisions. The build artifacts are discarded; the
+// compiler output replays from the build cache on unchanged code, so
+// this is cheap on every lint run after the first.
+func GoBuildEscapes(dir string, patterns ...string) ([]EscapeLine, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ParseEscapes(out.String(), abs), nil
+}

@@ -1,0 +1,90 @@
+// Package lockorder is analyzer testdata: lockrank coverage, a seeded
+// A→B / B→A inversion detected through an interprocedural witness
+// chain, same-class re-entry, and an unranked acquisition cycle.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex //cwx:lockrank alpha 10
+}
+
+type B struct {
+	mu sync.Mutex //cwx:lockrank beta 20
+}
+
+type C struct {
+	mu sync.Mutex //cwx:lockrank gamma 30
+}
+
+// N is in scope but undeclared in the lattice: coverage finding.
+type N struct {
+	mu sync.Mutex // want `lockorder: mutex field lockorder.N.mu has no //cwx:lockrank directive`
+}
+
+// ascending acquires alpha then beta: the declared order, no finding.
+func ascending(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// descending holds beta and reaches an alpha acquisition two calls
+// down: the B→A half of the inversion, reported with the full witness
+// chain through middle and leaf.
+func descending(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	middle(a) // want `lockorder: lock order inversion in descending: acquiring alpha .* level 10. while holding beta .* level 20.*witness: lockorder\.go:\d+ -> lockorder\.go:\d+ -> lockorder\.go:\d+`
+}
+
+func middle(a *A) {
+	leaf(a)
+}
+
+func leaf(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// reentry takes gamma twice: self-deadlock for a plain Mutex.
+func reentry(c *C) {
+	c.mu.Lock()
+	c.mu.Lock() // want `lockorder: lock gamma .* acquired while already held in reentry`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// branchRelease unlocks before the nested acquisition on one branch:
+// the lexical region closes, so no beta is held at the alpha Lock.
+func branchRelease(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// X and Y are deliberately unranked (each gets a coverage finding) and
+// acquired in both orders: the cycle detector names the loop.
+type X struct {
+	mu sync.Mutex // want `lockorder: mutex field lockorder.X.mu has no //cwx:lockrank directive`
+}
+
+type Y struct {
+	mu sync.Mutex // want `lockorder: mutex field lockorder.Y.mu has no //cwx:lockrank directive`
+}
+
+func xThenY(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `lockorder: lock acquisition cycle lockorder\.X\.mu -> lockorder\.Y\.mu -> lockorder\.X\.mu`
+	y.mu.Unlock()
+}
+
+func yThenX(x *X, y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}

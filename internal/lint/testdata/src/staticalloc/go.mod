@@ -1,0 +1,3 @@
+module staticalloc
+
+go 1.22

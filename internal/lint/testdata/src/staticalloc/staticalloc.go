@@ -1,0 +1,34 @@
+// Package staticalloc is analyzer testdata: compiler-reported heap
+// escapes inside //cwx:hotpath functions. This directory is its own
+// module so `go build -gcflags=-m .` works here; the test feeds the
+// resulting escape lines to the analyzer.
+package staticalloc
+
+type point struct {
+	x, y int
+}
+
+// sink forces the escape: the pointer outlives the frame.
+var sink *point
+
+// Escaping claims the hot path but returns a heap pointer: the escape
+// analysis proof fails.
+//
+//cwx:hotpath
+func Escaping(x, y int) *point {
+	return &point{x: x, y: y} // want `staticalloc: heap escape in //cwx:hotpath function Escaping`
+}
+
+// Fine claims the hot path and keeps everything on the stack.
+//
+//cwx:hotpath
+func Fine(x, y int) int {
+	p := point{x: x, y: y}
+	return p.x + p.y
+}
+
+// ColdEscape escapes identically but carries no hotpath claim: the
+// compiler decision is recorded, not reported.
+func ColdEscape(x, y int) {
+	sink = &point{x: x, y: y}
+}

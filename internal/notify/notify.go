@@ -59,7 +59,7 @@ func (f MailerFunc) Send(m Message) error { return f(m) }
 
 // Recording is a Mailer that captures messages for inspection.
 type Recording struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //cwx:lockrank mailrec 65
 	msgs []Message
 }
 
@@ -112,7 +112,7 @@ const maxSendAttempts = 3
 // when every involved node has cleared; exactly one message is sent per
 // incident.
 type Notifier struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //cwx:lockrank notify 60
 	cfg    Config
 	clk    *clock.Clock
 	mailer Mailer

@@ -25,7 +25,7 @@ type Hub struct {
 	genFn func() uint64
 	sig   *Signal
 
-	mu   sync.Mutex
+	mu   sync.Mutex //cwx:lockrank hub 50
 	subs map[*Sub]struct{}
 	stop chan struct{}
 }

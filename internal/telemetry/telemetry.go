@@ -296,7 +296,7 @@ type metric struct {
 // registry lock and may allocate; it happens at package/agent setup, not
 // on hot paths — the returned handles record with atomics only.
 type Registry struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //cwx:lockrank registry 57
 	byName map[string]*metric
 }
 

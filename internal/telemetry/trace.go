@@ -141,7 +141,7 @@ func (sp *Span) Snapshot() SpanSnapshot {
 // hot paths cache the returned *Span and record through it with atomics
 // only.
 type Tracer struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //cwx:lockrank tracer 56
 	spans map[string]*Span
 }
 
