@@ -60,7 +60,7 @@ bench:
 # still compiles and executes. Not a performance measurement (-benchtime
 # 10x), just a smoke test.
 bench-smoke:
-	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry|E20StatusHit$$|E20MixedReadWriteCached$$|E21Flight|E21JournalAppend$$|E22Wire' -benchtime 10x -benchmem .
+	$(GO) test -run NONE -bench 'E15IngestParallel64$$|AblationTelemetry|E20StatusHit$$|E20MixedReadWriteCached$$|E21Flight|E21JournalAppend$$|E22Wire|E23FedPropagationSmall$$|E23FlatPropagationSmall$$|E23UplinkEncode' -benchtime 10x -benchmem .
 
 # Short fuzz run over the wire-protocol parsers: each target gets ~10s,
 # long enough to re-cover the grammar from the checked-in seeds without
@@ -70,6 +70,7 @@ fuzz-smoke:
 	$(GO) test ./internal/transmit/ -fuzz FuzzParseFrame -fuzztime 10s -run NONE
 	$(GO) test ./internal/transmit/ -fuzz FuzzReadWireValues -fuzztime 10s -run NONE
 	$(GO) test ./internal/transmit/ -fuzz FuzzDecodeFrameV2 -fuzztime 10s -run NONE
+	$(GO) test ./internal/transmit/ -fuzz FuzzDecodeBatchV2 -fuzztime 10s -run NONE
 	$(GO) test ./internal/history/ -fuzz FuzzBlockCodec -fuzztime 10s -run NONE
 
 # Fault-injection suite for the loss-tolerant delta protocol: seeded
@@ -77,5 +78,5 @@ fuzz-smoke:
 # detector. Seeds are fixed in the tests, so failures reproduce exactly.
 faultinject:
 	$(GO) test -race -count=1 -v \
-		-run 'TestLossToleranceConverges|TestLegacyProtocolDivergesUnderLoss|TestPartitionHealRetransmits|TestMixedVersionClusterConverges|TestHandleFrameConcurrent|TestBlackholeDropsEverything|TestScheduleAtDrivesFaults|TestLossDropsFraction' \
+		-run 'TestLossToleranceConverges|TestLegacyProtocolDivergesUnderLoss|TestPartitionHealRetransmits|TestMixedVersionClusterConverges|TestHandleFrameConcurrent|TestFedLossKillRejoinConverges|TestBlackholeDropsEverything|TestScheduleAtDrivesFaults|TestLossDropsFraction' \
 		./internal/core/ ./internal/simnet/

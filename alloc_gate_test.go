@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"clusterworx/internal/consolidate"
 	"clusterworx/internal/core"
 	"clusterworx/internal/flight"
 	"clusterworx/internal/history"
@@ -340,5 +341,145 @@ func TestAllocGateV2Ingest(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("v2 ingest allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// batchGateFrames builds an 8-node batch of delta sub-frames (Seq 0,
+// shared timestamp column) with values drawn from the shared delta
+// fixtures, rotated by i so consecutive encodes carry fresh numbers.
+func batchGateFrames(frames []transmit.Frame, names []string, deltas [][]consolidate.Value, i int) []transmit.Frame {
+	frames = frames[:0]
+	for j, name := range names {
+		frames = append(frames, transmit.Frame{
+			Node: name, Kind: transmit.FrameDelta, Values: deltas[(i+j)%len(deltas)],
+		})
+	}
+	return frames
+}
+
+// TestAllocGateUplinkBatchMarshal pins the federation uplink's batched
+// v2 encode (the E23 wire shape) at zero allocations per frame: once
+// the dictionary is interned and every (node, metric) predictor pair
+// exists, a steady-state batch is varint appends and XOR bit-writes
+// into reused scratch, whatever the node count.
+func TestAllocGateUplinkBatchMarshal(t *testing.T) {
+	skipUnderRace(t)
+	enc := transmit.NewBatchEncoderV2()
+	names := ingestNodeNames()[:8]
+	deltas := ingestDeltaSets()
+	var frames []transmit.Frame
+	// Warmup interns every name, creates the predictor pairs, sizes the
+	// scratch, and drains the dictionary tail.
+	frames = batchGateFrames(frames, names, deltas, 0)
+	for i := range frames {
+		frames[i].Kind = transmit.FrameSnapshot
+		frames[i].Values = ingestFullSet()
+	}
+	buf := enc.Encode(nil, 1, 0, frames)
+	enc.Ack(enc.TableLen())
+	seq := uint64(1)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		i++
+		frames = batchGateFrames(frames, names, deltas, i)
+		buf = enc.Encode(buf[:0], seq, int64(seq)*100_000_000, frames)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched uplink marshal allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestAllocGateUplinkBatchIngest pins the parent tier's receive path —
+// batch decode into the decoder's scratch, then one unsequenced ingest
+// per node section — at zero allocations per batch frame, matching the
+// per-node v2 gate. This is what keeps a root ingesting 100k mirrored
+// nodes from touching the allocator at all in steady state.
+func TestAllocGateUplinkBatchIngest(t *testing.T) {
+	skipUnderRace(t)
+	srv := core.NewServer(core.ServerConfig{Cluster: "allocgate"})
+	enc := transmit.NewBatchEncoderV2()
+	dec := transmit.NewBatchDecoderV2()
+	names := ingestNodeNames()[:8]
+	deltas := ingestDeltaSets()
+	emit := func(f transmit.Frame) {
+		if err := srv.HandleFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var frames []transmit.Frame
+	frames = batchGateFrames(frames, names, deltas, 0)
+	for i := range frames {
+		frames[i].Kind = transmit.FrameSnapshot
+		frames[i].Values = ingestFullSet()
+	}
+	buf := enc.Encode(nil, 1, 0, frames)
+	if _, err := dec.Decode(buf, emit); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := dec.PendingAck(); ok {
+		enc.Ack(n)
+	}
+	seq := uint64(1)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		i++
+		frames = batchGateFrames(frames, names, deltas, i)
+		buf = enc.Encode(buf[:0], seq, int64(seq)*100_000_000, frames)
+		if _, err := dec.Decode(buf, emit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched uplink ingest allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestAllocGateUplinkFlush pins the child side end to end: ingest marks
+// the dirty stripes (noteFrame under the ingest hot path), and Flush
+// drains, reads the registry, assembles sub-frames, and encodes one
+// batch — all in reused scratch, zero allocations per flush cycle.
+func TestAllocGateUplinkFlush(t *testing.T) {
+	skipUnderRace(t)
+	srv := core.NewServer(core.ServerConfig{Cluster: "allocgate"})
+	u := core.NewUplink(srv, core.UplinkConfig{
+		Name: "leaf", Send: func([]byte) error { return nil },
+	})
+	srv.SetUplink(u)
+	// Negotiate the batch wire the way a parent would.
+	u.HandleControl(transmit.MarshalWireAnswer(nil, transmit.WireV2), 0)
+	names := ingestNodeNames()[:8]
+	full := ingestFullSet()
+	deltas := ingestDeltaSets()
+	for _, name := range names {
+		srv.HandleValues(name, full)
+	}
+	// First flush is the snap-all (registers every node and interns the
+	// dictionary); the second sizes the delta-path scratch.
+	now := int64(0)
+	if _, err := u.Flush(now); err != nil {
+		t.Fatal(err)
+	}
+	for j, name := range names {
+		srv.HandleValues(name, deltas[j%len(deltas)])
+	}
+	now += 100_000_000
+	if _, err := u.Flush(now); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		for j, name := range names {
+			srv.HandleValues(name, deltas[(i+j)%len(deltas)])
+		}
+		now += 100_000_000
+		if sent, err := u.Flush(now); err != nil || sent != len(names) {
+			t.Fatalf("flush sent %d (%v), want %d", sent, err, len(names))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("uplink mark+flush allocates %.1f times per cycle, want 0", allocs)
 	}
 }

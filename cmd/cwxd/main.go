@@ -10,6 +10,18 @@
 //	cwxd -sim-nodes 16 &
 //	cwxctl status
 //	cwxctl power cycle node003
+//
+// With -uplink it federates: the server forwards its consolidated
+// change stream — batched, change-only — to a parent cwxd's agent port,
+// so a tree of daemons scales past what one master can ingest:
+//
+//	cwxd -agent-addr :7801 -ctl-addr :7802 -rollup grid/root,rack/ & # parent tier
+//	cwxd -sim-nodes 16 -uplink localhost:7801 -rollup rack/leaf0 &   # leaf tier
+//	cwxctl -addr localhost:7802 status                               # whole grid
+//
+// -rollup makes a tier publish subtree aggregate series
+// (count/min/max/sum per metric) through its own ingest pipeline, so
+// upper-tier queries are O(subtrees) instead of O(nodes).
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only with -pprof
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,17 +45,22 @@ import (
 
 func main() {
 	var (
-		agentAddr = flag.String("agent-addr", ":7701", "listen address for node agents")
-		ctlAddr   = flag.String("ctl-addr", ":7702", "listen address for control clients")
-		cluster   = flag.String("cluster", "cluster", "cluster name used in notifications")
-		simNodes  = flag.Int("sim-nodes", 0, "host this many simulated nodes in-process")
-		rulesFile = flag.String("rules", "", "event rule file (replaces the built-in defaults)")
-		histFile  = flag.String("history-file", "", "persist monitor history to this file (loaded at start, saved every minute)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060; empty disables)")
-		selfMon   = flag.Duration("self-monitor", 10*time.Second, "meta-monitor period: ingest the server's own telemetry as node "+core.MetaNodeName+" (0 disables)")
-		flightN   = flag.Int("flight-rate", flight.DefaultRate, "causal-trace sampling: trace 1 in N agent ticks (min 1)")
-		flightOff = flag.Bool("flight-off", false, "kill switch: disable the flight recorder and all trace sampling")
-		wireV1    = flag.Bool("wire-v1", false, "escape hatch: ignore v2 wire offers so every agent session stays on the v1 text protocol")
+		agentAddr   = flag.String("agent-addr", ":7701", "listen address for node agents")
+		ctlAddr     = flag.String("ctl-addr", ":7702", "listen address for control clients")
+		cluster     = flag.String("cluster", "cluster", "cluster name used in notifications")
+		simNodes    = flag.Int("sim-nodes", 0, "host this many simulated nodes in-process")
+		rulesFile   = flag.String("rules", "", "event rule file (replaces the built-in defaults)")
+		histFile    = flag.String("history-file", "", "persist monitor history to this file (loaded at start, saved every minute)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060; empty disables)")
+		selfMon     = flag.Duration("self-monitor", 10*time.Second, "meta-monitor period: ingest the server's own telemetry as node "+core.MetaNodeName+" (0 disables)")
+		flightN     = flag.Int("flight-rate", flight.DefaultRate, "causal-trace sampling: trace 1 in N agent ticks (min 1)")
+		flightOff   = flag.Bool("flight-off", false, "kill switch: disable the flight recorder and all trace sampling")
+		wireV1      = flag.Bool("wire-v1", false, "escape hatch: ignore v2 wire offers so every agent session stays on the v1 text protocol")
+		uplink      = flag.String("uplink", "", "federate: forward this server's consolidated change stream to a parent cwxd's agent port (host:port)")
+		uplinkEvery = flag.Duration("uplink-period", time.Second, "uplink flush cadence: changed nodes are batched upstream this often")
+		uplinkAE    = flag.Duration("uplink-anti-entropy", 5*time.Minute, "periodic full-state uplink flush so a wedged parent re-converges (0 disables)")
+		uplinkV1    = flag.Bool("uplink-v1", false, "pin the uplink to v1 per-node frames (for a parent that predates the batch wire)")
+		rollupSpec  = flag.String("rollup", "", "publish a subtree aggregate node: <agg-name> folds raw children (leaf tier, e.g. rack/leaf0), <agg-name>,<child-prefix> composes child aggregates (upper tier, e.g. grid/root,rack/); ticks with -uplink-period")
 	)
 	flag.Parse()
 	if *flightOff {
@@ -157,6 +175,36 @@ func main() {
 	if *wireV1 {
 		srv.SetWireV1Only(true)
 		log.Printf("cwxd: -wire-v1: agent sessions pinned to the v1 text protocol")
+	}
+	var rollup *core.Rollup
+	if *rollupSpec != "" {
+		agg, childPrefix, ok := strings.Cut(*rollupSpec, ",")
+		if !ok {
+			childPrefix = ""
+		}
+		if agg == "" {
+			log.Fatalf("cwxd: -rollup %q: aggregate node name is empty (want <agg-name>[,<child-prefix>])", *rollupSpec)
+		}
+		rollup = core.NewRollup(srv, agg, childPrefix)
+		if childPrefix == "" {
+			log.Printf("cwxd: rollup: folding raw children into %q every %s", agg, *uplinkEvery)
+		} else {
+			log.Printf("cwxd: rollup: composing %s* aggregates into %q every %s", childPrefix, agg, *uplinkEvery)
+		}
+	}
+	if *uplink != "" {
+		uc := core.StartUplink(srv, core.UplinkClientConfig{
+			Addr:        *uplink,
+			Period:      *uplinkEvery,
+			AntiEntropy: *uplinkAE,
+			V1Only:      *uplinkV1,
+			Rollup:      rollup,
+		})
+		defer uc.Close()
+		log.Printf("cwxd: federating: uplink to %s every %s", *uplink, *uplinkEvery)
+	} else if rollup != nil {
+		rr := core.StartRollup(rollup, *uplinkEvery)
+		defer rr.Close()
 	}
 	agentL, err := net.Listen("tcp", *agentAddr)
 	if err != nil {

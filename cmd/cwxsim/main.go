@@ -9,6 +9,9 @@
 //	cwxsim -experiment e1,e7          # selected experiments
 //	cwxsim -experiment e7 -full       # paper-scale 400-node/2GB cloning run
 //	cwxsim -nodes 40 -run 10m         # simulate a cluster, print status
+//	cwxsim -topology tree:2,2 -nodes 8 -run 5m
+//	                                  # 2-tier federation: 2 leaf servers
+//	                                  # x 8 nodes uplinked to one root
 package main
 
 import (
@@ -32,14 +35,24 @@ func main() {
 		exp   = flag.String("experiment", "", "comma-separated experiment ids (e1..e16) or 'all'")
 		full  = flag.Bool("full", false, "paper-scale parameters (E7: 400+ nodes, 2 GB image; slower)")
 		bench = flag.Duration("benchtime", 200*time.Millisecond, "minimum timing window for the E1-E4 micro measurements")
-		nodes = flag.Int("nodes", 16, "cluster size for -run mode")
+		nodes = flag.Int("nodes", 16, "cluster size for -run mode (per leaf server with -topology)")
 		run   = flag.Duration("run", 0, "simulate a cluster for this much virtual time and print status")
+		topo  = flag.String("topology", "", "federate -run mode: tree:<fanout>,<tiers> builds a server tree whose leaves host -nodes each and forward batched deltas upstream")
 	)
 	flag.Parse()
 
 	switch {
 	case *exp != "":
 		if err := runExperiments(*exp, *full, *bench); err != nil {
+			fmt.Fprintln(os.Stderr, "cwxsim:", err)
+			os.Exit(1)
+		}
+	case *run > 0 && *topo != "":
+		fanout, tiers, err := parseTopology(*topo)
+		if err == nil {
+			err = runTree(*nodes, fanout, tiers, *run)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cwxsim:", err)
 			os.Exit(1)
 		}
@@ -120,6 +133,64 @@ func runExperiments(list string, full bool, benchtime time.Duration) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q (want e1..e16 or all)", list)
 	}
+	return nil
+}
+
+// parseTopology parses a "tree:<fanout>,<tiers>" topology spec.
+func parseTopology(s string) (fanout, tiers int, err error) {
+	if _, serr := fmt.Sscanf(s, "tree:%d,%d", &fanout, &tiers); serr != nil || fanout < 1 || tiers < 2 {
+		return 0, 0, fmt.Errorf("bad -topology %q (want tree:<fanout>,<tiers> with fanout >= 1, tiers >= 2)", s)
+	}
+	return fanout, tiers, nil
+}
+
+// runTree boots a federated server tree on one simulated fabric: leaf
+// servers ingest real agents, every tier forwards batched change-only
+// deltas up its uplink, and the root mirrors the whole grid plus
+// per-subtree aggregates.
+func runTree(perLeaf, fanout, tiers int, dur time.Duration) error {
+	fed, err := core.NewFedSim(core.FedConfig{
+		Fanout: fanout, Tiers: tiers, NodesPerLeaf: perLeaf, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer fed.Stop()
+
+	fmt.Printf("powering on %d nodes under %d leaf servers (%d tiers, fanout %d)...\n",
+		fed.TotalNodes(), len(fed.Leaves), tiers, fanout)
+	fed.PowerOnAll()
+	fed.Advance(30 * time.Second)
+	for _, leaf := range fed.Leaves {
+		for i, n := range leaf.Sim.Nodes {
+			n.SetLoad(float64(i%4) * 0.5)
+		}
+	}
+	fed.Advance(dur)
+
+	fmt.Printf("\n== root: whole-grid view ==\n%s\n", fed.Root.Server.HandleCtl("status"))
+	fmt.Printf("== root: subtree aggregates (%s) ==\n", core.RootAggNode)
+	for _, v := range fed.Root.Server.NodeValues(core.RootAggNode) {
+		if !v.IsText {
+			fmt.Printf("  %-28s %g\n", v.Name, v.Num)
+		}
+	}
+
+	var up core.UplinkStats
+	sessions := 0
+	for _, lvl := range fed.Levels[:tiers-1] {
+		for _, fs := range lvl {
+			st := fs.Uplink.Stats()
+			up.Frames += st.Frames
+			up.V1Frames += st.V1Frames
+			up.Nodes += st.Nodes
+			up.Bytes += st.Bytes
+			sessions++
+		}
+	}
+	in := fed.Root.Server.UplinkInStats()
+	fmt.Printf("\nuplinks: %d sessions forwarded %d node sections in %d batch frames (%d B on the wire); root ingested %d frames, %d desyncs\n",
+		sessions, up.Nodes, up.Frames, up.Bytes, in.Frames, in.Desyncs)
 	return nil
 }
 

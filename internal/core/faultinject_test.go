@@ -355,3 +355,123 @@ func TestMixedVersionClusterConverges(t *testing.T) {
 			len(diffs), joinDiffs(diffs))
 	}
 }
+
+// fedFaultSchedule drives one federation (or the flat control) through
+// the shared fault timeline: boot, 15% fabric loss with a 20 s fault
+// window mid-loss, heal, settle. The timeline is identical for every
+// topology — down/up only toggle state, never advance the clock — so
+// the runs end at the same virtual instant with identical
+// (clock-driven) agent state.
+func fedFaultSchedule(fed *FedSim, down, up func(*FedSim)) {
+	fed.PowerOnAll()
+	fed.Advance(30 * time.Second) // lossless boot: registration + first uplink snap-alls
+	fed.Net.SetLoss(0.15)
+	fed.Advance(40 * time.Second)
+	if down != nil {
+		down(fed) // topology-specific fault begins
+	}
+	fed.Advance(20 * time.Second)
+	if up != nil {
+		up(fed)
+	}
+	fed.Advance(40 * time.Second)
+	fed.Net.SetLoss(0)
+	fed.Advance(90 * time.Second) // past agent AND uplink anti-entropy
+	fed.Stop()
+	fed.Advance(5 * time.Second) // drain in-flight frames and final flushes
+}
+
+// TestFedLossKillRejoinConverges is federation's fault acceptance run: a
+// 2-leaf tree (one leaf's uplink pinned to v1) rides 15% fabric loss
+// while the batching leaf's uplink process is killed and rejoined
+// mid-schedule. After the heal the root must hold a byte-identical view
+// of every agent — and byte-identical to a flat single-server control
+// run over the same seeds and timeline, proving the extra hop and the
+// healing machinery (link desync -> "!uresync" -> snap-all, per-node
+// resync on the v1 leaf, restart renegotiation) add no divergence.
+func TestFedLossKillRejoinConverges(t *testing.T) {
+	fed, err := NewFedSim(FedConfig{
+		Fanout: 2, Tiers: 2, NodesPerLeaf: 3,
+		EchoSweep: -1, AntiEntropy: 20 * time.Second,
+		UplinkAntiEntropy: 20 * time.Second,
+		UplinkV1:          func(leaf int) bool { return leaf == 1 },
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Stop)
+	// Kill the batching leaf's forwarder for the 20 s fault window, then
+	// rejoin as a fresh process (Restart drops all session state —
+	// negotiation, sequences, dictionary).
+	fedFaultSchedule(fed,
+		func(f *FedSim) { f.Leaves[0].UpEp.SetUp(false) },
+		func(f *FedSim) {
+			f.Leaves[0].UpEp.SetUp(true)
+			f.Leaves[0].Uplink.Restart()
+		})
+
+	// The flat control: the same six agents, same seeds, same timeline,
+	// one server, no federation. Its converged state is the ground truth
+	// the federated root must reproduce byte for byte.
+	flat, err := NewFedSim(FedConfig{
+		Tiers: 1, NodesPerLeaf: 6,
+		EchoSweep: -1, AntiEntropy: 20 * time.Second,
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(flat.Stop)
+	fedFaultSchedule(flat, nil, nil)
+
+	// The schedule must actually have hurt: link-down send failures on
+	// the killed leaf, loss-induced batch desyncs healed by snap-alls,
+	// and per-node resyncs on the v1-pinned leaf.
+	killed := fed.Leaves[0].Uplink.Stats()
+	if killed.SendFails == 0 {
+		t.Error("killed leaf saw no uplink send failures")
+	}
+	if !killed.V2 || killed.Frames == 0 {
+		t.Errorf("rejoined leaf never renegotiated the batch wire: %+v", killed)
+	}
+	pinned := fed.Leaves[1].Uplink.Stats()
+	if pinned.V2 || pinned.V1Frames == 0 {
+		t.Errorf("pinned leaf should have stayed on v1 frames: %+v", pinned)
+	}
+	if pinned.NodeResyncs == 0 {
+		t.Error("15% loss produced no per-node resync requests on the v1 uplink")
+	}
+	in := fed.Root.Server.UplinkInStats()
+	if in.Desyncs == 0 {
+		t.Errorf("15%% loss produced no batch chain breaks: %+v", in)
+	}
+	snapAlls := killed.SnapAlls
+	if snapAlls < 2 {
+		t.Errorf("kill/rejoin + desyncs should force repeated snap-alls, got %d", snapAlls)
+	}
+
+	// Convergence, three ways: root matches each agent, the flat control
+	// matches each agent, and root matches the flat control byte for
+	// byte on every raw node.
+	var diffs []string
+	for _, leaf := range fed.Leaves {
+		for i, agent := range leaf.Sim.Agents {
+			name := leaf.Sim.Nodes[i].Name()
+			diffs = append(diffs, syncDiff(fed.Root.Server, name, agent.Consolidator().Snapshot())...)
+		}
+	}
+	if len(diffs) > 0 {
+		t.Fatalf("federated root diverged from agents after heal (%d diffs):\n%s", len(diffs), joinDiffs(diffs))
+	}
+	flatSrv := flat.Root.Server
+	for i, agent := range flat.Root.Sim.Agents {
+		name := flat.Root.Sim.Nodes[i].Name()
+		if d := syncDiff(flatSrv, name, agent.Consolidator().Snapshot()); len(d) > 0 {
+			t.Fatalf("flat control diverged from its own agents:\n%s", joinDiffs(d))
+		}
+		if d := syncDiff(fed.Root.Server, name, flatSrv.NodeValues(name)); len(d) > 0 {
+			t.Fatalf("federated root != flat control for %s:\n%s", name, joinDiffs(d))
+		}
+	}
+}

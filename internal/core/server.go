@@ -94,6 +94,15 @@ type Server struct {
 	// operator escape hatch behind cwxd's -wire-v1 flag (see wire.go).
 	wireV1Only atomic.Bool
 
+	// uplink, when set, is this server's session to a parent tier: every
+	// applied frame notes its node dirty there so the next flush forwards
+	// the change set upstream (uplink.go). Atomic pointer so the ingest
+	// hot path pays one load when federation is off.
+	uplink atomic.Pointer[Uplink]
+	// upIn counts uplink traffic arriving FROM child tiers (this server
+	// as the parent side); see UplinkInStats.
+	upIn uplinkInCounters
+
 	plane *plane
 
 	engine   *events.Engine
@@ -205,6 +214,11 @@ type ServerConfig struct {
 	Cluster  string
 	Now      func() time.Duration // time source (virtual in simulation)
 	Notifier *notify.Notifier     // optional; engine runs without it
+	// HistoryCapacity is the default head-block capacity for new history
+	// series (0 = history.DefaultCapacity). Federated tiers mirroring
+	// large subtrees shrink it and deepen only their aggregate series via
+	// History().SetCapacityFunc.
+	HistoryCapacity int
 }
 
 // NewServer builds a server with an empty registry.
@@ -219,7 +233,7 @@ func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		now:      cfg.Now,
 		cluster:  cfg.Cluster,
-		hist:     history.NewStore(0),
+		hist:     history.NewStore(cfg.HistoryCapacity),
 		notifier: cfg.Notifier,
 		boxByID:  make(map[string]*icebox.Box),
 		images:   image.NewStore(),
@@ -425,6 +439,11 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 		}
 	}
 	if f.Kind == transmit.FrameSnapshot {
+		// An authoritative snapshot heals divergence whether or not it is
+		// sequenced: batch-uplink sub-frames carry Seq 0 (continuity is
+		// link-level there), and a v1 uplink session that upgraded to
+		// batches mid-divergence must not stay marked unsynced forever.
+		rec.diverged = false
 		s.applySnapshotLocked(rec, f.Node, f.Values, now)
 		mIngestSnapshots.IncAt(int(rec.shard))
 		fjournal.Append(int(rec.shard), flight.Entry{Kind: flight.KindSnapApplied, Node: rec.fsym, Trace: f.TraceID, TimeNs: int64(now), A: int64(len(f.Values))})
@@ -444,6 +463,11 @@ func (s *Server) HandleFrame(f transmit.Frame) error {
 	snap := s.observationSnapshot(rec)
 	rec.mu.Unlock()
 	s.bumpIngest(rec.shard, now)
+	if u := s.uplink.Load(); u != nil {
+		// Federation: note the change set dirty for the next uplink flush
+		// (per-hop suppression — only what changed here flows upstream).
+		u.noteFrame(&f)
+	}
 	// t1 doubles as ingest-latency end and events-dwell start — one
 	// clock read, not two.
 	var t1 time.Time
@@ -593,12 +617,19 @@ func (s *Server) ProbeConnectivity(probe func(node string) bool) {
 		}
 		rec := s.node(name)
 		rec.mu.Lock()
+		old, had := rec.values[v.Name]
+		changed := !had || !old.Equal(v)
 		rec.values[v.Name] = v
 		rec.sample[v.Name] = v.Num
 		s.hist.Append(name, v.Name, now, v.Num)
 		snap := s.observationSnapshot(rec)
 		rec.mu.Unlock()
 		s.bumpIngest(rec.shard, now)
+		if u := s.uplink.Load(); u != nil && changed {
+			// Probe flips are change-gated so a healthy subtree's sweep adds
+			// zero uplink traffic (per-hop suppression holds server-side too).
+			u.noteValue(name, probeMetric)
+		}
 		on := telemetry.On()
 		var e0 time.Time
 		if on {

@@ -82,6 +82,30 @@ type SimConfig struct {
 	// fault harness uses it to run mixed-version clusters.
 	WireV1 func(i int) bool
 	Seed   int64
+
+	// Federation plumbing (fedsim.go): a multi-tier topology builds one
+	// Sim per leaf server, all sharing a clock and fabric. Defaults
+	// reproduce the classic standalone sim exactly.
+
+	// Clock, when non-nil, is shared instead of creating a new one.
+	Clock *clock.Clock
+	// Net, when non-nil, is the shared fabric; it is not reseeded (the
+	// owner seeds once).
+	Net *simnet.Network
+	// MasterAddr renames the server's cloning-plane endpoint (default
+	// "master") so several servers can share a fabric.
+	MasterAddr simnet.Addr
+	// MonAddr renames the server's monitoring-plane endpoint (default
+	// "master.mon").
+	MonAddr simnet.Addr
+	// FirstNode offsets node numbering: node names and per-node seeds
+	// derive from the global index FirstNode+i, so a federated run and a
+	// flat control with the same Seed produce byte-identical value
+	// streams for every node regardless of how they are partitioned into
+	// leaves.
+	FirstNode int
+	// HistoryCapacity is passed through to ServerConfig.
+	HistoryCapacity int
 }
 
 // Sim is a complete simulated cluster: nodes in ICE Boxes, agents feeding
@@ -100,8 +124,9 @@ type Sim struct {
 	// was set.
 	Meta *MetaMonitor
 
-	byName    map[string]*node.Node
-	nodeImage map[string]string
+	byName     map[string]*node.Node
+	nodeImage  map[string]string
+	masterAddr simnet.Addr
 	// wires holds each agent's wire-negotiation state, indexed like
 	// Agents (nil outside TransportSimnet) — the mixed-version harness
 	// asserts on it.
@@ -117,7 +142,16 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	if cfg.Cluster == "" {
 		cfg.Cluster = "simcluster"
 	}
-	clk := clock.New()
+	if cfg.MasterAddr == "" {
+		cfg.MasterAddr = "master"
+	}
+	if cfg.MonAddr == "" {
+		cfg.MonAddr = simMonAddr
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.New()
+	}
 
 	var rec *notify.Recording
 	mailer := cfg.Mailer
@@ -130,11 +164,14 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		Admin:   "admin@" + cfg.Cluster,
 		Batch:   cfg.NotifyBatch,
 	})
-	srv := NewServer(ServerConfig{Cluster: cfg.Cluster, Now: clk.Now, Notifier: notifier})
+	srv := NewServer(ServerConfig{Cluster: cfg.Cluster, Now: clk.Now, Notifier: notifier, HistoryCapacity: cfg.HistoryCapacity})
 
-	net := simnet.New(clk, 100*time.Microsecond)
-	net.Seed(cfg.Seed + 99)
-	net.Attach("master", simnet.FastEthernet)
+	net := cfg.Net
+	if net == nil {
+		net = simnet.New(clk, 100*time.Microsecond)
+		net.Seed(cfg.Seed + 99)
+	}
+	net.Attach(cfg.MasterAddr, simnet.FastEthernet)
 
 	// The monitoring plane gets its own endpoints so fault injection on
 	// agent traffic cannot disturb the cloning data plane's handlers (and
@@ -144,7 +181,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	var masterMon *simnet.Endpoint
 	switch cfg.Transport {
 	case TransportSimnet:
-		masterMon = net.Attach(simMonAddr, simnet.FastEthernet)
+		masterMon = net.Attach(cfg.MonAddr, simnet.FastEthernet)
 		// One wireServer per source endpoint: each agent session gets its
 		// own decoder and negotiation state, exactly like one TCP
 		// connection would.
@@ -169,7 +206,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			})
 		})
 	case TransportSimnetLegacy:
-		masterMon = net.Attach(simMonAddr, simnet.FastEthernet)
+		masterMon = net.Attach(cfg.MonAddr, simnet.FastEthernet)
 		masterMon.OnReceive(func(p simnet.Packet) {
 			b, ok := p.Payload.([]byte)
 			if !ok {
@@ -184,12 +221,13 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	}
 
 	sim := &Sim{
-		Clk:       clk,
-		Server:    srv,
-		Net:       net,
-		Mailer:    rec,
-		byName:    make(map[string]*node.Node, cfg.Nodes),
-		nodeImage: make(map[string]string, cfg.Nodes),
+		Clk:        clk,
+		Server:     srv,
+		Net:        net,
+		Mailer:     rec,
+		byName:     make(map[string]*node.Node, cfg.Nodes),
+		nodeImage:  make(map[string]string, cfg.Nodes),
+		masterAddr: cfg.MasterAddr,
 	}
 
 	// Stock the image library and wire the cloning backend, so the control
@@ -213,8 +251,9 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	})
 
 	for i := 0; i < cfg.Nodes; i++ {
-		name := fmt.Sprintf("node%03d", i)
-		ncfg := node.Config{Name: name, Seed: cfg.Seed + int64(i)}
+		global := cfg.FirstNode + i
+		name := fmt.Sprintf("node%03d", global)
+		ncfg := node.Config{Name: name, Seed: cfg.Seed + int64(global)}
 		if cfg.Firmware != nil {
 			ncfg.Firmware = cfg.Firmware(i)
 		}
@@ -225,13 +264,19 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		srv.RegisterFirmware(name, n.Firmware())
 		net.Attach(simnet.Addr(name), simnet.FastEthernet)
 
-		if i%icebox.NodePorts == 0 {
-			box := icebox.New(clk, fmt.Sprintf("ice%02d", i/icebox.NodePorts))
+		// Boxes and ports follow the GLOBAL node number so a federated
+		// leaf hosting nodes 30-39 puts them on ice03's ports 0-9 — the
+		// same outlets, hence the same power-up stagger and boot
+		// instants, as a flat sim over the whole range. That physical
+		// determinism is what lets fault tests compare a federated tree
+		// byte for byte against its flat control.
+		if i == 0 || global%icebox.NodePorts == 0 {
+			box := icebox.New(clk, fmt.Sprintf("ice%02d", global/icebox.NodePorts))
 			sim.Boxes = append(sim.Boxes, box)
 			srv.AddICEBox(box)
 		}
 		box := sim.Boxes[len(sim.Boxes)-1]
-		if err := box.Connect(i%icebox.NodePorts, n); err != nil {
+		if err := box.Connect(global%icebox.NodePorts, n); err != nil {
 			return nil, err
 		}
 
@@ -258,6 +303,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			acfg.AntiEntropy = cfg.AntiEntropy
 			wc = newWireClient(name, cfg.WireV1 == nil || !cfg.WireV1(i))
 			sendWC := wc
+			monAddr := cfg.MonAddr
 			acfg.SendFrame = func(f transmit.Frame) error {
 				// A down local link is an error the agent can see (bank +
 				// back off); in-flight loss is silent — that is the gap
@@ -271,17 +317,18 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 				}
 				payload := sendWC.marshal(f)
 				b := append([]byte(nil), payload...)
-				mon.Send(simMonAddr, b, len(b)+monOverheadBytes)
+				mon.Send(monAddr, b, len(b)+monOverheadBytes)
 				return nil
 			}
 		case TransportSimnetLegacy:
 			mon = net.Attach(simnet.Addr(name+".mon"), simnet.FastEthernet)
+			monAddr := cfg.MonAddr
 			acfg.Transport = func(nodeName string, values []consolidate.Value) error {
 				if !mon.Up() {
 					return ErrLinkDown
 				}
 				b := transmit.MarshalFrame(nil, transmit.Frame{Node: nodeName, Values: values})
-				mon.Send(simMonAddr, b, len(b)+monOverheadBytes)
+				mon.Send(monAddr, b, len(b)+monOverheadBytes)
 				return nil
 			}
 		default:
@@ -375,7 +422,7 @@ func (s *Sim) clone(img, old *image.Image, nodeNames []string, loss float64, par
 	if len(nodeNames) == 0 {
 		return cloning.Result{}, fmt.Errorf("core: clone needs target nodes")
 	}
-	master := s.Net.Endpoint("master")
+	master := s.Net.Endpoint(s.masterAddr)
 	group := "clone"
 	addrs := make([]simnet.Addr, 0, len(nodeNames))
 	for _, name := range nodeNames {

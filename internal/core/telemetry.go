@@ -34,6 +34,17 @@ var (
 	mAgentSendFailures    = telemetry.Default().Counter("cwx_agent_send_failures_total")
 	mAgentRetransmits     = telemetry.Default().Counter("cwx_agent_retransmits_total")
 	mAgentResyncSnapshots = telemetry.Default().Counter("cwx_agent_resync_snapshots_total")
+
+	// Hierarchical federation (PR 10): the child side's uplink flush
+	// counters and the parent side's batch ingest counters.
+	mUplinkFrames    = telemetry.Default().Counter("cwx_uplink_frames_total")
+	mUplinkNodes     = telemetry.Default().Counter("cwx_uplink_nodes_forwarded_total")
+	mUplinkBytes     = telemetry.Default().Counter("cwx_uplink_bytes_total")
+	mUplinkSendFails = telemetry.Default().Counter("cwx_uplink_send_failures_total")
+	mUplinkSnapAlls  = telemetry.Default().Counter("cwx_uplink_snap_all_total")
+	mUplinkInFrames  = telemetry.Default().Counter("cwx_uplink_ingest_frames_total")
+	mUplinkInNodes   = telemetry.Default().Counter("cwx_uplink_ingest_nodes_total")
+	mUplinkInDesyncs = telemetry.Default().Counter("cwx_uplink_desyncs_total")
 )
 
 // WriteTelemetry emits the process's entire self-monitoring state in the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 
 	"clusterworx/internal/flight"
@@ -138,6 +139,14 @@ type wireServer struct {
 	dec      *transmit.DecoderV2
 	ctl      []byte // control marshal scratch
 	answered bool   // journal the upgrade answer once, re-send it per offer
+
+	// Batch uplink ingest state (federation: this server as the parent
+	// side of a child tier's uplink). The emit closure is bound once so
+	// the steady-state decode path allocates nothing.
+	bdec   *transmit.BatchDecoderV2
+	bemit  func(transmit.Frame)
+	bnodes int // sub-frames in the current batch
+	braw   int // of those, raw (non-aggregate) nodes
 }
 
 // handle processes one arriving frame payload in either wire version:
@@ -149,6 +158,11 @@ type wireServer struct {
 // transport should drop the session, exactly as v1 readers always did
 // with unparseable frames.
 func (ws *wireServer) handle(payload []byte, send func([]byte)) (fatal bool) {
+	if transmit.IsV2BatchPayload(payload) {
+		// Checked before the single-frame v2 path: a batch payload is a
+		// v2 payload with an extra flag bit the single decoder rejects.
+		return ws.handleBatch(payload, send)
+	}
 	var f transmit.Frame
 	if transmit.IsV2Payload(payload) {
 		if ws.dec == nil {
@@ -195,6 +209,66 @@ func (ws *wireServer) handle(payload []byte, send func([]byte)) (fatal bool) {
 	}
 	if err := ws.s.HandleFrame(f); err == ErrResyncNeeded {
 		ws.ctl = transmit.MarshalResync(ws.ctl[:0], f.Node)
+		send(ws.ctl)
+	}
+	return false
+}
+
+// initBatch builds the lazy batch-ingest state (kept out of the hot
+// decode path so its one-time allocations never land there).
+func (ws *wireServer) initBatch() {
+	ws.bdec = transmit.NewBatchDecoderV2()
+	ws.bemit = func(f transmit.Frame) {
+		ws.bnodes++
+		if strings.IndexByte(f.Node, '/') < 0 {
+			ws.braw++
+		}
+		// Sub-frames are unsequenced (Seq 0 — continuity is link-level),
+		// so HandleFrame never requests a per-node resync here.
+		ws.s.HandleFrame(f) //nolint:errcheck
+	}
+}
+
+// handleBatch ingests one uplink batch frame from a child tier. The
+// all-or-nothing decode contract keeps recovery simple: a chain break
+// emits nothing and the "!uresync" answer makes the child snap-all, so
+// partial batches never need unwinding.
+//
+//cwx:hotpath
+func (ws *wireServer) handleBatch(payload []byte, send func([]byte)) (fatal bool) {
+	if ws.bdec == nil {
+		ws.initBatch() //cwx:allow staticalloc -- inlined one-time session setup (decoder + emit closure); every later frame takes the non-nil path
+	}
+	ws.bnodes, ws.braw = 0, 0
+	_, err := ws.bdec.Decode(payload, ws.bemit)
+	switch err {
+	case nil:
+		ws.s.upIn.frames.Add(1)
+		ws.s.upIn.nodes.Add(int64(ws.bnodes))
+		ws.s.upIn.rawNodes.Add(int64(ws.braw))
+		mUplinkInFrames.Inc()
+		mUplinkInNodes.Add(int64(ws.bnodes))
+	case transmit.ErrV2Desync:
+		// A lost batch broke the link chain; nothing was emitted. The
+		// "!uresync" answer makes the child rebase and forward full state
+		// for every node, healing all suppressed deltas in one round trip.
+		ws.s.upIn.desyncs.Add(1)
+		mUplinkInDesyncs.Inc()
+		fjournal.Append(0, flight.Entry{Kind: flight.KindUplinkResync, TimeNs: int64(ws.s.now())})
+		ws.ctl = transmit.MarshalUplinkResync(ws.ctl[:0])
+		send(ws.ctl)
+	case transmit.ErrV2NeedReset:
+		// The child's dictionary references entries this (restarted)
+		// server never saw: ask for a full table resend.
+		ws.s.upIn.resets.Add(1)
+		fjournal.Append(0, flight.Entry{Kind: flight.KindWireReset, TimeNs: int64(ws.s.now())})
+		ws.ctl = transmit.MarshalWireReset(ws.ctl[:0])
+		send(ws.ctl)
+	default:
+		return true
+	}
+	if n, ok := ws.bdec.PendingAck(); ok {
+		ws.ctl = transmit.MarshalDictAck(ws.ctl[:0], n)
 		send(ws.ctl)
 	}
 	return false

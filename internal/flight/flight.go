@@ -58,6 +58,8 @@ const (
 	KindWatchResync        // watch subscriber was sent a full RESYNC snapshot (Detail=verb)
 	KindWireUpgrade        // wire session negotiated a new protocol version (A=version; agent on switch, server on first answer)
 	KindWireReset          // wire dictionary reset (server: "!wreset" sent; agent: received and rebased)
+	KindUplinkForward      // uplink forwarded a traced node sub-frame upstream (Node=node, A=values)
+	KindUplinkResync       // uplink resync (sender: "!uresync" received or snap-all armed; receiver: batch chain break, "!uresync" sent)
 	numKinds
 )
 
@@ -80,6 +82,8 @@ var kindNames = [numKinds]string{
 	KindWatchResync:   "watch-resync",
 	KindWireUpgrade:   "wire-upgrade",
 	KindWireReset:     "wire-reset",
+	KindUplinkForward: "uplink-forward",
+	KindUplinkResync:  "uplink-resync",
 }
 
 func (k Kind) String() string {

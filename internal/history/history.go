@@ -481,6 +481,7 @@ type storeStripe struct {
 // Compare) may freely race appends from agent ingest.
 type Store struct {
 	capacity int
+	capFn    func(nodeName string) int
 	stripes  [storeStripes]storeStripe
 }
 
@@ -495,6 +496,28 @@ func NewStore(capacity int) *Store {
 		st.stripes[i].series = make(map[string]map[string]*Series)
 	}
 	return st
+}
+
+// SetCapacityFunc installs a per-node capacity rule consulted when a
+// node's first series is created: fn returns the head-block capacity for
+// that node's series, or <= 0 to use the store default. A federated tier
+// mirrors per-node series for the whole subtree below it — memory there
+// is capacity × nodes × metrics — while its own aggregate series
+// ("rack/*", "row/*") are few and deserve full depth; the rule lets one
+// store hold both. Call before the first Append; existing series keep
+// the capacity they were created with.
+func (st *Store) SetCapacityFunc(fn func(nodeName string) int) {
+	st.capFn = fn
+}
+
+// capacityFor resolves the head capacity for a new node's series.
+func (st *Store) capacityFor(nodeName string) int {
+	if st.capFn != nil {
+		if c := st.capFn(nodeName); c > 0 {
+			return c
+		}
+	}
+	return st.capacity
 }
 
 // stripe hashes a node name to its stripe with FNV-1a. The index is
@@ -531,7 +554,7 @@ func (st *Store) Append(nodeName, metric string, t time.Duration, v float64) {
 			sp.series[nodeName] = byMetric
 		}
 		if s, ok = byMetric[metric]; !ok {
-			s = NewSeries(st.capacity)
+			s = NewSeries(st.capacityFor(nodeName))
 			byMetric[metric] = s
 		}
 		sp.mu.Unlock()

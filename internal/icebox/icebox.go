@@ -232,14 +232,15 @@ func (b *Box) PowerOnAll() {
 	b.mu.Lock()
 	delay := b.seqDelay
 	b.mu.Unlock()
-	slot := 0
 	for i := 0; i < NodePorts; i++ {
 		if b.Device(i) == nil {
 			continue
 		}
 		port := i
-		d := delay * time.Duration(slot)
-		slot++
+		// The sequencer is a per-outlet timer: outlet k energizes at
+		// k*delay regardless of which other outlets are populated, so a
+		// node's boot instant depends only on its own port.
+		d := delay * time.Duration(port)
 		if d == 0 {
 			b.PowerOn(port) //nolint:errcheck // breaker trips surface via status
 			continue

@@ -49,6 +49,12 @@ type Stats struct {
 	TxPackets, TxBytes int64
 	RxPackets, RxBytes int64
 	Dropped            int64 // packets addressed to this endpoint lost in flight
+	// RxQueuedNs accumulates time packets spent waiting for this
+	// endpoint's downlink after arriving — the fan-in congestion signal:
+	// a receiver whose senders outrun its link rate shows it here long
+	// before anything is dropped (the E23 federation experiment's
+	// flat-master bottleneck).
+	RxQueuedNs int64
 }
 
 // Network is the fabric. Create with New, then Attach endpoints.
@@ -287,6 +293,7 @@ func (n *Network) scheduleDeliveryLocked(target *Endpoint, pkt Packet, txDone ti
 	if start < arrival {
 		start = arrival
 	}
+	target.stats.RxQueuedNs += int64(start - arrival)
 	done := start + target.txTime(pkt.Size)
 	target.rxFreeAt = done
 	n.clk.At(done, func() {

@@ -324,3 +324,34 @@ func TestPropertyMulticastFlat(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRxQueuedNsCountsFanInCongestion(t *testing.T) {
+	clk := clock.New()
+	net := New(clk, 0)
+	master := net.Attach("master", FastEthernet)
+	master.OnReceive(func(Packet) {})
+	senders := []*Endpoint{net.Attach("s0", FastEthernet), net.Attach("s1", FastEthernet), net.Attach("s2", FastEthernet)}
+	// Three senders transmit simultaneously: their tx windows overlap, so
+	// the master's downlink serializes them — the 2nd and 3rd packet wait
+	// one and two serialization times respectively (12500 B = 1 ms each).
+	for _, s := range senders {
+		s.Send("master", nil, 12500)
+	}
+	clk.RunUntilIdle()
+	st := master.Stats()
+	if st.RxPackets != 3 {
+		t.Fatalf("RxPackets = %d, want 3", st.RxPackets)
+	}
+	want := int64(3 * time.Millisecond) // 1 ms + 2 ms of queueing
+	if st.RxQueuedNs != want {
+		t.Fatalf("RxQueuedNs = %d, want %d", st.RxQueuedNs, want)
+	}
+	// A lone, unhurried sender queues nothing.
+	for _, s := range senders {
+		s.Send("master", nil, 12500)
+		clk.RunUntilIdle()
+	}
+	if got := master.Stats().RxQueuedNs; got != want {
+		t.Fatalf("uncongested sends queued time: %d, want still %d", got, want)
+	}
+}

@@ -1,0 +1,260 @@
+package transmit
+
+import (
+	"math"
+	"testing"
+
+	"clusterworx/internal/consolidate"
+)
+
+// batchTestFrames builds a representative multi-node flush: numeric
+// deltas, a snapshot node with text, and a traced node.
+func batchTestFrames(round uint64) []Frame {
+	return []Frame{
+		{
+			Node: "node000",
+			Kind: FrameDelta,
+			Values: []consolidate.Value{
+				consolidate.NumValue("cpu.load", consolidate.Dynamic, 0.25*float64(round%7)),
+				consolidate.NumValue("mem.free", consolidate.Dynamic, 1024-float64(round)),
+			},
+		},
+		{
+			Node: "node001",
+			Kind: FrameSnapshot,
+			Values: []consolidate.Value{
+				consolidate.NumValue("cpu.load", consolidate.Dynamic, 1.5),
+				consolidate.TextValue("os.release", consolidate.Static, "2.4.19-smp"),
+			},
+		},
+		{
+			Node:    "rack/leaf00",
+			Kind:    FrameDelta,
+			TraceID: 0xbeef + round,
+			TraceNs: -int64(round) * 17,
+			Values: []consolidate.Value{
+				consolidate.NumValue("cpu.load.sum", consolidate.Dynamic, float64(round)*3),
+			},
+		},
+	}
+}
+
+// decodeBatchAll decodes one batch payload into a slice of sub-frames,
+// deep-copying out of the decoder scratch.
+func decodeBatchAll(t *testing.T, dec *BatchDecoderV2, payload []byte) []Frame {
+	t.Helper()
+	var out []Frame
+	n, err := dec.Decode(payload, func(f Frame) {
+		f.Values = append([]consolidate.Value(nil), f.Values...)
+		out = append(out, f)
+	})
+	if err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("decode reported %d nodes, emitted %d", n, len(out))
+	}
+	return out
+}
+
+// requireBatchEqual compares emitted sub-frames against the encoded set.
+func requireBatchEqual(t *testing.T, got, want []Frame, sentNs int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("node count mismatch: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Seq = 0 // sub-frames ride the link sequence
+		w.SentNs = sentNs
+		requireV2Equal(t, got[i], w)
+	}
+}
+
+// TestBatchV2RoundtripChain: a chain of batch frames roundtrips exactly
+// across many flushes — mixed delta/snapshot sections, per-node trace
+// context, shared SentNs, and bit-exact numerics keyed per (node,
+// metric) pair.
+func TestBatchV2RoundtripChain(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	dec := NewBatchDecoderV2()
+	var buf []byte
+	for seq := uint64(1); seq <= 20; seq++ {
+		frames := batchTestFrames(seq)
+		if seq == 5 {
+			frames[0].Values[0].Num = math.NaN()
+			frames[0].Values[1].Num = math.Inf(-1)
+		}
+		sentNs := int64(seq) * 100_000_000
+		buf = enc.Encode(buf[:0], seq, sentNs, frames)
+		if !IsV2Payload(buf) || !IsV2BatchPayload(buf) {
+			t.Fatalf("seq %d: payload not batch v2", seq)
+		}
+		got := decodeBatchAll(t, dec, buf)
+		requireBatchEqual(t, got, frames, sentNs)
+	}
+}
+
+// TestBatchV2NotMistakenForSingle: the single-node decoder must reject
+// a batch payload (unknown flag bit), never mis-decode it.
+func TestBatchV2NotMistakenForSingle(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	buf := enc.Encode(nil, 1, 0, batchTestFrames(1))
+	if _, err := NewDecoderV2().Decode(buf); err != ErrV2Malformed {
+		t.Fatalf("single-node decode of batch payload: got %v, want ErrV2Malformed", err)
+	}
+	single := NewEncoderV2().Encode(nil, v2TestFrame(1, 1, 2))
+	if IsV2BatchPayload(single) {
+		t.Fatal("single-node payload classified as batch")
+	}
+}
+
+// TestBatchV2LossDesyncAndReset: dropping a batch breaks the link chain
+// (ErrV2Desync, nothing emitted); a rebased frame re-anchors it and
+// decodes standalone.
+func TestBatchV2LossDesyncAndReset(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	dec := NewBatchDecoderV2()
+	var buf []byte
+	buf = enc.Encode(buf[:0], 1, 100, batchTestFrames(1))
+	decodeBatchAll(t, dec, buf)
+
+	// Frame 2 is lost; frame 3 arrives and must not decode.
+	_ = enc.Encode(nil, 2, 200, batchTestFrames(2))
+	buf = enc.Encode(buf[:0], 3, 300, batchTestFrames(3))
+	emitted := false
+	_, err := dec.Decode(buf, func(Frame) { emitted = true })
+	if err != ErrV2Desync {
+		t.Fatalf("decode after loss: got %v, want ErrV2Desync", err)
+	}
+	if emitted {
+		t.Fatal("desynced decode emitted sub-frames")
+	}
+	// Even an in-sequence successor stays undecodable until a reset:
+	// the predictors are poisoned by the lost frame.
+	buf = enc.Encode(buf[:0], 4, 400, batchTestFrames(4))
+	if _, err := dec.Decode(buf, func(Frame) {}); err != ErrV2Desync {
+		t.Fatalf("decode after desync: got %v, want ErrV2Desync", err)
+	}
+
+	// The "!uresync" answer makes the sender rebase; the reset frame
+	// decodes regardless of the gap.
+	enc.Rebase()
+	frames := batchTestFrames(5)
+	buf = enc.Encode(buf[:0], 5, 500, frames)
+	got := decodeBatchAll(t, dec, buf)
+	requireBatchEqual(t, got, frames, 500)
+}
+
+// TestBatchV2DictAckAndWreset: acks stop tail resends; a table reset
+// resends everything and the rebase frame is adopted wholesale by a
+// fresh decoder (the restarted-parent recovery path).
+func TestBatchV2DictAckAndWreset(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	dec := NewBatchDecoderV2()
+	frames := batchTestFrames(1)
+	buf := enc.Encode(nil, 1, 100, frames)
+	withTail := len(buf)
+	decodeBatchAll(t, dec, buf)
+	n, ok := dec.PendingAck()
+	if !ok || n != enc.TableLen() {
+		t.Fatalf("pending ack: got %d/%v, want %d/true", n, ok, enc.TableLen())
+	}
+	enc.Ack(n)
+	if enc.Acked() != n {
+		t.Fatalf("acked: got %d want %d", enc.Acked(), n)
+	}
+	buf = enc.Encode(buf[:0], 2, 200, frames)
+	if len(buf) >= withTail {
+		t.Fatalf("acked frame (%dB) not smaller than tail-bearing frame (%dB)", len(buf), withTail)
+	}
+	if _, ok := dec.PendingAck(); ok {
+		t.Fatal("ack owed for a tail-free frame")
+	}
+	decodeBatchAll(t, dec, buf)
+
+	// Parent restarts: fresh decoder, stale sender. The tail now starts
+	// past the fresh decoder's empty table — it must ask for a reset.
+	fresh := NewBatchDecoderV2()
+	buf = enc.Encode(buf[:0], 3, 300, frames)
+	if _, err := fresh.Decode(buf, func(Frame) {}); err != ErrV2NeedReset {
+		t.Fatalf("stale-tail decode: got %v, want ErrV2NeedReset", err)
+	}
+	enc.ResetTable()
+	buf = enc.Encode(buf[:0], 4, 400, frames)
+	got := decodeBatchAll(t, fresh, buf)
+	requireBatchEqual(t, got, frames, 400)
+}
+
+// TestBatchV2PredictorsNotSharedAcrossNodes: two nodes reporting the
+// same metric name must not pollute each other's predictor streams —
+// the regression the (node, metric) pairing exists to prevent.
+func TestBatchV2PredictorsNotSharedAcrossNodes(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	dec := NewBatchDecoderV2()
+	var buf []byte
+	for seq := uint64(1); seq <= 8; seq++ {
+		frames := []Frame{
+			{Node: "a", Values: []consolidate.Value{consolidate.NumValue("load", consolidate.Dynamic, float64(seq))}},
+			{Node: "b", Values: []consolidate.Value{consolidate.NumValue("load", consolidate.Dynamic, -1000*float64(seq))}},
+		}
+		buf = enc.Encode(buf[:0], seq, int64(seq), frames)
+		got := decodeBatchAll(t, dec, buf)
+		requireBatchEqual(t, got, frames, int64(seq))
+	}
+}
+
+// TestBatchV2EmptyBatch: a zero-node frame (a heartbeat flush with
+// nothing dirty) is legal and keeps the chain alive.
+func TestBatchV2EmptyBatch(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	dec := NewBatchDecoderV2()
+	buf := enc.Encode(nil, 1, 100, nil)
+	if got := decodeBatchAll(t, dec, buf); len(got) != 0 {
+		t.Fatalf("empty batch emitted %d nodes", len(got))
+	}
+	frames := batchTestFrames(2)
+	buf = enc.Encode(buf[:0], 2, 200, frames)
+	requireBatchEqual(t, decodeBatchAll(t, dec, buf), frames, 200)
+}
+
+// TestBatchV2MalformedTruncations: every truncation of a valid payload
+// must fail cleanly (or emit a consistent prefix — it must not panic or
+// emit garbage). Mirrors the fuzz target's invariant for the batch form.
+func TestBatchV2MalformedTruncations(t *testing.T) {
+	enc := NewBatchEncoderV2()
+	full := enc.Encode(nil, 1, 100, batchTestFrames(1))
+	for cut := 0; cut < len(full); cut++ {
+		dec := NewBatchDecoderV2()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panic: %v", cut, r)
+				}
+			}()
+			_, _ = dec.Decode(full[:cut], func(f Frame) {
+				for i := range f.Values {
+					_ = f.Values[i].Render()
+				}
+			})
+		}()
+	}
+}
+
+// TestUplinkResyncControl: the "!uresync" control roundtrips and old
+// parsers ignore it.
+func TestUplinkResyncControl(t *testing.T) {
+	p := MarshalUplinkResync(nil)
+	if !IsUplinkResync(p) {
+		t.Fatal("uresync payload not recognized")
+	}
+	if IsUplinkResync([]byte("!uresyncx")) || IsUplinkResync([]byte("!wreset")) {
+		t.Fatal("false positive uresync")
+	}
+	if _, ok := ParseResync(p); ok {
+		t.Fatal("uresync misparsed as per-node resync")
+	}
+	if node, ok := ParseResync([]byte("!resync node007")); !ok || node != "node007" {
+		t.Fatal("per-node resync parse broken")
+	}
+}

@@ -257,3 +257,90 @@ func FuzzDecodeFrameV2(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatchV2 drives the batched uplink decoder over arbitrary
+// bytes, cold and mid-session: it must never panic, never emit a
+// garbage node name, never emit anything on a failed decode, and must
+// always recover when the next sender rebases — a corrupt batch can
+// cost one flush, never the uplink session.
+func FuzzDecodeBatchV2(f *testing.F) {
+	enc := NewBatchEncoderV2()
+	mk := func(round uint64) []Frame {
+		return []Frame{
+			{Node: "node000", Kind: FrameDelta, Values: []consolidate.Value{
+				{Name: "cpu.load.1min", Kind: consolidate.Dynamic, Num: float64(round) * 0.5},
+				{Name: "os.release", Kind: consolidate.Static, IsText: true, Text: "2.4.18-27.7.x smp"},
+			}},
+			{Node: "rack/leaf00", Kind: FrameSnapshot, TraceID: round, TraceNs: -int64(round), Values: []consolidate.Value{
+				{Name: "cpu.load.1min.sum", Kind: consolidate.Dynamic, Num: float64(round) * 8},
+			}},
+		}
+	}
+	seeds := [][]byte{}
+	for seq := uint64(1); seq <= 3; seq++ {
+		seeds = append(seeds, enc.Encode(nil, seq, int64(seq)*1_000_000, mk(seq)))
+	}
+	enc.Ack(enc.TableLen())
+	seeds = append(seeds, enc.Encode(nil, 4, 4_000_000, mk(4))) // tail-free
+	seeds = append(seeds, enc.Encode(nil, 5, 5_000_000, nil))   // empty batch
+	for _, s := range seeds {
+		f.Add(s)
+		for _, cut := range []int{1, 2, len(s) / 4, len(s) / 2, len(s) - 1} {
+			if cut >= 0 && cut < len(s) {
+				f.Add(s[:cut])
+			}
+		}
+		for _, pos := range []int{1, len(s) / 3, 2 * len(s) / 3} {
+			if pos < len(s) {
+				c := append([]byte(nil), s...)
+				c[pos] ^= 0x55
+				f.Add(c)
+			}
+		}
+	}
+	f.Add([]byte("node042 7 D w=2\n"))
+	f.Add([]byte("!uresync"))
+	f.Add([]byte{V2Magic, v2FlagBatch})
+	f.Add([]byte{V2Magic, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, warm := range []bool{false, true} {
+			d := NewBatchDecoderV2()
+			if warm {
+				we := NewBatchEncoderV2()
+				var b []byte
+				for seq := uint64(1); seq <= 2; seq++ {
+					b = we.Encode(b[:0], seq, int64(seq), mk(seq))
+					if _, err := d.Decode(b, func(Frame) {}); err != nil {
+						t.Fatalf("warmup decode: %v", err)
+					}
+				}
+			}
+			emitted := 0
+			n, err := d.Decode(payload, func(fr Frame) {
+				emitted++
+				if !validNodeName(fr.Node) {
+					t.Fatalf("emitted invalid node name %q (warm=%v)", fr.Node, warm)
+				}
+				if fr.Seq != 0 {
+					t.Fatalf("sub-frame carries a per-node seq (warm=%v)", warm)
+				}
+				for i := range fr.Values {
+					_ = fr.Values[i].Render()
+				}
+			})
+			if err != nil && emitted != 0 {
+				t.Fatalf("failed decode (%v) emitted %d sub-frames (warm=%v)", err, emitted, warm)
+			}
+			if err == nil && n != emitted {
+				t.Fatalf("reported %d nodes, emitted %d (warm=%v)", n, emitted, warm)
+			}
+			// Healing invariant: a fresh sender's rebase frame always decodes.
+			he := NewBatchEncoderV2()
+			heal := he.Encode(nil, 1, 1, mk(1))
+			if _, err := d.Decode(heal, func(Frame) {}); err != nil {
+				t.Fatalf("rebase frame did not heal the decoder (warm=%v): %v", warm, err)
+			}
+		}
+	})
+}
